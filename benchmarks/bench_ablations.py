@@ -1,0 +1,191 @@
+"""Ablations beyond the paper (DESIGN.md section 7).
+
+1. alpha schedule — the paper's tan(i*pi/2n) vs linear growth vs constant
+   alpha (pure harmonise, alpha = 0, for every iteration) vs alpha = inf
+   (uniform bins — no hardness information at all).
+2. cold-start inclusion — vote with vs without the random-under-sampling
+   cold-start model f0.
+"""
+
+import numpy as np
+from conftest import bench_runs, bench_scale, save_result
+
+from repro.core import SelfPacedEnsembleClassifier
+from repro.datasets import load_dataset
+from repro.experiments import render_table
+from repro.experiments.formatting import mean_std
+from repro.metrics import evaluate_classifier
+from repro.model_selection import train_valid_test_split
+from repro.tree import DecisionTreeClassifier
+
+_FINITE_INF = 1e15
+
+
+def _data():
+    ds = load_dataset("credit_fraud", scale=bench_scale() * 0.2, random_state=0)
+    return train_valid_test_split(ds.X, ds.y, random_state=0)
+
+
+def _evaluate(variants, X_tr, y_tr, X_te, y_te):
+    rows = []
+    for name, kwargs in variants:
+        scores = []
+        for run in range(bench_runs()):
+            spe = SelfPacedEnsembleClassifier(
+                DecisionTreeClassifier(max_depth=8, random_state=run),
+                n_estimators=10,
+                random_state=run,
+                **kwargs,
+            ).fit(X_tr, y_tr)
+            scores.append(evaluate_classifier(spe, X_te, y_te)["AUCPRC"])
+        rows.append([name, mean_std(scores)])
+    return rows
+
+
+def test_ablation_alpha_schedule(run_once):
+    X_tr, _, X_te, y_tr, _, y_te = _data()
+    variants = [
+        ("tan (paper)", {"alpha_schedule": "tan"}),
+        ("linear", {"alpha_schedule": "linear"}),
+        ("constant alpha=0 (pure harmonise)", {"alpha_schedule": lambda i, n: 0.0}),
+        ("constant alpha=inf (uniform bins)", {"alpha_schedule": lambda i, n: _FINITE_INF}),
+    ]
+    rows = run_once(lambda: _evaluate(variants, X_tr, y_tr, X_te, y_te))
+    save_result(
+        "ablation_alpha_schedule",
+        render_table(
+            ["alpha schedule", "AUCPRC"],
+            rows,
+            title="Ablation: self-paced factor schedule (SPE10, Credit Fraud surrogate)",
+        ),
+    )
+
+
+def test_ablation_cold_start(run_once):
+    X_tr, _, X_te, y_tr, _, y_te = _data()
+    variants = [
+        ("cold start in vote (reference impl.)", {"include_cold_start": True}),
+        ("cold start excluded (Algorithm 1 line 12)", {"include_cold_start": False}),
+    ]
+    rows = run_once(lambda: _evaluate(variants, X_tr, y_tr, X_te, y_te))
+    save_result(
+        "ablation_cold_start",
+        render_table(
+            ["variant", "AUCPRC"],
+            rows,
+            title="Ablation: cold-start model inclusion (SPE10, Credit Fraud surrogate)",
+        ),
+    )
+
+
+def test_ablation_static_vs_selfpaced_hardness(run_once):
+    """SPE's *dynamic* self-paced hardness vs the closest static prior art:
+    InstanceHardnessThreshold (one-shot hardness filter) and a bagging of
+    one-round self-paced under-samples at fixed alpha — isolating how much
+    the iterative schedule itself contributes."""
+    from repro.core import SelfPacedUnderSampler
+    from repro.imbalance_ensemble import ResampleEnsembleClassifier
+
+    X_tr, _, X_te, y_tr, _, y_te = _data()
+
+    def evaluate(factory):
+        scores = []
+        for run in range(bench_runs()):
+            model = factory(run)
+            model.fit(X_tr, y_tr)
+            scores.append(evaluate_classifier(model, X_te, y_te)["AUCPRC"])
+        return mean_std(scores)
+
+    def tree(run):
+        return DecisionTreeClassifier(max_depth=8, random_state=run)
+
+    rows = run_once(
+        lambda: [
+            [
+                "SPE10 (dynamic self-paced hardness)",
+                evaluate(
+                    lambda run: SelfPacedEnsembleClassifier(
+                        tree(run), n_estimators=10, random_state=run
+                    )
+                ),
+            ],
+            [
+                "bagged one-round self-paced sampler (alpha=0.1)",
+                evaluate(
+                    lambda run: ResampleEnsembleClassifier(
+                        sampler=SelfPacedUnderSampler(alpha=0.1),
+                        estimator=tree(run),
+                        n_estimators=10,
+                        random_state=run,
+                    )
+                ),
+            ],
+            [
+                "IHT + single tree (static hardness filter)",
+                evaluate(
+                    lambda run: _IHTPipeline(tree(run), run)
+                ),
+            ],
+        ]
+    )
+    save_result(
+        "ablation_static_vs_selfpaced",
+        render_table(
+            ["variant", "AUCPRC"],
+            rows,
+            title=(
+                "Ablation: dynamic self-paced hardness vs static hardness "
+                "filtering (Credit Fraud surrogate)"
+            ),
+        ),
+    )
+
+
+class _IHTPipeline:
+    """fit/predict_proba wrapper: IHT resample then fit one classifier."""
+
+    def __init__(self, estimator, seed):
+        from repro.sampling import InstanceHardnessThreshold
+
+        self._sampler = InstanceHardnessThreshold(random_state=seed)
+        self._estimator = estimator
+
+    def fit(self, X, y):
+        X_res, y_res = self._sampler.fit_resample(X, y)
+        self._estimator.fit(X_res, y_res)
+        self.classes_ = self._estimator.classes_
+        return self
+
+    def predict_proba(self, X):
+        return self._estimator.predict_proba(X)
+
+
+def test_ablation_hardness_recompute(run_once):
+    """Freeze hardness at iteration 1 vs recompute per iteration (paper:
+    update hardness in each iteration, Algorithm 1 lines 4-5)."""
+    X_tr, _, X_te, y_tr, _, y_te = _data()
+
+    class FrozenHardness:
+        """Callable returning the first iteration's hardness forever."""
+
+        def __init__(self):
+            self.frozen = None
+
+        def __call__(self, y_true, proba):
+            if self.frozen is None or len(self.frozen) != len(proba):
+                self.frozen = np.abs(proba - y_true)
+            return self.frozen
+
+    variants = [
+        ("recompute each iteration (paper)", {"hardness": "absolute"}),
+        ("frozen after first iteration", {"hardness": FrozenHardness()}),
+    ]
+    rows = run_once(lambda: _evaluate(variants, X_tr, y_tr, X_te, y_te))
+    save_result(
+        "ablation_hardness_recompute",
+        render_table(
+            ["variant", "AUCPRC"],
+            rows,
+            title="Ablation: per-iteration hardness refresh (SPE10, Credit Fraud surrogate)",
+        ),
+    )

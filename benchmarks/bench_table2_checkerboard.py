@@ -1,0 +1,44 @@
+"""Table II — AUCPRC on the 4x4 checkerboard, 8 classifiers x 6 methods.
+
+Paper setup: |P| = 1000, |N| = 10000, cov 0.1·I2, train/test drawn
+independently from the same distribution, 10 runs. Bench scale defaults to
+0.3x the paper size and 2 runs (REPRO_SCALE / REPRO_RUNS adjust).
+"""
+
+from conftest import bench_runs, bench_scale, save_result
+
+from repro.datasets import make_checkerboard
+from repro.experiments import (
+    core_comparison_methods,
+    render_table,
+    run_matrix,
+    table2_classifiers,
+)
+
+
+def test_table2_checkerboard(run_once):
+    scale = bench_scale() * 0.3
+    n_min, n_maj = int(1000 * scale), int(10000 * scale)
+    X_train, y_train = make_checkerboard(n_min, n_maj, random_state=0)
+    X_test, y_test = make_checkerboard(n_min, n_maj, random_state=1000)
+
+    def run():
+        return run_matrix(
+            core_comparison_methods(n_estimators=10),
+            table2_classifiers(mlp_epochs=15, svc_iter=6000),
+            X_train,
+            y_train,
+            X_test,
+            y_test,
+            n_runs=bench_runs(),
+            seed=0,
+        )
+
+    result = run_once(run)
+    save_result(
+        "table2_checkerboard",
+        result.render(
+            "Table II: generalized performance (AUCPRC & co) on checkerboard "
+            f"(|P|={n_min}, |N|={n_maj}, {bench_runs()} runs)"
+        ),
+    )

@@ -1,0 +1,41 @@
+"""Shared benchmark plumbing.
+
+Every bench regenerates one table or figure of the paper at laptop scale,
+prints it, and writes it to ``benchmarks/results/<name>.txt``. Scale knobs:
+
+* ``REPRO_SCALE``  — dataset-size multiplier (default 1.0 = quick bench scale;
+  raise toward paper scale when you have the time budget);
+* ``REPRO_RUNS``   — independent runs per cell (paper uses 10; default 2).
+"""
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+def bench_runs() -> int:
+    return int(os.environ.get("REPRO_RUNS", "2"))
+
+
+def save_result(name: str, text: str) -> None:
+    """Print a reproduction artefact and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run the workload exactly once under pytest-benchmark timing."""
+
+    def runner(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

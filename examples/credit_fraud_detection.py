@@ -1,0 +1,68 @@
+"""Credit-card fraud detection — the paper's flagship real-world scenario.
+
+Follows the paper's protocol end to end on the credit-fraud surrogate:
+stratified 60/20/20 split, SPE against the Table IV baselines (RandUnder,
+Clean, Easy, Cascade), evaluated with AUCPRC / F1 / G-mean / MCC.
+
+Run:  python examples/credit_fraud_detection.py [n_samples]
+"""
+
+import sys
+
+from repro import SelfPacedEnsembleClassifier, clone
+from repro.datasets import make_credit_fraud
+from repro.experiments import render_table
+from repro.imbalance_ensemble import BalanceCascadeClassifier, EasyEnsembleClassifier
+from repro.metrics import evaluate_classifier
+from repro.model_selection import train_valid_test_split
+from repro.sampling import NeighbourhoodCleaningRule, RandomUnderSampler
+from repro.tree import DecisionTreeClassifier
+
+
+def main(n_samples: int = 40_000) -> None:
+    # IR 120 keeps enough minority samples at example scale; the real
+    # dataset's 578.88:1 is one flag away (imbalance_ratio=578.88).
+    X, y = make_credit_fraud(
+        n_samples=n_samples, imbalance_ratio=120.0, random_state=7
+    )
+    X_tr, X_va, X_te, y_tr, y_va, y_te = train_valid_test_split(X, y, random_state=7)
+    print(
+        f"train={len(y_tr)} (frauds={int(y_tr.sum())})  "
+        f"valid={len(y_va)}  test={len(y_te)} (frauds={int(y_te.sum())})"
+    )
+
+    base = DecisionTreeClassifier(max_depth=10, random_state=0)
+    rows = []
+
+    # -- data-level baselines ------------------------------------------
+    for name, sampler in (
+        ("RandUnder", RandomUnderSampler(random_state=0)),
+        ("Clean (NCR)", NeighbourhoodCleaningRule()),
+    ):
+        X_res, y_res = sampler.fit_resample(X_tr, y_tr)
+        model = clone(base).fit(X_res, y_res)
+        scores = evaluate_classifier(model, X_te, y_te)
+        rows.append([name, *(f"{scores[m]:.3f}" for m in scores)])
+
+    # -- ensemble methods ----------------------------------------------
+    for name, ensemble in (
+        ("Easy10", EasyEnsembleClassifier(clone(base), n_estimators=10, random_state=0)),
+        ("Cascade10", BalanceCascadeClassifier(clone(base), n_estimators=10, random_state=0)),
+        ("SPE10", SelfPacedEnsembleClassifier(clone(base), n_estimators=10, random_state=0)),
+    ):
+        ensemble.fit(X_tr, y_tr)
+        scores = evaluate_classifier(ensemble, X_te, y_te)
+        rows.append([name, *(f"{scores[m]:.3f}" for m in scores)])
+
+    print()
+    print(
+        render_table(
+            ["Method", "AUCPRC", "F1", "GM", "MCC"],
+            rows,
+            title="Fraud detection on the credit-fraud surrogate (DT base)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 40_000)

@@ -1,0 +1,63 @@
+"""Network-intrusion detection on the KDD-style traffic simulator.
+
+Reproduces the paper's two KDDCUP pairings — DOS vs PRB (moderate IR) and
+DOS vs R2L (extreme IR ~3449:1) — with AdaBoost10 as the base learner,
+comparing RandUnder / Easy / Cascade / SPE exactly as Table IV does.
+
+Run:  python examples/network_intrusion_kdd.py
+"""
+
+from repro import SelfPacedEnsembleClassifier, clone
+from repro.datasets import make_kddcup
+from repro.ensemble import AdaBoostClassifier
+from repro.experiments import render_table
+from repro.imbalance_ensemble import BalanceCascadeClassifier, EasyEnsembleClassifier
+from repro.metrics import evaluate_classifier
+from repro.model_selection import train_valid_test_split
+from repro.sampling import RandomUnderSampler
+from repro.tree import DecisionTreeClassifier
+
+
+def run_task(task: str, n_samples: int, imbalance_ratio: float) -> None:
+    X, y = make_kddcup(
+        task, n_samples=n_samples, imbalance_ratio=imbalance_ratio, random_state=11
+    )
+    X_tr, _, X_te, y_tr, _, y_te = train_valid_test_split(X, y, random_state=11)
+    base = AdaBoostClassifier(
+        estimator=DecisionTreeClassifier(max_depth=3),
+        n_estimators=10,
+        random_state=0,
+    )
+
+    rows = []
+    X_r, y_r = RandomUnderSampler(random_state=0).fit_resample(X_tr, y_tr)
+    model = clone(base).fit(X_r, y_r)
+    scores = evaluate_classifier(model, X_te, y_te)
+    rows.append(["RandUnder", *(f"{scores[m]:.3f}" for m in scores)])
+
+    for name, ensemble in (
+        ("Easy10", EasyEnsembleClassifier(DecisionTreeClassifier(max_depth=3), n_estimators=10, random_state=0)),
+        ("Cascade10", BalanceCascadeClassifier(clone(base), n_estimators=10, random_state=0)),
+        ("SPE10", SelfPacedEnsembleClassifier(clone(base), n_estimators=10, random_state=0)),
+    ):
+        ensemble.fit(X_tr, y_tr)
+        scores = evaluate_classifier(ensemble, X_te, y_te)
+        rows.append([name, *(f"{scores[m]:.3f}" for m in scores)])
+
+    print(
+        render_table(
+            ["Method", "AUCPRC", "F1", "GM", "MCC"],
+            rows,
+            title=f"\nKDDCUP ({task}), n={n_samples}, IR={imbalance_ratio} — AdaBoost10 base",
+        )
+    )
+
+
+def main() -> None:
+    # Bench-scale IRs; pass the paper's 94.48 / 3448.82 at full scale.
+    run_task("dos_vs_prb", n_samples=30_000, imbalance_ratio=94.48)
+    run_task("dos_vs_r2l", n_samples=40_000, imbalance_ratio=400.0)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Mobile-money fraud pipeline on the PaySim-style simulator.
+
+Demonstrates the paper's "Payment Simulation" scenario: simulate
+transactions with the agent-based simulator, then boost a GBDT (the
+paper's strongest base learner on this task) with SPE. Includes the
+GBDT-with-validation early-stopping idiom the paper mentions, and a
+decision-threshold sweep on the validation split.
+
+Run:  python examples/payment_fraud_pipeline.py [n_transactions]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import SelfPacedEnsembleClassifier
+from repro.datasets import PAYSIM_FEATURE_NAMES, PaymentSimulator
+from repro.ensemble import GradientBoostingClassifier
+from repro.metrics import evaluate_classifier, f1_score
+from repro.model_selection import train_valid_test_split
+
+
+def main(n_transactions: int = 40_000) -> None:
+    # --- simulate one month of mobile-money traffic --------------------
+    simulator = PaymentSimulator(
+        n_customers=2000,
+        fraud_rate=1 / 120.0,          # example scale; paper IR is 773.70
+        partial_drain_fraction=0.3,    # harder frauds: partial balance theft
+        random_state=3,
+    )
+    X, y = simulator.simulate(n_transactions)
+    print(f"simulated {len(y)} transactions, {int(y.sum())} frauds")
+    print(f"schema: {PAYSIM_FEATURE_NAMES}")
+
+    X_tr, X_va, X_te, y_tr, y_va, y_te = train_valid_test_split(X, y, random_state=3)
+
+    # --- plain GBDT with early stopping (the paper's strong baseline) --
+    gbdt = GradientBoostingClassifier(
+        n_estimators=200,
+        max_depth=5,
+        learning_rate=0.2,
+        early_stopping_rounds=10,
+        random_state=0,
+    )
+    gbdt.fit(X_tr, y_tr, eval_set=(X_va, y_va))
+    print(f"\nplain GBDT stopped after {len(gbdt.trees_)} rounds")
+    print("plain GBDT:", {k: round(v, 3) for k, v in evaluate_classifier(gbdt, X_te, y_te).items()})
+
+    # --- SPE-boosted GBDT ----------------------------------------------
+    spe = SelfPacedEnsembleClassifier(
+        estimator=GradientBoostingClassifier(
+            n_estimators=10, max_depth=5, learning_rate=0.3, random_state=0
+        ),
+        n_estimators=10,
+        random_state=0,
+    ).fit(X_tr, y_tr)
+    print("SPE(GBDT10):", {k: round(v, 3) for k, v in evaluate_classifier(spe, X_te, y_te).items()})
+
+    # --- pick an operating threshold on the validation split -----------
+    proba_va = spe.predict_proba(X_va)[:, 1]
+    thresholds = np.linspace(0.1, 0.9, 17)
+    f1s = [f1_score(y_va, (proba_va >= t).astype(int)) for t in thresholds]
+    best_t = float(thresholds[int(np.argmax(f1s))])
+    proba_te = spe.predict_proba(X_te)[:, 1]
+    print(f"\nvalidation-tuned threshold: {best_t:.2f}")
+    print(
+        "test F1 at 0.50:",
+        round(f1_score(y_te, (proba_te >= 0.5).astype(int)), 3),
+        "| at tuned threshold:",
+        round(f1_score(y_te, (proba_te >= best_t).astype(int)), 3),
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 40_000)

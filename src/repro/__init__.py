@@ -1,0 +1,44 @@
+"""repro — full reproduction of "Self-paced Ensemble for Highly Imbalanced
+Massive Data Classification" (Liu et al., ICDE 2020).
+
+The package implements the paper's contribution
+(:class:`repro.core.SelfPacedEnsembleClassifier`) together with every
+substrate its evaluation depends on: canonical classifiers, distance-based
+re-samplers, baseline imbalance ensembles, evaluation metrics, and
+generators/simulators for all six datasets.
+
+Quickstart
+----------
+>>> from repro import SelfPacedEnsembleClassifier
+>>> from repro.datasets import make_checkerboard
+>>> from repro.metrics import evaluate_classifier
+>>> X, y = make_checkerboard(n_minority=200, n_majority=2000, random_state=0)
+>>> clf = SelfPacedEnsembleClassifier(n_estimators=10, random_state=0).fit(X, y)
+>>> scores = evaluate_classifier(clf, X, y)   # AUCPRC / F1 / GM / MCC
+"""
+
+from .base import BaseEstimator, ClassifierMixin, clone, is_classifier
+from .core import SelfPacedEnsembleClassifier
+from .exceptions import (
+    ConvergenceWarning,
+    DataValidationError,
+    NotEnoughSamplesError,
+    NotFittedError,
+    ReproError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BaseEstimator",
+    "ClassifierMixin",
+    "clone",
+    "is_classifier",
+    "SelfPacedEnsembleClassifier",
+    "ConvergenceWarning",
+    "DataValidationError",
+    "NotEnoughSamplesError",
+    "NotFittedError",
+    "ReproError",
+    "__version__",
+]

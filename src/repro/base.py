@@ -1,0 +1,134 @@
+"""Base estimator machinery: parameter introspection, cloning, mixins.
+
+This mirrors the small slice of the scikit-learn estimator contract that the
+rest of the library relies on:
+
+* ``get_params`` / ``set_params`` driven by the ``__init__`` signature,
+* :func:`clone` producing an unfitted copy with identical hyper-parameters,
+* ``ClassifierMixin.score`` (accuracy) and the ``fit/predict/predict_proba``
+  conventions used by every classifier in :mod:`repro`.
+
+Fitted attributes always carry a trailing underscore (``classes_``,
+``estimators_`` ...) so :func:`repro.utils.validation.check_is_fitted` can
+tell fitted estimators apart from fresh ones.
+"""
+
+from __future__ import annotations
+
+import copy
+import inspect
+from typing import Any, Dict, List
+
+__all__ = ["BaseEstimator", "ClassifierMixin", "SamplerMixin", "clone", "is_classifier"]
+
+
+class BaseEstimator:
+    """Base class providing hyper-parameter introspection.
+
+    Sub-classes must list every hyper-parameter explicitly in ``__init__``
+    (no ``*args`` / ``**kwargs``) and store each one on ``self`` under the
+    same name, which is what makes :func:`clone` and grid-style parameter
+    manipulation possible.
+    """
+
+    @classmethod
+    def _get_param_names(cls) -> List[str]:
+        init = cls.__init__
+        if init is object.__init__:
+            return []
+        sig = inspect.signature(init)
+        names = []
+        for name, param in sig.parameters.items():
+            if name == "self":
+                continue
+            if param.kind in (param.VAR_POSITIONAL, param.VAR_KEYWORD):
+                raise TypeError(
+                    f"{cls.__name__}.__init__ must use explicit parameters, "
+                    f"found *{name}"
+                )
+            names.append(name)
+        return sorted(names)
+
+    def get_params(self, deep: bool = True) -> Dict[str, Any]:
+        """Return hyper-parameters as a dict.
+
+        With ``deep=True`` nested estimator parameters are included using the
+        ``component__param`` convention.
+        """
+        out: Dict[str, Any] = {}
+        for name in self._get_param_names():
+            value = getattr(self, name)
+            out[name] = value
+            if deep and hasattr(value, "get_params") and not inspect.isclass(value):
+                for sub_name, sub_value in value.get_params(deep=True).items():
+                    out[f"{name}__{sub_name}"] = sub_value
+        return out
+
+    def set_params(self, **params: Any) -> "BaseEstimator":
+        """Set hyper-parameters; supports the nested ``a__b`` convention."""
+        if not params:
+            return self
+        valid = set(self._get_param_names())
+        nested: Dict[str, Dict[str, Any]] = {}
+        for key, value in params.items():
+            name, _, sub_key = key.partition("__")
+            if name not in valid:
+                raise ValueError(
+                    f"Invalid parameter {name!r} for estimator "
+                    f"{type(self).__name__}. Valid parameters: {sorted(valid)}"
+                )
+            if sub_key:
+                nested.setdefault(name, {})[sub_key] = value
+            else:
+                setattr(self, name, value)
+        for name, sub_params in nested.items():
+            getattr(self, name).set_params(**sub_params)
+        return self
+
+    def __repr__(self) -> str:
+        params = ", ".join(
+            f"{k}={v!r}" for k, v in sorted(self.get_params(deep=False).items())
+        )
+        return f"{type(self).__name__}({params})"
+
+
+class ClassifierMixin:
+    """Mixin adding ``score`` (accuracy) and marking the estimator type."""
+
+    _estimator_type = "classifier"
+
+    def score(self, X, y) -> float:
+        """Mean accuracy of ``self.predict(X)`` w.r.t. ``y``."""
+        import numpy as np
+
+        y = np.asarray(y)
+        return float(np.mean(self.predict(X) == y))
+
+
+class SamplerMixin:
+    """Mixin marking re-samplers (objects exposing ``fit_resample``)."""
+
+    _estimator_type = "sampler"
+
+
+def clone(estimator: Any) -> Any:
+    """Return an unfitted copy of ``estimator`` with the same parameters.
+
+    Hyper-parameter values are deep-copied so the clone never shares mutable
+    state (e.g. nested base estimators) with the original.
+    """
+    if isinstance(estimator, (list, tuple)):
+        return type(estimator)(clone(e) for e in estimator)
+    if not hasattr(estimator, "get_params"):
+        raise TypeError(
+            f"Cannot clone object of type {type(estimator).__name__}: "
+            "it does not implement get_params()."
+        )
+    params = estimator.get_params(deep=False)
+    params = {k: copy.deepcopy(v) for k, v in params.items()}
+    return type(estimator)(**params)
+
+
+def is_classifier(estimator: Any) -> bool:
+    """True when ``estimator`` follows the classifier contract."""
+    return getattr(estimator, "_estimator_type", None) == "classifier"

@@ -1,0 +1,39 @@
+"""The paper's primary contribution: Self-paced Ensemble (SPE)."""
+
+from .binning import (
+    HardnessBins,
+    allocate_bin_samples,
+    cut_hardness_bins,
+    self_paced_bin_weights,
+)
+from .hardness import (
+    HARDNESS_FUNCTIONS,
+    absolute_error,
+    cross_entropy,
+    resolve_hardness,
+    squared_error,
+)
+from .sampler import SelfPacedUnderSampler
+from .self_paced import (
+    SelfPacedEnsembleClassifier,
+    linear_self_paced_factor,
+    self_paced_under_sample,
+    tan_self_paced_factor,
+)
+
+__all__ = [
+    "HardnessBins",
+    "allocate_bin_samples",
+    "cut_hardness_bins",
+    "self_paced_bin_weights",
+    "HARDNESS_FUNCTIONS",
+    "absolute_error",
+    "cross_entropy",
+    "resolve_hardness",
+    "squared_error",
+    "SelfPacedEnsembleClassifier",
+    "SelfPacedUnderSampler",
+    "linear_self_paced_factor",
+    "self_paced_under_sample",
+    "tan_self_paced_factor",
+]

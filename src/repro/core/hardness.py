@@ -1,0 +1,80 @@
+"""Classification hardness functions (paper Section IV).
+
+Hardness ``H(x, y, F)`` is any *decomposable* error of a trained classifier
+``F`` on a sample: the dataset-level error must be the sum of per-sample
+hardness values. The paper evaluates three (Section VI-C4, Fig 8):
+
+* Absolute Error   ``H_AE = |F(x) − y|``   (the default everywhere)
+* Squared Error    ``H_SE = (F(x) − y)²``  (Brier score)
+* Cross Entropy    ``H_CE = −y·log F(x) − (1−y)·log(1−F(x))``
+
+All take the true labels and the ensemble's positive-class probability and
+return a non-negative per-sample array. Custom callables with the same
+signature plug straight into :class:`SelfPacedEnsembleClassifier`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Union
+
+import numpy as np
+
+__all__ = [
+    "absolute_error",
+    "squared_error",
+    "cross_entropy",
+    "HARDNESS_FUNCTIONS",
+    "resolve_hardness",
+]
+
+HardnessFunction = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+_EPS = 1e-12
+
+
+def absolute_error(y_true: np.ndarray, proba_pos: np.ndarray) -> np.ndarray:
+    """``|F(x) − y|`` — bounded in [0, 1]."""
+    return np.abs(proba_pos - y_true)
+
+
+def squared_error(y_true: np.ndarray, proba_pos: np.ndarray) -> np.ndarray:
+    """``(F(x) − y)²`` (Brier score) — bounded in [0, 1]."""
+    diff = proba_pos - y_true
+    return diff * diff
+
+
+def cross_entropy(y_true: np.ndarray, proba_pos: np.ndarray) -> np.ndarray:
+    """``−y·log F(x) − (1−y)·log(1−F(x))`` — unbounded above.
+
+    Probabilities are clipped away from {0, 1} so noise samples get large
+    but finite hardness (and equal-width binning over the observed range
+    stays well defined).
+    """
+    p = np.clip(proba_pos, _EPS, 1.0 - _EPS)
+    return -(y_true * np.log(p) + (1.0 - y_true) * np.log(1.0 - p))
+
+
+HARDNESS_FUNCTIONS: Dict[str, HardnessFunction] = {
+    "absolute": absolute_error,
+    "squared": squared_error,
+    "cross_entropy": cross_entropy,
+}
+
+#: paper-style aliases
+HARDNESS_FUNCTIONS["AE"] = absolute_error
+HARDNESS_FUNCTIONS["SE"] = squared_error
+HARDNESS_FUNCTIONS["CE"] = cross_entropy
+
+
+def resolve_hardness(hardness: Union[str, HardnessFunction]) -> HardnessFunction:
+    """Resolve a hardness name or pass through a custom callable."""
+    if callable(hardness):
+        return hardness
+    try:
+        return HARDNESS_FUNCTIONS[hardness]
+    except KeyError:
+        raise ValueError(
+            f"Unknown hardness function {hardness!r}; expected one of "
+            f"{sorted(set(HARDNESS_FUNCTIONS))} or a callable "
+            "(y_true, proba_pos) -> hardness"
+        ) from None

@@ -1,0 +1,299 @@
+"""Self-paced Ensemble (paper Algorithm 1) — the core contribution.
+
+Training pipeline (Fig 1 of the paper):
+
+1. cold start: fit ``f₀`` on a random balanced subset;
+2. for ``i = 1 .. n−1``:
+   a. hardness of every *majority* sample w.r.t. the running ensemble
+      ``F_i = mean(f₀ .. f_{i−1})``;
+   b. cut the majority into ``k`` equal-width hardness bins;
+   c. self-paced factor ``α = tan(π/2 · i/(n−1))``;
+   d. sample ``|P| · p_ℓ/Σp`` majority points from bin ℓ, ``p_ℓ = 1/(h_ℓ+α)``;
+   e. fit ``f_i`` on sampled majority ∪ all minority;
+3. predict with the average probability of all base models.
+
+Early iterations (α≈0) harmonise hardness — borderline samples dominate;
+late iterations (α→∞) sample every bin equally — a "skeleton" of easy
+samples is kept, preventing the outlier-overfitting that degrades
+BalanceCascade (paper Fig 5/6).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..base import BaseEstimator, ClassifierMixin, clone
+from ..ensemble.bagging import average_ensemble_proba
+from ..tree import DecisionTreeClassifier
+from ..utils.validation import (
+    check_array,
+    check_binary_labels,
+    check_is_fitted,
+    check_random_state,
+    check_X_y,
+)
+from .binning import (
+    HardnessBins,
+    allocate_bin_samples,
+    cut_hardness_bins,
+    self_paced_bin_weights,
+)
+from .hardness import resolve_hardness
+
+__all__ = [
+    "SelfPacedEnsembleClassifier",
+    "tan_self_paced_factor",
+    "linear_self_paced_factor",
+    "self_paced_under_sample",
+]
+
+
+def tan_self_paced_factor(iteration: int, n_iterations: int) -> float:
+    """``α = tan(π/2 · i / n)`` growth schedule (paper line 7 of Algorithm 1).
+
+    ``i = 0`` gives α = 0 (pure hardness harmonise); the final iteration
+    evaluates tan at π/2 — effectively ∞, flattening the bin weights.
+    Floating-point rounding can push ``π/2 · i/n`` a hair past π/2 where
+    tan wraps negative, so the result is clamped to a large positive value.
+    """
+    if n_iterations <= 0:
+        return 0.0
+    value = float(np.tan(np.pi / 2.0 * min(iteration / n_iterations, 1.0)))
+    return value if value >= 0.0 else 1e16
+
+
+def linear_self_paced_factor(iteration: int, n_iterations: int) -> float:
+    """Linear α growth in [0, 1] — an ablation alternative to ``tan``."""
+    if n_iterations <= 0:
+        return 0.0
+    return iteration / n_iterations
+
+
+_SCHEDULES = {"tan": tan_self_paced_factor, "linear": linear_self_paced_factor}
+
+
+def self_paced_under_sample(
+    hardness: np.ndarray,
+    k_bins: int,
+    alpha: float,
+    n_samples: int,
+    rng: np.random.RandomState,
+) -> Tuple[np.ndarray, HardnessBins]:
+    """Indices of a self-paced under-sample of the given hardness population.
+
+    Returns ``(selected_indices, bins)``; exposed as a standalone function so
+    the Fig 3 bench (bin population / contribution under different α) can
+    drive it directly.
+    """
+    bins = cut_hardness_bins(hardness, k_bins)
+    if bins.degenerate:
+        n = min(n_samples, hardness.size)
+        return rng.choice(hardness.size, size=n, replace=False), bins
+    weights = self_paced_bin_weights(bins, alpha)
+    counts = allocate_bin_samples(weights, bins.populations, n_samples)
+    chosen: List[np.ndarray] = []
+    for b in np.flatnonzero(counts > 0):
+        members = np.flatnonzero(bins.assignments == b)
+        chosen.append(rng.choice(members, size=int(counts[b]), replace=False))
+    if not chosen:
+        n = min(n_samples, hardness.size)
+        return rng.choice(hardness.size, size=n, replace=False), bins
+    return np.concatenate(chosen), bins
+
+
+class SelfPacedEnsembleClassifier(BaseEstimator, ClassifierMixin):
+    """Self-paced Ensemble (SPE) for highly imbalanced binary classification.
+
+    Parameters
+    ----------
+    estimator : classifier, default ``DecisionTreeClassifier()``
+        Any probabilistic classifier following the library's API. The paper
+        demonstrates C4.5, KNN, SVM, MLP, AdaBoost, Bagging, Random Forest
+        and GBDT.
+    n_estimators : int, default 10
+        Number of base models ``n``. Training cost is ``n`` fits on
+        ``2|P|``-sized subsets — the efficiency headline of Table V.
+    k_bins : int, default 20
+        Number of hardness bins ``k``. The paper finds performance stable
+        for ``k ≥ 10`` (Fig 8).
+    hardness : str or callable, default ``"absolute"``
+        Hardness function ``H``; one of ``"absolute"``/``"squared"``/
+        ``"cross_entropy"`` (aliases ``"AE"``/``"SE"``/``"CE"``) or any
+        ``(y_true, proba_pos) -> np.ndarray``.
+    alpha_schedule : str or callable, default ``"tan"``
+        Growth of the self-paced factor; ``"tan"`` is the paper's
+        ``tan(iπ/2n)``; a callable receives ``(iteration, n_iterations)``.
+    include_cold_start : bool, default True
+        Whether the random-under-sampling cold-start model ``f₀`` joins the
+        final vote (the released reference implementation includes it;
+        Algorithm 1's summary line formally averages ``f₁..f_n``).
+    record_bins : bool, default False
+        Keep per-iteration :class:`HardnessBins` and α in ``bin_history_``
+        (used by the Fig 3 reproduction).
+    random_state : int / RandomState, optional
+
+    Attributes
+    ----------
+    estimators_ : fitted base models.
+    n_training_samples_ : total training samples over all base fits.
+    train_curve_ : per-iteration eval AUCPRC (only with ``fit(..., eval_set)``).
+    bin_history_ : list of ``(alpha, majority_bins, subset_bins)`` tuples
+        (only with ``record_bins=True``) — the Fig 3 data.
+
+    Examples
+    --------
+    >>> from repro.core import SelfPacedEnsembleClassifier
+    >>> from repro.datasets import make_checkerboard
+    >>> X, y = make_checkerboard(n_minority=100, n_majority=1000, random_state=0)
+    >>> spe = SelfPacedEnsembleClassifier(n_estimators=10, random_state=0).fit(X, y)
+    >>> proba = spe.predict_proba(X)[:, 1]
+    """
+
+    def __init__(
+        self,
+        estimator=None,
+        n_estimators: int = 10,
+        k_bins: int = 20,
+        hardness: Union[str, Callable] = "absolute",
+        alpha_schedule: Union[str, Callable] = "tan",
+        include_cold_start: bool = True,
+        record_bins: bool = False,
+        random_state=None,
+    ):
+        self.estimator = estimator
+        self.n_estimators = n_estimators
+        self.k_bins = k_bins
+        self.hardness = hardness
+        self.alpha_schedule = alpha_schedule
+        self.include_cold_start = include_cold_start
+        self.record_bins = record_bins
+        self.random_state = random_state
+
+    # ------------------------------------------------------------------ #
+    def _make_base(self, rng: np.random.RandomState):
+        model = (
+            DecisionTreeClassifier() if self.estimator is None else clone(self.estimator)
+        )
+        if hasattr(model, "random_state"):
+            model.random_state = rng.randint(np.iinfo(np.int32).max)
+        return model
+
+    def _resolve_schedule(self) -> Callable[[int, int], float]:
+        if callable(self.alpha_schedule):
+            return self.alpha_schedule
+        try:
+            return _SCHEDULES[self.alpha_schedule]
+        except KeyError:
+            raise ValueError(
+                f"Unknown alpha_schedule {self.alpha_schedule!r}; expected one "
+                f"of {sorted(_SCHEDULES)} or a callable (i, n) -> alpha"
+            ) from None
+
+    def _proba_pos(self, model, X: np.ndarray) -> np.ndarray:
+        """Positive-class probability, robust to single-class base fits."""
+        proba = model.predict_proba(X)
+        classes = list(np.asarray(model.classes_).tolist())
+        if 1 in classes:
+            return proba[:, classes.index(1)]
+        return np.zeros(X.shape[0])
+
+    # ------------------------------------------------------------------ #
+    def fit(self, X, y, eval_set: Optional[Tuple] = None) -> "SelfPacedEnsembleClassifier":
+        """Fit the ensemble.
+
+        With ``eval_set=(X_e, y_e)`` the running ensemble's AUCPRC on the
+        eval data is recorded after every iteration in ``train_curve_``
+        (the paper's Fig 5 training curves).
+        """
+        if self.n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        if self.k_bins < 1:
+            raise ValueError("k_bins must be >= 1")
+        hardness_fn = resolve_hardness(self.hardness)
+        schedule = self._resolve_schedule()
+        X, y = check_X_y(X, y)
+        y = check_binary_labels(y)
+        rng = check_random_state(self.random_state)
+        self.classes_ = np.unique(y)
+        maj_idx = np.flatnonzero(y == 0)
+        min_idx = np.flatnonzero(y == 1)
+        if len(min_idx) == 0 or len(maj_idx) == 0:
+            raise ValueError("SPE requires both classes present (0=majority, 1=minority)")
+        X_maj = X[maj_idx]
+        X_min = X[min_idx]
+        n_min = len(min_idx)
+
+        self.estimators_: List = []
+        self.n_training_samples_ = 0
+        self.bin_history_: List[Tuple[float, HardnessBins]] = []
+        self.train_curve_: List[float] = []
+        if eval_set is not None:
+            X_eval = check_array(np.asarray(eval_set[0], dtype=float))
+            y_eval = np.asarray(eval_set[1])
+            proba_eval = np.zeros(X_eval.shape[0])
+
+        def train_one(X_sub_maj: np.ndarray) -> None:
+            """Fit one base model on sampled majority ∪ all minority."""
+            X_train = np.vstack([X_sub_maj, X_min])
+            y_train = np.concatenate(
+                [np.zeros(len(X_sub_maj), dtype=int), np.ones(n_min, dtype=int)]
+            )
+            perm = rng.permutation(len(y_train))
+            model = self._make_base(rng)
+            model.fit(X_train[perm], y_train[perm])
+            self.estimators_.append(model)
+            self.n_training_samples_ += len(y_train)
+
+        # --- cold start: random balanced subset (Algorithm 1, line 2) ----
+        cold = rng.choice(maj_idx, size=min(n_min, len(maj_idx)), replace=False)
+        train_one(X[cold])
+        proba_maj = self._proba_pos(self.estimators_[0], X_maj)
+        if eval_set is not None:
+            proba_eval = self._proba_pos(self.estimators_[0], X_eval)
+            self._record_eval(y_eval, proba_eval)
+
+        # --- self-paced iterations (Algorithm 1, lines 3-11) --------------
+        n_iter = self.n_estimators - 1
+        y_maj_zeros = np.zeros(len(maj_idx))
+        for i in range(1, self.n_estimators):
+            hardness = hardness_fn(y_maj_zeros, proba_maj)
+            alpha = schedule(i, n_iter)
+            selected, bins = self_paced_under_sample(
+                hardness, self.k_bins, alpha, n_min, rng
+            )
+            if self.record_bins:
+                sub_bins = cut_hardness_bins(hardness[selected], self.k_bins)
+                self.bin_history_.append((alpha, bins, sub_bins))
+            train_one(X_maj[selected])
+            # Incremental running-average update (Algorithm 1, line 4).
+            n_models = len(self.estimators_)
+            latest = self._proba_pos(self.estimators_[-1], X_maj)
+            proba_maj = (proba_maj * (n_models - 1) + latest) / n_models
+            if eval_set is not None:
+                latest_eval = self._proba_pos(self.estimators_[-1], X_eval)
+                proba_eval = (proba_eval * (n_models - 1) + latest_eval) / n_models
+                self._record_eval(y_eval, proba_eval)
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def _record_eval(self, y_eval: np.ndarray, proba_eval: np.ndarray) -> None:
+        from ..metrics import average_precision_score
+
+        self.train_curve_.append(float(average_precision_score(y_eval, proba_eval)))
+
+    # ------------------------------------------------------------------ #
+    def _voting_estimators(self) -> List:
+        if self.include_cold_start or len(self.estimators_) == 1:
+            return self.estimators_
+        return self.estimators_[1:]
+
+    def predict_proba(self, X) -> np.ndarray:
+        check_is_fitted(self, ["estimators_"])
+        X = check_array(X)
+        return average_ensemble_proba(self._voting_estimators(), X, self.classes_)
+
+    def predict(self, X) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]

@@ -1,0 +1,52 @@
+"""Dataset generators and simulators for every task in the paper.
+
+Synthetic (paper Section VI-A): checkerboard, disjoint/overlapping Gaussians.
+
+Real-world surrogates (Section VI-B, Table III; see DESIGN.md for the
+substitution rationale): credit fraud, PaySim-style payment simulation,
+record-linkage comparison patterns, KDD-style network intrusion.
+"""
+
+from .checkerboard import checkerboard_grid, make_checkerboard
+from .credit_fraud import make_credit_fraud
+from .kddcup import KDD_CATEGORICAL, KDD_FEATURE_NAMES, PAPER_TASKS, make_kddcup
+from .missing import inject_missing_values
+from .overlap import make_disjoint_gaussians, make_overlapping_gaussians
+from .paysim import (
+    FEATURE_NAMES as PAYSIM_FEATURE_NAMES,
+    PaymentSimulator,
+    TYPE_NAMES as PAYSIM_TYPE_NAMES,
+    make_payment_simulation,
+)
+from .record_linkage import (
+    RL_FEATURE_NAMES,
+    dice_bigram_similarity,
+    generate_person_records,
+    make_record_linkage,
+)
+from .registry import DATASETS, Dataset, dataset_statistics, load_dataset
+
+__all__ = [
+    "checkerboard_grid",
+    "make_checkerboard",
+    "make_credit_fraud",
+    "KDD_CATEGORICAL",
+    "KDD_FEATURE_NAMES",
+    "PAPER_TASKS",
+    "make_kddcup",
+    "inject_missing_values",
+    "make_disjoint_gaussians",
+    "make_overlapping_gaussians",
+    "PAYSIM_FEATURE_NAMES",
+    "PAYSIM_TYPE_NAMES",
+    "PaymentSimulator",
+    "make_payment_simulation",
+    "RL_FEATURE_NAMES",
+    "dice_bigram_similarity",
+    "generate_person_records",
+    "make_record_linkage",
+    "DATASETS",
+    "Dataset",
+    "dataset_statistics",
+    "load_dataset",
+]

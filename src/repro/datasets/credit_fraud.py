@@ -1,0 +1,124 @@
+"""Credit-card fraud surrogate (paper's "Credit Fraud", Table III).
+
+The original Kaggle dataset (Dal Pozzolo et al., 2018) has 284 807 European
+card transactions over two days with 492 frauds (IR 578.88:1) and 30
+numerical features: 28 anonymised PCA components ``V1..V28`` plus ``Time``
+and ``Amount``.
+
+This surrogate reproduces the properties the paper's experiments exercise:
+
+* numerical-only features with PCA-like decaying variance,
+* extreme imbalance with a minority that forms a few weak clusters shifted
+  along the leading components (fraud modi operandi),
+* a fraction of frauds statistically indistinguishable from genuine
+  transactions (class overlap / label noise), so no method can reach a
+  perfect score and noise-sensitive methods degrade,
+* day/night bimodal ``Time`` and heavy-tailed ``Amount``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..utils.validation import check_random_state
+
+__all__ = ["make_credit_fraud"]
+
+#: paper-scale defaults (Table III)
+PAPER_N_SAMPLES = 284_807
+PAPER_IMBALANCE_RATIO = 578.88
+
+
+def make_credit_fraud(
+    n_samples: int = 50_000,
+    imbalance_ratio: float = PAPER_IMBALANCE_RATIO,
+    n_pca_components: int = 28,
+    n_fraud_clusters: int = 3,
+    fraud_shift: float = 3.5,
+    overlap_fraction: float = 0.15,
+    random_state=None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Generate the credit-fraud surrogate.
+
+    Parameters
+    ----------
+    n_samples : total number of transactions.
+    imbalance_ratio : ``|N| / |P|``; the paper's value by default.
+    n_fraud_clusters : number of fraud modi operandi (minority clusters).
+    fraud_shift : cluster shift in units of each component's std deviation.
+    overlap_fraction : fraction of frauds drawn from the *genuine*
+        distribution — irreducible noise that punishes overfitting methods.
+
+    Returns ``(X, y)``; columns are ``V1..V{n_pca_components}``, ``Time``,
+    ``Amount``; fraud is class 1.
+    """
+    if n_samples < 10:
+        raise ValueError("n_samples too small")
+    if not 0.0 <= overlap_fraction <= 1.0:
+        raise ValueError("overlap_fraction must be in [0, 1]")
+    rng = check_random_state(random_state)
+    n_fraud = max(1, int(round(n_samples / (1.0 + imbalance_ratio))))
+    n_genuine = n_samples - n_fraud
+
+    # PCA-like spectrum: variances decay geometrically as in real PCA tails.
+    stds = 1.8 * (0.88 ** np.arange(n_pca_components)) + 0.15
+
+    def genuine_components(n: int) -> np.ndarray:
+        return rng.normal(0.0, 1.0, size=(n, n_pca_components)) * stds
+
+    X_gen = genuine_components(n_genuine)
+
+    # Fraud clusters: shifted in a random low-dimensional direction each.
+    n_overlap = int(round(overlap_fraction * n_fraud))
+    n_clustered = n_fraud - n_overlap
+    cluster_sizes = np.full(n_fraud_clusters, n_clustered // n_fraud_clusters)
+    cluster_sizes[: n_clustered % n_fraud_clusters] += 1
+    fraud_blocks = []
+    for size in cluster_sizes:
+        if size == 0:
+            continue
+        # Shift along a few leading components (like V14/V17 in the real
+        # data), keeping the tail components genuine-like.
+        direction = np.zeros(n_pca_components)
+        lead = rng.choice(min(10, n_pca_components), size=3, replace=False)
+        direction[lead] = rng.normal(0.0, 1.0, size=3)
+        direction /= np.linalg.norm(direction)
+        centre = fraud_shift * direction * stds
+        spread = 0.6  # tighter than the genuine mass
+        block = centre + rng.normal(0.0, spread, size=(size, n_pca_components)) * stds
+        fraud_blocks.append(block)
+    if n_overlap:
+        fraud_blocks.append(genuine_components(n_overlap))
+    X_fraud = np.vstack(fraud_blocks)
+
+    # Time: two days (in hours, 0-48), bimodal day/night; frauds skew to
+    # night. Hours rather than seconds keep the column on a scale
+    # commensurate with the PCA components — the paper stresses that this
+    # dataset's normalised numerical features let distance-based methods
+    # "achieve their maximum potential".
+    def sample_time(n: int, night_bias: float) -> np.ndarray:
+        day = rng.normal(14.0, 4.0, size=n)
+        night = rng.normal(3.0, 2.0, size=n)
+        pick_night = rng.uniform(size=n) < night_bias
+        hours = np.where(pick_night, night, day) % 24.0
+        return hours + rng.randint(0, 2, size=n) * 24.0
+
+    t_gen = sample_time(n_genuine, night_bias=0.2)
+    t_fraud = sample_time(n_fraud, night_bias=0.45)
+
+    # Amount on a log scale (log1p of a log-normal); frauds favour
+    # small-to-mid "test" amounts.
+    amount_gen = np.log1p(rng.lognormal(mean=3.4, sigma=1.3, size=n_genuine))
+    amount_fraud = np.log1p(rng.lognormal(mean=3.0, sigma=1.6, size=n_fraud))
+
+    X = np.vstack(
+        [
+            np.column_stack([X_gen, t_gen, amount_gen]),
+            np.column_stack([X_fraud, t_fraud, amount_fraud]),
+        ]
+    )
+    y = np.concatenate([np.zeros(n_genuine, dtype=int), np.ones(n_fraud, dtype=int)])
+    perm = rng.permutation(len(y))
+    return X[perm], y[perm]

@@ -1,0 +1,74 @@
+"""Overlapped / non-overlapped Gaussian mixtures (paper Fig 2).
+
+Two generators matching Fig 2's panels:
+
+* :func:`make_disjoint_gaussians` — two well-separated components; task
+  difficulty stays constant as the imbalance ratio grows;
+* :func:`make_overlapping_gaussians` — several components whose minority
+  mass sits inside the majority; difficulty explodes with the imbalance
+  ratio even though IR alone cannot tell the two datasets apart.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..utils.validation import check_random_state
+
+__all__ = ["make_disjoint_gaussians", "make_overlapping_gaussians"]
+
+
+def _assemble(maj: np.ndarray, mino: np.ndarray, rng) -> Tuple[np.ndarray, np.ndarray]:
+    X = np.vstack([maj, mino])
+    y = np.concatenate([np.zeros(len(maj), dtype=int), np.ones(len(mino), dtype=int)])
+    perm = rng.permutation(len(y))
+    return X[perm], y[perm]
+
+
+def make_disjoint_gaussians(
+    n_minority: int = 100,
+    imbalance_ratio: float = 10.0,
+    separation: float = 6.0,
+    random_state=None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Two disjoint Gaussian blobs (Fig 2(a)): IR grows, hardness does not."""
+    if imbalance_ratio < 1:
+        raise ValueError("imbalance_ratio must be >= 1")
+    rng = check_random_state(random_state)
+    n_majority = int(round(n_minority * imbalance_ratio))
+    maj = rng.normal(0.0, 1.0, size=(n_majority, 2))
+    mino = rng.normal(0.0, 1.0, size=(n_minority, 2)) + np.array([separation, 0.0])
+    return _assemble(maj, mino, rng)
+
+
+def make_overlapping_gaussians(
+    n_minority: int = 100,
+    imbalance_ratio: float = 10.0,
+    n_components: int = 3,
+    spread: float = 2.0,
+    overlap: float = 1.0,
+    random_state=None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Overlapping mixture (Fig 2(d)): hardness grows sharply with IR.
+
+    Minority components are placed ``overlap`` standard deviations away from
+    majority components, so a growing majority increasingly swamps the
+    minority neighbourhoods.
+    """
+    if imbalance_ratio < 1:
+        raise ValueError("imbalance_ratio must be >= 1")
+    rng = check_random_state(random_state)
+    n_majority = int(round(n_minority * imbalance_ratio))
+    angles = np.linspace(0.0, 2 * np.pi, n_components, endpoint=False)
+    maj_centres = spread * np.column_stack([np.cos(angles), np.sin(angles)])
+    min_centres = maj_centres + overlap * np.column_stack(
+        [np.cos(angles + np.pi / n_components), np.sin(angles + np.pi / n_components)]
+    )
+
+    def sample(centres: np.ndarray, n: int) -> np.ndarray:
+        which = rng.randint(0, len(centres), size=n)
+        return centres[which] + rng.normal(0.0, 1.0, size=(n, 2))
+
+    return _assemble(sample(maj_centres, n_majority), sample(min_centres, n_minority), rng)

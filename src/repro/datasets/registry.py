@@ -1,0 +1,170 @@
+"""Dataset registry: named loaders for every task in the paper's Table III.
+
+``load_dataset(name, scale=...)`` returns a :class:`Dataset` whose size is
+``scale`` × a laptop-friendly base size (the paper-scale sizes are recorded
+in ``paper_n_samples`` so benches can report both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..utils.arrays import imbalance_ratio
+from .checkerboard import make_checkerboard
+from .credit_fraud import PAPER_IMBALANCE_RATIO as CF_IR
+from .credit_fraud import PAPER_N_SAMPLES as CF_N
+from .credit_fraud import make_credit_fraud
+from .kddcup import PAPER_TASKS, make_kddcup
+from .paysim import PAPER_IMBALANCE_RATIO as PS_IR
+from .paysim import PAPER_N_SAMPLES as PS_N
+from .paysim import make_payment_simulation
+from .record_linkage import PAPER_IMBALANCE_RATIO as RL_IR
+from .record_linkage import PAPER_N_SAMPLES as RL_N
+from .record_linkage import make_record_linkage
+
+__all__ = ["Dataset", "load_dataset", "DATASETS", "dataset_statistics"]
+
+
+@dataclass
+class Dataset:
+    """A loaded task: features, binary labels (minority = 1) and metadata."""
+
+    name: str
+    X: np.ndarray
+    y: np.ndarray
+    feature_format: str
+    paper_n_samples: int
+    paper_imbalance_ratio: float
+    categorical_indices: Tuple[int, ...] = ()
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.y)
+
+    @property
+    def n_features(self) -> int:
+        return self.X.shape[1]
+
+    @property
+    def imbalance_ratio(self) -> float:
+        return imbalance_ratio(self.y)
+
+
+_BASE_SIZE = {
+    "credit_fraud": 40_000,
+    "payment_simulation": 40_000,
+    "record_linkage": 30_000,
+    "kddcup_dos_vs_prb": 40_000,
+    "kddcup_dos_vs_r2l": 60_000,
+    "checkerboard": 11_000,
+}
+
+# Lower IR at bench scale so the minority keeps enough samples for a
+# meaningful 60/20/20 split; full paper IR is reported alongside.
+_BENCH_IR = {
+    "credit_fraud": 120.0,
+    "payment_simulation": 150.0,
+    "record_linkage": 100.0,
+    "kddcup_dos_vs_prb": 94.48,
+    "kddcup_dos_vs_r2l": 400.0,
+}
+
+
+def _load_credit_fraud(n: int, ir: float, rs) -> Dataset:
+    X, y = make_credit_fraud(n_samples=n, imbalance_ratio=ir, random_state=rs)
+    return Dataset("credit_fraud", X, y, "Numerical", CF_N, CF_IR)
+
+
+def _load_payment(n: int, ir: float, rs) -> Dataset:
+    X, y = make_payment_simulation(n_samples=n, imbalance_ratio=ir, random_state=rs)
+    return Dataset(
+        "payment_simulation", X, y, "Numerical & Categorical", PS_N, PS_IR, (1,)
+    )
+
+
+def _load_record_linkage(n: int, ir: float, rs) -> Dataset:
+    X, y = make_record_linkage(n_samples=n, imbalance_ratio=ir, random_state=rs)
+    return Dataset("record_linkage", X, y, "Numerical & Categorical", RL_N, RL_IR)
+
+
+def _load_kdd_prb(n: int, ir: float, rs) -> Dataset:
+    X, y = make_kddcup("dos_vs_prb", n_samples=n, imbalance_ratio=ir, random_state=rs)
+    return Dataset(
+        "kddcup_dos_vs_prb",
+        X,
+        y,
+        "Integer & Categorical",
+        PAPER_TASKS["dos_vs_prb"]["n_paper"],
+        PAPER_TASKS["dos_vs_prb"]["imbalance_ratio"],
+        (1, 2, 3),
+    )
+
+
+def _load_kdd_r2l(n: int, ir: float, rs) -> Dataset:
+    X, y = make_kddcup("dos_vs_r2l", n_samples=n, imbalance_ratio=ir, random_state=rs)
+    return Dataset(
+        "kddcup_dos_vs_r2l",
+        X,
+        y,
+        "Integer & Categorical",
+        PAPER_TASKS["dos_vs_r2l"]["n_paper"],
+        PAPER_TASKS["dos_vs_r2l"]["imbalance_ratio"],
+        (1, 2, 3),
+    )
+
+
+def _load_checkerboard(n: int, ir: float, rs) -> Dataset:
+    n_min = max(10, int(round(n / (1.0 + ir))))
+    X, y = make_checkerboard(
+        n_minority=n_min, n_majority=n - n_min, random_state=rs
+    )
+    return Dataset("checkerboard", X, y, "Numerical", 11_000, 10.0)
+
+
+_LOADERS: Dict[str, Callable] = {
+    "credit_fraud": _load_credit_fraud,
+    "payment_simulation": _load_payment,
+    "record_linkage": _load_record_linkage,
+    "kddcup_dos_vs_prb": _load_kdd_prb,
+    "kddcup_dos_vs_r2l": _load_kdd_r2l,
+    "checkerboard": _load_checkerboard,
+}
+
+DATASETS = tuple(sorted(_LOADERS))
+
+
+def load_dataset(
+    name: str,
+    *,
+    scale: float = 1.0,
+    imbalance_ratio: Optional[float] = None,
+    random_state=None,
+) -> Dataset:
+    """Load a named task at ``scale`` × its laptop base size.
+
+    ``imbalance_ratio`` overrides the bench-scale default (the paper-scale
+    IR stays recorded in the returned metadata either way).
+    """
+    if name not in _LOADERS:
+        raise ValueError(f"Unknown dataset {name!r}; available: {DATASETS}")
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    n = max(200, int(round(_BASE_SIZE[name] * scale)))
+    ir = imbalance_ratio if imbalance_ratio is not None else _BENCH_IR.get(name, 10.0)
+    return _LOADERS[name](n, ir, random_state)
+
+
+def dataset_statistics(ds: Dataset) -> Dict[str, object]:
+    """Table III-style statistics row for a loaded dataset."""
+    return {
+        "Dataset": ds.name,
+        "#Attribute": ds.n_features,
+        "#Sample": ds.n_samples,
+        "Feature Format": ds.feature_format,
+        "Imbalance Ratio": round(ds.imbalance_ratio, 2),
+        "Paper #Sample": ds.paper_n_samples,
+        "Paper IR": ds.paper_imbalance_ratio,
+    }

@@ -1,0 +1,16 @@
+"""Canonical ensemble learners: Bagging, Random Forest, AdaBoost, GBDT."""
+
+from .adaboost import AdaBoostClassifier, fit_supports_sample_weight
+from .bagging import BaggingClassifier, average_ensemble_proba
+from .forest import RandomForestClassifier
+from .gbdt import GradientBoostingClassifier, GradientRegressionTree
+
+__all__ = [
+    "AdaBoostClassifier",
+    "fit_supports_sample_weight",
+    "BaggingClassifier",
+    "average_ensemble_proba",
+    "RandomForestClassifier",
+    "GradientBoostingClassifier",
+    "GradientRegressionTree",
+]

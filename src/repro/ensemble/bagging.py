@@ -1,0 +1,98 @@
+"""Bootstrap-aggregating classifier (Breiman, 1996)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..base import BaseEstimator, ClassifierMixin, clone
+from ..tree import DecisionTreeClassifier
+from ..utils.validation import (
+    check_array,
+    check_is_fitted,
+    check_random_state,
+    check_X_y,
+)
+
+__all__ = ["BaggingClassifier", "average_ensemble_proba"]
+
+
+def average_ensemble_proba(estimators, X, classes: np.ndarray) -> np.ndarray:
+    """Average ``predict_proba`` over fitted estimators, aligning classes.
+
+    Each estimator may have seen a subset of the classes (an extreme-IR
+    bootstrap can miss the minority entirely); probabilities are mapped into
+    the full class space before averaging.
+    """
+    proba = np.zeros((X.shape[0], len(classes)))
+    class_pos = {c: i for i, c in enumerate(classes.tolist())}
+    for est in estimators:
+        p = est.predict_proba(X)
+        cols = [class_pos[c] for c in est.classes_.tolist()]
+        proba[:, cols] += p
+    proba /= len(estimators)
+    return proba
+
+
+class BaggingClassifier(BaseEstimator, ClassifierMixin):
+    """Train ``n_estimators`` clones on bootstrap resamples and average."""
+
+    def __init__(
+        self,
+        estimator=None,
+        n_estimators: int = 10,
+        max_samples: float = 1.0,
+        bootstrap: bool = True,
+        random_state=None,
+    ):
+        self.estimator = estimator
+        self.n_estimators = n_estimators
+        self.max_samples = max_samples
+        self.bootstrap = bootstrap
+        self.random_state = random_state
+
+    def _make_base(self):
+        if self.estimator is None:
+            return DecisionTreeClassifier()
+        return clone(self.estimator)
+
+    def fit(self, X, y) -> "BaggingClassifier":
+        if self.n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        if not 0.0 < self.max_samples <= 1.0:
+            raise ValueError("max_samples must be in (0, 1]")
+        X, y = check_X_y(X, y)
+        rng = check_random_state(self.random_state)
+        self.classes_ = np.unique(y)
+        n = X.shape[0]
+        size = max(1, int(round(self.max_samples * n)))
+        self.estimators_: List = []
+        for _ in range(self.n_estimators):
+            if self.bootstrap:
+                idx = rng.randint(0, n, size=size)
+            else:
+                idx = rng.permutation(n)[:size]
+            # Guarantee both classes appear whenever the data has both:
+            # resample until the subset is non-degenerate (tiny cost).
+            if len(self.classes_) > 1:
+                tries = 0
+                while len(np.unique(y[idx])) < 2 and tries < 10:
+                    idx = rng.randint(0, n, size=size) if self.bootstrap else idx
+                    tries += 1
+            model = self._make_base()
+            if hasattr(model, "random_state"):
+                model.random_state = rng.randint(np.iinfo(np.int32).max)
+            model.fit(X[idx], y[idx])
+            self.estimators_.append(model)
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        check_is_fitted(self, ["estimators_"])
+        X = check_array(X)
+        return average_ensemble_proba(self.estimators_, X, self.classes_)
+
+    def predict(self, X) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]

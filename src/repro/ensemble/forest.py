@@ -1,0 +1,92 @@
+"""Random forest: bagged trees with per-node feature subsampling."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+from ..base import BaseEstimator, ClassifierMixin
+from ..tree import DecisionTreeClassifier
+from ..utils.validation import (
+    check_array,
+    check_is_fitted,
+    check_random_state,
+    check_X_y,
+)
+from .bagging import average_ensemble_proba
+
+__all__ = ["RandomForestClassifier"]
+
+
+class RandomForestClassifier(BaseEstimator, ClassifierMixin):
+    """Breiman-style random forest over the library's histogram CART trees."""
+
+    def __init__(
+        self,
+        n_estimators: int = 10,
+        criterion: str = "gini",
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: Union[None, str, int, float] = "sqrt",
+        bootstrap: bool = True,
+        max_bins: int = 64,
+        random_state=None,
+    ):
+        self.n_estimators = n_estimators
+        self.criterion = criterion
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.max_bins = max_bins
+        self.random_state = random_state
+
+    def fit(self, X, y) -> "RandomForestClassifier":
+        if self.n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        X, y = check_X_y(X, y)
+        rng = check_random_state(self.random_state)
+        self.classes_ = np.unique(y)
+        n = X.shape[0]
+        self.estimators_: List[DecisionTreeClassifier] = []
+        for _ in range(self.n_estimators):
+            idx = rng.randint(0, n, size=n) if self.bootstrap else np.arange(n)
+            if len(self.classes_) > 1:
+                tries = 0
+                while len(np.unique(y[idx])) < 2 and tries < 10 and self.bootstrap:
+                    idx = rng.randint(0, n, size=n)
+                    tries += 1
+            tree = DecisionTreeClassifier(
+                criterion=self.criterion,
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                max_bins=self.max_bins,
+                random_state=rng.randint(np.iinfo(np.int32).max),
+            )
+            tree.fit(X[idx], y[idx])
+            self.estimators_.append(tree)
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        check_is_fitted(self, ["estimators_"])
+        X = check_array(X)
+        return average_ensemble_proba(self.estimators_, X, self.classes_)
+
+    def predict(self, X) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        check_is_fitted(self, ["estimators_"])
+        importances = np.mean(
+            [tree.feature_importances_ for tree in self.estimators_], axis=0
+        )
+        total = importances.sum()
+        return importances / total if total > 0 else importances

@@ -1,0 +1,6 @@
+"""Histogram gradient-boosted decision trees (LightGBM substitute)."""
+
+from .gbdt import GradientBoostingClassifier
+from .regression_tree import GradientRegressionTree
+
+__all__ = ["GradientBoostingClassifier", "GradientRegressionTree"]

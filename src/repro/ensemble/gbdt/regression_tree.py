@@ -1,0 +1,155 @@
+"""Histogram regression tree fitted on gradient/hessian statistics.
+
+This is the weak learner inside :class:`GradientBoostingClassifier`. Split
+quality uses the second-order gain (as in XGBoost/LightGBM):
+
+``gain = 1/2 * [G_L²/(H_L+λ) + G_R²/(H_R+λ) − G²/(H+λ)]``
+
+and leaves output the Newton step ``−G/(H+λ)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ...tree import FeatureBinner
+
+__all__ = ["GradientRegressionTree"]
+
+_LEAF = -1
+
+
+@dataclass
+class _Node:
+    indices: np.ndarray
+    depth: int
+    parent: int
+    is_left: bool
+
+
+@dataclass
+class _Arrays:
+    feature: List[int] = field(default_factory=list)
+    threshold: List[float] = field(default_factory=list)
+    left: List[int] = field(default_factory=list)
+    right: List[int] = field(default_factory=list)
+    value: List[float] = field(default_factory=list)
+
+    def add(self, value: float) -> int:
+        self.feature.append(_LEAF)
+        self.threshold.append(0.0)
+        self.left.append(_LEAF)
+        self.right.append(_LEAF)
+        self.value.append(value)
+        return len(self.feature) - 1
+
+
+class GradientRegressionTree:
+    """Depth-limited regression tree on (gradient, hessian) targets."""
+
+    def __init__(
+        self,
+        max_depth: int = 3,
+        min_samples_leaf: int = 5,
+        min_child_weight: float = 1e-3,
+        reg_lambda: float = 1.0,
+        min_gain: float = 1e-7,
+    ):
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.min_child_weight = min_child_weight
+        self.reg_lambda = reg_lambda
+        self.min_gain = min_gain
+
+    def fit(
+        self,
+        X_binned: np.ndarray,
+        grad: np.ndarray,
+        hess: np.ndarray,
+        binner: FeatureBinner,
+    ) -> "GradientRegressionTree":
+        lam = self.reg_lambda
+        arrays = _Arrays()
+        stack = [_Node(np.arange(X_binned.shape[0]), 0, _LEAF, False)]
+        while stack:
+            rec = stack.pop()
+            idx = rec.indices
+            g = grad[idx]
+            h = hess[idx]
+            G, H = g.sum(), h.sum()
+            node_id = arrays.add(-G / (H + lam))
+            if rec.parent != _LEAF:
+                if rec.is_left:
+                    arrays.left[rec.parent] = node_id
+                else:
+                    arrays.right[rec.parent] = node_id
+            if rec.depth >= self.max_depth or len(idx) < 2 * self.min_samples_leaf:
+                continue
+
+            parent_score = G * G / (H + lam)
+            best_gain, best_feature, best_code = self.min_gain, _LEAF, -1
+            codes_node = X_binned[idx]
+            for j in range(X_binned.shape[1]):
+                n_bins = int(binner.n_bins_[j])
+                if n_bins < 2:
+                    continue
+                codes_j = codes_node[:, j].astype(np.int64)
+                g_hist = np.bincount(codes_j, weights=g, minlength=n_bins)
+                h_hist = np.bincount(codes_j, weights=h, minlength=n_bins)
+                c_hist = np.bincount(codes_j, minlength=n_bins)
+                GL = np.cumsum(g_hist)[:-1]
+                HL = np.cumsum(h_hist)[:-1]
+                CL = np.cumsum(c_hist)[:-1]
+                GR = G - GL
+                HR = H - HL
+                CR = len(idx) - CL
+                gains = 0.5 * (
+                    GL * GL / (HL + lam) + GR * GR / (HR + lam) - parent_score
+                )
+                invalid = (
+                    (CL < self.min_samples_leaf)
+                    | (CR < self.min_samples_leaf)
+                    | (HL < self.min_child_weight)
+                    | (HR < self.min_child_weight)
+                )
+                gains[invalid] = -np.inf
+                local_best = int(np.argmax(gains))
+                if gains[local_best] > best_gain:
+                    best_gain = float(gains[local_best])
+                    best_feature = int(j)
+                    best_code = local_best
+
+            if best_feature == _LEAF:
+                continue
+            arrays.feature[node_id] = best_feature
+            arrays.threshold[node_id] = binner.threshold_value(best_feature, best_code)
+            go_left = codes_node[:, best_feature] <= best_code
+            stack.append(_Node(idx[~go_left], rec.depth + 1, node_id, False))
+            stack.append(_Node(idx[go_left], rec.depth + 1, node_id, True))
+
+        self.feature_ = np.asarray(arrays.feature, dtype=np.int64)
+        self.threshold_ = np.asarray(arrays.threshold, dtype=np.float64)
+        self.left_ = np.asarray(arrays.left, dtype=np.int64)
+        self.right_ = np.asarray(arrays.right, dtype=np.int64)
+        self.value_ = np.asarray(arrays.value, dtype=np.float64)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Leaf outputs for raw (un-binned) feature rows."""
+        node = np.zeros(X.shape[0], dtype=np.int64)
+        while True:
+            active = np.flatnonzero(self.feature_[node] != _LEAF)
+            if active.size == 0:
+                break
+            cur = node[active]
+            feat = self.feature_[cur]
+            go_left = X[active, feat] < self.threshold_[cur]
+            node[active] = np.where(go_left, self.left_[cur], self.right_[cur])
+        return self.value_[node]
+
+    @property
+    def node_count(self) -> int:
+        return len(self.feature_)

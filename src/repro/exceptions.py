@@ -1,0 +1,21 @@
+"""Exception types used across the :mod:`repro` library."""
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class NotFittedError(ReproError, AttributeError):
+    """Raised when an estimator is used before ``fit`` was called."""
+
+
+class DataValidationError(ReproError, ValueError):
+    """Raised when input arrays fail validation checks."""
+
+
+class NotEnoughSamplesError(ReproError, ValueError):
+    """Raised when a sampler or estimator needs more samples than provided."""
+
+
+class ConvergenceWarning(UserWarning):
+    """Emitted when an iterative solver stops before converging."""

@@ -1,0 +1,69 @@
+"""Experiment harness: runner, table/figure definitions, rendering."""
+
+from .figures import (
+    fig2_hardness_distributions,
+    fig3_selfpaced_bins,
+    fig5_training_curves,
+    fig6_training_views,
+    fig7_n_estimators_sweep,
+    fig8_sensitivity,
+)
+from .formatting import mean_std, render_series, render_table
+from .runner import (
+    MatrixResult,
+    MethodRun,
+    MethodSpec,
+    ensemble_method,
+    evaluate_combination,
+    org_method,
+    run_matrix,
+    sampler_method,
+)
+from .tables import (
+    core_comparison_methods,
+    default_c45,
+    ensemble_figure_methods,
+    table2_classifiers,
+    table4_dataset_plan,
+    table5_classifiers,
+    table5_methods,
+    table6_methods,
+)
+from .visualization import (
+    RecordingClassifier,
+    ascii_heatmap,
+    ascii_scatter,
+    prediction_grid,
+)
+
+__all__ = [
+    "fig2_hardness_distributions",
+    "fig3_selfpaced_bins",
+    "fig5_training_curves",
+    "fig6_training_views",
+    "fig7_n_estimators_sweep",
+    "fig8_sensitivity",
+    "mean_std",
+    "render_series",
+    "render_table",
+    "MatrixResult",
+    "MethodRun",
+    "MethodSpec",
+    "ensemble_method",
+    "evaluate_combination",
+    "org_method",
+    "run_matrix",
+    "sampler_method",
+    "core_comparison_methods",
+    "default_c45",
+    "ensemble_figure_methods",
+    "table2_classifiers",
+    "table4_dataset_plan",
+    "table5_classifiers",
+    "table5_methods",
+    "table6_methods",
+    "RecordingClassifier",
+    "ascii_heatmap",
+    "ascii_scatter",
+    "prediction_grid",
+]

@@ -1,0 +1,328 @@
+"""Data generators for every figure in the paper's evaluation.
+
+Each ``figN_*`` function computes exactly the series/histograms the figure
+plots and returns plain dict/array structures; the corresponding bench
+renders them with :mod:`repro.experiments.formatting`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..base import clone
+from ..core import (
+    SelfPacedEnsembleClassifier,
+    cut_hardness_bins,
+    resolve_hardness,
+    self_paced_under_sample,
+)
+from ..ensemble import AdaBoostClassifier
+from ..imbalance_ensemble import BalanceCascadeClassifier
+from ..metrics import average_precision_score
+from ..model_selection import train_test_split
+from ..neighbors import KNeighborsClassifier
+from ..tree import DecisionTreeClassifier
+from ..utils.validation import check_random_state
+
+__all__ = [
+    "fig2_hardness_distributions",
+    "fig3_selfpaced_bins",
+    "fig5_training_curves",
+    "fig6_training_views",
+    "fig7_n_estimators_sweep",
+    "fig8_sensitivity",
+]
+
+
+# ------------------------------------------------------------------ Fig 2
+def fig2_hardness_distributions(
+    imbalance_ratios: Sequence[float] = (1.0, 10.0, 100.0),
+    n_minority: int = 200,
+    k_bins: int = 10,
+    random_state: int = 0,
+) -> Dict[str, Dict[str, Dict[float, np.ndarray]]]:
+    """Hardness histograms: {dataset: {model: {IR: bin populations}}}.
+
+    Reproduces Fig 2's message: on the disjoint dataset the hard-bin mass
+    stays flat as IR grows; on the overlapped dataset it explodes — and the
+    distribution differs between KNN and AdaBoost (model capacity matters).
+    """
+    from ..datasets import make_disjoint_gaussians, make_overlapping_gaussians
+
+    datasets = {
+        "disjoint": make_disjoint_gaussians,
+        "overlapped": make_overlapping_gaussians,
+    }
+    models: Dict[str, Callable] = {
+        "KNN": lambda seed: KNeighborsClassifier(n_neighbors=5),
+        "AdaBoost": lambda seed: AdaBoostClassifier(
+            estimator=DecisionTreeClassifier(max_depth=2),
+            n_estimators=10,
+            random_state=seed,
+        ),
+    }
+    hardness_fn = resolve_hardness("absolute")
+    out: Dict[str, Dict[str, Dict[float, np.ndarray]]] = {}
+    for ds_name, maker in datasets.items():
+        out[ds_name] = {}
+        for model_name, factory in models.items():
+            out[ds_name][model_name] = {}
+            for ir in imbalance_ratios:
+                X, y = maker(
+                    n_minority=n_minority,
+                    imbalance_ratio=ir,
+                    random_state=random_state,
+                )
+                model = factory(random_state)
+                model.fit(X, y)
+                proba = model.predict_proba(X)[:, list(model.classes_).index(1)]
+                hardness = hardness_fn(y.astype(float), proba)
+                # Fixed [0, 1] bins so populations are comparable across IRs.
+                edges = np.linspace(0.0, 1.0, k_bins + 1)
+                assignment = np.minimum(
+                    (hardness * k_bins).astype(int), k_bins - 1
+                )
+                out[ds_name][model_name][ir] = np.bincount(
+                    assignment, minlength=k_bins
+                )
+    return out
+
+
+# ------------------------------------------------------------------ Fig 3
+def fig3_selfpaced_bins(
+    X: np.ndarray,
+    y: np.ndarray,
+    alphas: Sequence[float] = (0.0, 0.1, np.inf),
+    k_bins: int = 20,
+    n_estimators: int = 10,
+    estimator=None,
+    random_state: int = 0,
+) -> Dict[str, Dict[str, np.ndarray]]:
+    """Bin population & hardness contribution, original vs α-sampled subsets.
+
+    Trains an SPE to obtain a realistic ensemble hardness distribution over
+    the majority class, then applies the self-paced under-sampling mechanism
+    at each requested α (the paper's panels: original, α=0, α=0.1, α→∞).
+    """
+    rng = check_random_state(random_state)
+    spe = SelfPacedEnsembleClassifier(
+        estimator=estimator, n_estimators=n_estimators, k_bins=k_bins,
+        random_state=random_state,
+    )
+    spe.fit(X, y)
+    maj_mask = y == 0
+    X_maj = X[maj_mask]
+    proba = spe.predict_proba(X_maj)[:, 1]
+    hardness = resolve_hardness("absolute")(np.zeros(len(X_maj)), proba)
+    n_min = int((y == 1).sum())
+
+    result: Dict[str, Dict[str, np.ndarray]] = {}
+    original = cut_hardness_bins(hardness, k_bins)
+    result["original"] = {
+        "population": original.populations,
+        "contribution": original.total_contribution,
+        "edges": original.edges,
+    }
+    finite_max = np.finfo(float).max / 1e6
+    for alpha in alphas:
+        a = min(alpha, finite_max)
+        selected, _ = self_paced_under_sample(hardness, k_bins, a, n_min, rng)
+        sub = hardness[selected]
+        assignment = np.clip(
+            np.searchsorted(original.edges, sub, side="right") - 1, 0, k_bins - 1
+        )
+        label = "alpha=inf" if np.isinf(alpha) else f"alpha={alpha:g}"
+        result[label] = {
+            "population": np.bincount(assignment, minlength=k_bins),
+            "contribution": np.bincount(assignment, weights=sub, minlength=k_bins),
+            "edges": original.edges,
+        }
+    return result
+
+
+# ------------------------------------------------------------------ Fig 5
+def fig5_training_curves(
+    cov_scales: Sequence[float] = (0.05, 0.10, 0.15),
+    n_estimators: int = 10,
+    n_minority: int = 500,
+    n_majority: int = 5000,
+    estimator=None,
+    random_state: int = 0,
+) -> Dict[float, Dict[str, List[float]]]:
+    """Per-iteration test AUCPRC of SPE vs Cascade under growing overlap."""
+    from ..datasets import make_checkerboard
+
+    base = (
+        DecisionTreeClassifier(max_depth=10, random_state=random_state)
+        if estimator is None
+        else estimator
+    )
+    out: Dict[float, Dict[str, List[float]]] = {}
+    for cov in cov_scales:
+        X, y = make_checkerboard(
+            n_minority=n_minority,
+            n_majority=n_majority,
+            cov_scale=cov,
+            random_state=random_state,
+        )
+        X_tr, X_te, y_tr, y_te = train_test_split(
+            X, y, test_size=0.3, random_state=random_state
+        )
+        spe = SelfPacedEnsembleClassifier(
+            estimator=clone(base), n_estimators=n_estimators, random_state=random_state
+        )
+        spe.fit(X_tr, y_tr, eval_set=(X_te, y_te))
+        cascade = BalanceCascadeClassifier(
+            estimator=clone(base), n_estimators=n_estimators, random_state=random_state
+        )
+        cascade.fit(X_tr, y_tr, eval_set=(X_te, y_te))
+        out[cov] = {"SPE": spe.train_curve_, "Cascade": cascade.train_curve_}
+    return out
+
+
+# ------------------------------------------------------------------ Fig 6
+def fig6_training_views(
+    n_minority: int = 300,
+    n_majority: int = 3000,
+    resolution: int = 40,
+    random_state: int = 0,
+) -> Dict[str, Dict[str, object]]:
+    """Training sets and prediction grids for Clean/SMOTE/Easy/Cascade/SPE.
+
+    For the ensembles, the training sets of the 5th and 10th base model are
+    captured via :class:`RecordingClassifier` (the paper shows exactly
+    those two iterations).
+    """
+    from ..datasets import make_checkerboard
+    from ..imbalance_ensemble import EasyEnsembleClassifier
+    from ..sampling import SMOTE, NeighbourhoodCleaningRule
+    from .visualization import RecordingClassifier, prediction_grid
+
+    X, y = make_checkerboard(
+        n_minority=n_minority, n_majority=n_majority, random_state=random_state
+    )
+    lims = (
+        (float(X[:, 0].min()), float(X[:, 0].max())),
+        (float(X[:, 1].min()), float(X[:, 1].max())),
+    )
+    base = DecisionTreeClassifier(max_depth=10, random_state=random_state)
+    out: Dict[str, Dict[str, object]] = {}
+
+    for name, sampler in (
+        ("Clean", NeighbourhoodCleaningRule()),
+        ("SMOTE", SMOTE(random_state=random_state)),
+    ):
+        X_res, y_res = sampler.fit_resample(X, y)
+        model = clone(base)
+        model.fit(X_res, y_res)
+        xs, ys, grid = prediction_grid(model, lims[0], lims[1], resolution)
+        out[name] = {"training_sets": [(X_res, y_res)], "grid": grid, "xs": xs, "ys": ys}
+
+    ensembles = {
+        "Easy": lambda key: EasyEnsembleClassifier(
+            estimator=RecordingClassifier(clone(base), log_key=key),
+            n_estimators=10,
+            n_boost_rounds=1,
+            random_state=random_state,
+        ),
+        "Cascade": lambda key: BalanceCascadeClassifier(
+            estimator=RecordingClassifier(clone(base), log_key=key),
+            n_estimators=10,
+            random_state=random_state,
+        ),
+        "SPE": lambda key: SelfPacedEnsembleClassifier(
+            estimator=RecordingClassifier(clone(base), log_key=key),
+            n_estimators=10,
+            random_state=random_state,
+        ),
+    }
+    for name, factory in ensembles.items():
+        key = f"fig6-{name}-{random_state}"
+        RecordingClassifier.clear_log(key)
+        model = factory(key)
+        model.fit(X, y)
+        log = RecordingClassifier.get_log(key)
+        picks = [log[min(4, len(log) - 1)], log[min(9, len(log) - 1)]]
+        xs, ys, grid = prediction_grid(model, lims[0], lims[1], resolution)
+        out[name] = {"training_sets": picks, "grid": grid, "xs": xs, "ys": ys}
+        RecordingClassifier.clear_log(key)
+    out["_data"] = {"X": X, "y": y, "xlim": lims[0], "ylim": lims[1]}
+    return out
+
+
+# ------------------------------------------------------------------ Fig 7
+def fig7_n_estimators_sweep(
+    X_train: np.ndarray,
+    y_train: np.ndarray,
+    X_test: np.ndarray,
+    y_test: np.ndarray,
+    ns: Sequence[int] = (1, 2, 5, 10, 20, 50, 100),
+    methods: Optional[Dict[str, type]] = None,
+    estimator=None,
+    n_runs: int = 3,
+    random_state: int = 0,
+) -> Dict[str, Dict[int, List[float]]]:
+    """Test AUCPRC vs number of base classifiers for each ensemble method."""
+    from .tables import ensemble_figure_methods
+
+    methods = ensemble_figure_methods() if methods is None else methods
+    base = (
+        DecisionTreeClassifier(max_depth=10, random_state=random_state)
+        if estimator is None
+        else estimator
+    )
+    out: Dict[str, Dict[int, List[float]]] = {m: {} for m in methods}
+    for name, cls in methods.items():
+        for n in ns:
+            scores = []
+            for run in range(n_runs):
+                model = cls(
+                    estimator=clone(base),
+                    n_estimators=n,
+                    random_state=random_state + 1000 * run,
+                )
+                model.fit(X_train, y_train)
+                proba = model.predict_proba(X_test)[:, 1]
+                scores.append(float(average_precision_score(y_test, proba)))
+            out[name][n] = scores
+    return out
+
+
+# ------------------------------------------------------------------ Fig 8
+def fig8_sensitivity(
+    X_train: np.ndarray,
+    y_train: np.ndarray,
+    X_test: np.ndarray,
+    y_test: np.ndarray,
+    ks: Sequence[int] = (1, 2, 5, 10, 20, 30, 40, 50),
+    hardness_functions: Sequence[str] = ("absolute", "squared", "cross_entropy"),
+    n_estimators: int = 10,
+    estimator=None,
+    n_runs: int = 3,
+    random_state: int = 0,
+) -> Dict[str, Dict[int, List[float]]]:
+    """SPE test AUCPRC across bin counts ``k`` and hardness functions ``H``."""
+    base = (
+        DecisionTreeClassifier(max_depth=10, random_state=random_state)
+        if estimator is None
+        else estimator
+    )
+    out: Dict[str, Dict[int, List[float]]] = {h: {} for h in hardness_functions}
+    for hardness in hardness_functions:
+        for k in ks:
+            scores = []
+            for run in range(n_runs):
+                model = SelfPacedEnsembleClassifier(
+                    estimator=clone(base),
+                    n_estimators=n_estimators,
+                    k_bins=k,
+                    hardness=hardness,
+                    random_state=random_state + 1000 * run,
+                )
+                model.fit(X_train, y_train)
+                proba = model.predict_proba(X_test)[:, 1]
+                scores.append(float(average_precision_score(y_test, proba)))
+            out[hardness][k] = scores
+    return out

@@ -1,0 +1,228 @@
+"""Experiment runner: methods × classifiers × metrics with repeated runs.
+
+The paper's evaluation protocol, captured once so every table bench reuses
+it: a *method* (no-resampling, a re-sampler, or an imbalance ensemble) is
+combined with a *base classifier*, trained on the training split and scored
+on the held-out test split with the four paper metrics, repeated ``n_runs``
+times with shifted seeds, reported as mean±std.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..base import clone
+from ..metrics import PAPER_METRICS
+from .formatting import mean_std, render_table
+
+__all__ = [
+    "MethodSpec",
+    "org_method",
+    "sampler_method",
+    "ensemble_method",
+    "MethodRun",
+    "evaluate_combination",
+    "run_matrix",
+    "MatrixResult",
+]
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """How to combine an imbalance method with a base classifier.
+
+    kind:
+      * ``"org"``      — fit the base classifier on the raw training data;
+      * ``"sampler"``  — factory(seed) -> sampler; resample then fit base;
+      * ``"ensemble"`` — factory(base_estimator, seed) -> meta-classifier.
+    """
+
+    name: str
+    kind: str
+    factory: Optional[Callable] = None
+
+    def __post_init__(self):
+        if self.kind not in ("org", "sampler", "ensemble"):
+            raise ValueError(f"Unknown method kind {self.kind!r}")
+        if self.kind != "org" and self.factory is None:
+            raise ValueError(f"Method {self.name!r} of kind {self.kind!r} needs a factory")
+
+
+def org_method(name: str = "ORG") -> MethodSpec:
+    """No re-sampling baseline."""
+    return MethodSpec(name=name, kind="org")
+
+
+def sampler_method(name: str, sampler_cls, **params) -> MethodSpec:
+    """Re-sampler method; ``random_state`` injected per run when accepted."""
+
+    def factory(seed: int):
+        kwargs = dict(params)
+        if "random_state" in sampler_cls._get_param_names():
+            kwargs.setdefault("random_state", seed)
+        return sampler_cls(**kwargs)
+
+    return MethodSpec(name=name, kind="sampler", factory=factory)
+
+
+def ensemble_method(name: str, ensemble_cls, **params) -> MethodSpec:
+    """Imbalance-ensemble method wrapping the base classifier."""
+
+    def factory(base, seed: int):
+        kwargs = dict(params)
+        kwargs.setdefault("random_state", seed)
+        return ensemble_cls(estimator=base, **kwargs)
+
+    return MethodSpec(name=name, kind="ensemble", factory=factory)
+
+
+@dataclass
+class MethodRun:
+    """Per-run records for one (method, classifier) combination."""
+
+    method: str
+    classifier: str
+    metrics: Dict[str, List[float]] = field(default_factory=dict)
+    n_training_samples: List[int] = field(default_factory=list)
+    resample_seconds: List[float] = field(default_factory=list)
+    fit_seconds: List[float] = field(default_factory=list)
+
+    def summary(self, metric_names: Sequence[str]) -> Dict[str, str]:
+        out = {m: mean_std(self.metrics.get(m, [])) for m in metric_names}
+        out["#Sample"] = (
+            str(int(np.mean(self.n_training_samples))) if self.n_training_samples else "-"
+        )
+        out["ResampleTime(s)"] = (
+            f"{np.mean(self.resample_seconds):.3f}" if self.resample_seconds else "-"
+        )
+        return out
+
+
+def _reseed(estimator, seed: int):
+    model = clone(estimator)
+    if "random_state" in getattr(model, "_get_param_names", lambda: [])():
+        model.set_params(random_state=seed)
+    return model
+
+
+def evaluate_combination(
+    method: MethodSpec,
+    base_estimator,
+    X_train: np.ndarray,
+    y_train: np.ndarray,
+    X_test: np.ndarray,
+    y_test: np.ndarray,
+    *,
+    metrics: Mapping[str, Callable] = None,
+    n_runs: int = 3,
+    seed: int = 0,
+    threshold: float = 0.5,
+    classifier_name: str = "",
+) -> MethodRun:
+    """Run one method × classifier combination ``n_runs`` times."""
+    metrics = PAPER_METRICS if metrics is None else metrics
+    record = MethodRun(method=method.name, classifier=classifier_name)
+    for name in metrics:
+        record.metrics[name] = []
+    for run in range(n_runs):
+        run_seed = seed + 1000 * run
+        t_resample = 0.0
+        if method.kind == "org":
+            X_fit, y_fit = X_train, y_train
+        elif method.kind == "sampler":
+            sampler = method.factory(run_seed)
+            t0 = time.perf_counter()
+            X_fit, y_fit = sampler.fit_resample(X_train, y_train)
+            t_resample = time.perf_counter() - t0
+        else:
+            X_fit, y_fit = X_train, y_train
+
+        t0 = time.perf_counter()
+        if method.kind == "ensemble":
+            model = method.factory(base_estimator, run_seed)
+            model.fit(X_fit, y_fit)
+            n_samples = getattr(model, "n_training_samples_", len(y_fit))
+        else:
+            model = _reseed(base_estimator, run_seed)
+            model.fit(X_fit, y_fit)
+            n_samples = len(y_fit)
+        fit_seconds = time.perf_counter() - t0
+
+        y_score = model.predict_proba(X_test)[:, list(model.classes_).index(1)]
+        y_pred = (y_score >= threshold).astype(int)
+        for name, fn in metrics.items():
+            record.metrics[name].append(float(fn(y_test, y_pred, y_score)))
+        record.n_training_samples.append(int(n_samples))
+        record.resample_seconds.append(t_resample)
+        record.fit_seconds.append(fit_seconds)
+    return record
+
+
+@dataclass
+class MatrixResult:
+    """All runs of a methods × classifiers table."""
+
+    runs: List[MethodRun]
+    metric_names: Tuple[str, ...]
+
+    def rows(self) -> List[List[str]]:
+        out = []
+        for run in self.runs:
+            summary = run.summary(self.metric_names)
+            out.append(
+                [run.classifier, run.method]
+                + [summary[m] for m in self.metric_names]
+                + [summary["#Sample"]]
+            )
+        return out
+
+    def render(self, title: str = "") -> str:
+        headers = ["Classifier", "Method", *self.metric_names, "#Sample"]
+        return render_table(headers, self.rows(), title=title)
+
+    def get(self, classifier: str, method: str) -> MethodRun:
+        for run in self.runs:
+            if run.classifier == classifier and run.method == method:
+                return run
+        raise KeyError(f"No run for ({classifier!r}, {method!r})")
+
+    def mean(self, classifier: str, method: str, metric: str) -> float:
+        return float(np.mean(self.get(classifier, method).metrics[metric]))
+
+
+def run_matrix(
+    methods: Sequence[MethodSpec],
+    classifiers: Mapping[str, object],
+    X_train: np.ndarray,
+    y_train: np.ndarray,
+    X_test: np.ndarray,
+    y_test: np.ndarray,
+    *,
+    metrics: Mapping[str, Callable] = None,
+    n_runs: int = 3,
+    seed: int = 0,
+) -> MatrixResult:
+    """Evaluate every (classifier, method) pair — the shape of Tables II/IV/V."""
+    metrics = PAPER_METRICS if metrics is None else metrics
+    runs: List[MethodRun] = []
+    for clf_name, base in classifiers.items():
+        for method in methods:
+            runs.append(
+                evaluate_combination(
+                    method,
+                    base,
+                    X_train,
+                    y_train,
+                    X_test,
+                    y_test,
+                    metrics=metrics,
+                    n_runs=n_runs,
+                    seed=seed,
+                    classifier_name=clf_name,
+                )
+            )
+    return MatrixResult(runs=runs, metric_names=tuple(metrics))

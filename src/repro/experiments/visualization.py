@@ -1,0 +1,121 @@
+"""Visualization helpers for the paper's qualitative figures (Figs 2, 4, 6).
+
+No plotting backend is available offline, so figures are reproduced as the
+numeric grids/series the paper plots, plus ASCII sketches for eyeballing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..base import BaseEstimator, ClassifierMixin, clone
+from ..utils.validation import check_is_fitted
+
+__all__ = [
+    "prediction_grid",
+    "ascii_scatter",
+    "ascii_heatmap",
+    "RecordingClassifier",
+]
+
+
+def prediction_grid(
+    model,
+    xlim: Tuple[float, float],
+    ylim: Tuple[float, float],
+    resolution: int = 50,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Evaluate ``P(y=1)`` of a fitted 2-feature model on a regular grid.
+
+    Returns ``(xs, ys, proba)`` with ``proba[i, j]`` at ``(xs[j], ys[i])`` —
+    the data behind Fig 6's lower panels.
+    """
+    xs = np.linspace(xlim[0], xlim[1], resolution)
+    ys = np.linspace(ylim[0], ylim[1], resolution)
+    xx, yy = np.meshgrid(xs, ys)
+    points = np.column_stack([xx.ravel(), yy.ravel()])
+    proba = model.predict_proba(points)
+    pos_col = list(np.asarray(model.classes_).tolist()).index(1)
+    return xs, ys, proba[:, pos_col].reshape(resolution, resolution)
+
+
+def ascii_scatter(
+    X: np.ndarray,
+    y: np.ndarray,
+    *,
+    width: int = 60,
+    height: int = 24,
+    majority_char: str = ".",
+    minority_char: str = "o",
+) -> str:
+    """Coarse character scatter plot; minority drawn last (on top)."""
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y)
+    if X.shape[1] != 2:
+        raise ValueError("ascii_scatter requires exactly 2 features")
+    x_lo, x_hi = X[:, 0].min(), X[:, 0].max()
+    y_lo, y_hi = X[:, 1].min(), X[:, 1].max()
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    canvas = [[" "] * width for _ in range(height)]
+    for cls, char in ((0, majority_char), (1, minority_char)):
+        for px, py in X[y == cls]:
+            col = min(int((px - x_lo) / x_span * (width - 1)), width - 1)
+            row = min(int((py - y_lo) / y_span * (height - 1)), height - 1)
+            canvas[height - 1 - row][col] = char
+    return "\n".join("".join(row) for row in canvas)
+
+
+def ascii_heatmap(grid: np.ndarray, *, ramp: str = " .:-=+*#%@") -> str:
+    """Render a [0, 1] matrix with a character intensity ramp."""
+    grid = np.asarray(grid, dtype=float)
+    clipped = np.clip(grid, 0.0, 1.0)
+    levels = (clipped * (len(ramp) - 1)).round().astype(int)
+    return "\n".join("".join(ramp[v] for v in row) for row in levels[::-1])
+
+
+# --------------------------------------------------------------------- #
+#: module-level fit logs; survives clone() because entries are keyed by a
+#: plain string hyper-parameter rather than stored on the instance.
+_FIT_LOGS: Dict[str, List[Tuple[np.ndarray, np.ndarray]]] = {}
+
+
+class RecordingClassifier(BaseEstimator, ClassifierMixin):
+    """Transparent wrapper logging every training set passed to ``fit``.
+
+    Ensemble methods clone their base estimator per member, so the log lives
+    in a module-level registry under ``log_key`` — clones share the key and
+    therefore the log. Used to reproduce Fig 6's "training set of the 5th
+    and 10th model" panels for any ensemble method.
+    """
+
+    def __init__(self, estimator=None, log_key: str = "default"):
+        self.estimator = estimator
+        self.log_key = log_key
+
+    @staticmethod
+    def get_log(key: str) -> List[Tuple[np.ndarray, np.ndarray]]:
+        return _FIT_LOGS.get(key, [])
+
+    @staticmethod
+    def clear_log(key: str) -> None:
+        _FIT_LOGS.pop(key, None)
+
+    def fit(self, X, y):
+        _FIT_LOGS.setdefault(self.log_key, []).append(
+            (np.array(X, copy=True), np.array(y, copy=True))
+        )
+        self.model_ = clone(self.estimator)
+        self.model_.fit(X, y)
+        self.classes_ = self.model_.classes_
+        return self
+
+    def predict(self, X):
+        check_is_fitted(self, ["model_"])
+        return self.model_.predict(X)
+
+    def predict_proba(self, X):
+        check_is_fitted(self, ["model_"])
+        return self.model_.predict_proba(X)

@@ -1,0 +1,21 @@
+"""Baseline imbalance-aware ensembles the paper compares SPE against."""
+
+from .balance_cascade import BalanceCascadeClassifier
+from .base import BaseImbalanceEnsemble, ResampleEnsembleClassifier, random_balanced_subset
+from .easy_ensemble import EasyEnsembleClassifier
+from .rus_boost import RUSBoostClassifier
+from .smote_bagging import SMOTEBaggingClassifier
+from .smote_boost import SMOTEBoostClassifier
+from .under_bagging import UnderBaggingClassifier
+
+__all__ = [
+    "BalanceCascadeClassifier",
+    "BaseImbalanceEnsemble",
+    "EasyEnsembleClassifier",
+    "ResampleEnsembleClassifier",
+    "RUSBoostClassifier",
+    "SMOTEBaggingClassifier",
+    "SMOTEBoostClassifier",
+    "UnderBaggingClassifier",
+    "random_balanced_subset",
+]

@@ -1,0 +1,111 @@
+"""Shared machinery for imbalance-aware ensembles.
+
+All ensembles here follow the same contract as the canonical classifiers
+(``fit`` / ``predict`` / ``predict_proba``) plus two bookkeeping attributes
+the paper's tables report:
+
+* ``n_training_samples_`` — total number of samples used to train all base
+  models (the "# Sample" column of Tables V and VI);
+* ``estimators_`` — the fitted base models.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..base import BaseEstimator, ClassifierMixin, clone
+from ..ensemble.bagging import average_ensemble_proba
+from ..tree import DecisionTreeClassifier
+from ..utils.validation import (
+    check_array,
+    check_binary_labels,
+    check_is_fitted,
+    check_random_state,
+    check_X_y,
+)
+
+__all__ = ["BaseImbalanceEnsemble", "ResampleEnsembleClassifier", "random_balanced_subset"]
+
+
+def random_balanced_subset(
+    X: np.ndarray,
+    y: np.ndarray,
+    maj_idx: np.ndarray,
+    min_idx: np.ndarray,
+    rng: np.random.RandomState,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """All minority samples plus an equal-size random majority draw."""
+    n = min(len(min_idx), len(maj_idx))
+    chosen = rng.choice(maj_idx, size=n, replace=len(maj_idx) < n)
+    idx = rng.permutation(np.concatenate([chosen, min_idx]))
+    return X[idx], y[idx]
+
+
+class BaseImbalanceEnsemble(BaseEstimator, ClassifierMixin):
+    """Common fit plumbing: validation, base-model creation, averaging."""
+
+    #: subclasses set these in __init__
+    estimator = None
+    n_estimators = 10
+    random_state = None
+
+    def _make_base(self, rng: np.random.RandomState):
+        model = (
+            DecisionTreeClassifier() if self.estimator is None else clone(self.estimator)
+        )
+        if hasattr(model, "random_state"):
+            model.random_state = rng.randint(np.iinfo(np.int32).max)
+        return model
+
+    def _validate(self, X, y):
+        if self.n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        X, y = check_X_y(X, y)
+        y = check_binary_labels(y)
+        self.classes_ = np.unique(y)
+        self.n_features_in_ = X.shape[1]
+        return X, y, check_random_state(self.random_state)
+
+    def predict_proba(self, X) -> np.ndarray:
+        check_is_fitted(self, ["estimators_"])
+        X = check_array(X)
+        return average_ensemble_proba(self.estimators_, X, self.classes_)
+
+    def predict(self, X) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+
+class ResampleEnsembleClassifier(BaseImbalanceEnsemble):
+    """Generic sampler + bagging ensemble.
+
+    Each base model trains on an independent ``sampler.fit_resample`` of the
+    training data (re-seeded per round). With ``RandomUnderSampler`` this is
+    UnderBagging; with ``SMOTE`` it is a SMOTEBagging without rate variation —
+    useful as an ablation harness for arbitrary samplers.
+    """
+
+    def __init__(self, sampler=None, estimator=None, n_estimators: int = 10, random_state=None):
+        self.sampler = sampler
+        self.estimator = estimator
+        self.n_estimators = n_estimators
+        self.random_state = random_state
+
+    def fit(self, X, y) -> "ResampleEnsembleClassifier":
+        if self.sampler is None:
+            raise ValueError("ResampleEnsembleClassifier requires a sampler")
+        X, y, rng = self._validate(X, y)
+        self.estimators_: List = []
+        self.n_training_samples_ = 0
+        for _ in range(self.n_estimators):
+            sampler = clone(self.sampler)
+            if hasattr(sampler, "random_state"):
+                sampler.random_state = rng.randint(np.iinfo(np.int32).max)
+            X_res, y_res = sampler.fit_resample(X, y)
+            model = self._make_base(rng)
+            model.fit(X_res, y_res)
+            self.estimators_.append(model)
+            self.n_training_samples_ += len(y_res)
+        return self

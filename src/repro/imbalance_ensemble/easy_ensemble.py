@@ -1,0 +1,66 @@
+"""EasyEnsemble (Liu, Wu & Zhou, 2009)."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..ensemble.adaboost import AdaBoostClassifier, fit_supports_sample_weight
+from ..tree import DecisionTreeClassifier
+from .base import BaseImbalanceEnsemble, random_balanced_subset
+
+__all__ = ["EasyEnsembleClassifier"]
+
+
+class EasyEnsembleClassifier(BaseImbalanceEnsemble):
+    """Bagging of AdaBoost models, each on a random balanced subset.
+
+    The original formulation boosts the base learner inside every bag. When
+    the base learner cannot take ``sample_weight`` (and AdaBoost would have
+    to fall back to weighted resampling anyway, e.g. for KNN), setting
+    ``n_boost_rounds=1`` — or passing such a learner with
+    ``boost_incapable='plain'`` — degenerates to UnderBagging, which is the
+    equivalence the paper notes for C4.5.
+    """
+
+    def __init__(
+        self,
+        estimator=None,
+        n_estimators: int = 10,
+        n_boost_rounds: int = 10,
+        boost_incapable: str = "resample",
+        random_state=None,
+    ):
+        self.estimator = estimator
+        self.n_estimators = n_estimators
+        self.n_boost_rounds = n_boost_rounds
+        self.boost_incapable = boost_incapable
+        self.random_state = random_state
+
+    def fit(self, X, y) -> "EasyEnsembleClassifier":
+        if self.boost_incapable not in ("resample", "plain"):
+            raise ValueError(f"Unknown boost_incapable {self.boost_incapable!r}")
+        X, y, rng = self._validate(X, y)
+        maj_idx = np.flatnonzero(y == 0)
+        min_idx = np.flatnonzero(y == 1)
+        self.estimators_: List = []
+        self.n_training_samples_ = 0
+        base = self.estimator if self.estimator is not None else DecisionTreeClassifier(max_depth=1)
+        plain = (
+            self.boost_incapable == "plain" and not fit_supports_sample_weight(base)
+        ) or self.n_boost_rounds <= 1
+        for _ in range(self.n_estimators):
+            X_bag, y_bag = random_balanced_subset(X, y, maj_idx, min_idx, rng)
+            if plain:
+                model = self._make_base(rng)
+            else:
+                model = AdaBoostClassifier(
+                    estimator=base,
+                    n_estimators=self.n_boost_rounds,
+                    random_state=rng.randint(np.iinfo(np.int32).max),
+                )
+            model.fit(X_bag, y_bag)
+            self.estimators_.append(model)
+            self.n_training_samples_ += len(y_bag)
+        return self

@@ -1,0 +1,40 @@
+"""UnderBagging (Barandela et al., 2003)."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .base import BaseImbalanceEnsemble, random_balanced_subset
+
+__all__ = ["UnderBaggingClassifier"]
+
+
+class UnderBaggingClassifier(BaseImbalanceEnsemble):
+    """Bagging where every bag is a random balanced under-sample.
+
+    Each of the ``n_estimators`` base models trains on all minority samples
+    plus an equally sized random draw of the majority — cheap, but each bag
+    sees only ``|P| / |N|`` of the majority information, the information-loss
+    failure mode the paper attributes to RandUnder-style methods.
+    """
+
+    def __init__(self, estimator=None, n_estimators: int = 10, random_state=None):
+        self.estimator = estimator
+        self.n_estimators = n_estimators
+        self.random_state = random_state
+
+    def fit(self, X, y) -> "UnderBaggingClassifier":
+        X, y, rng = self._validate(X, y)
+        maj_idx = np.flatnonzero(y == 0)
+        min_idx = np.flatnonzero(y == 1)
+        self.estimators_: List = []
+        self.n_training_samples_ = 0
+        for _ in range(self.n_estimators):
+            X_bag, y_bag = random_balanced_subset(X, y, maj_idx, min_idx, rng)
+            model = self._make_base(rng)
+            model.fit(X_bag, y_bag)
+            self.estimators_.append(model)
+            self.n_training_samples_ += len(y_bag)
+        return self

@@ -1,0 +1,5 @@
+"""Linear models."""
+
+from .logistic import LogisticRegression
+
+__all__ = ["LogisticRegression"]

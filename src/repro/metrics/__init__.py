@@ -1,0 +1,53 @@
+"""Evaluation criteria from the paper (Section II) plus common extras."""
+
+from .classification import (
+    accuracy_score,
+    balanced_accuracy_score,
+    f1_score,
+    fbeta_score,
+    geometric_mean_score,
+    geometric_mean_sensitivity_specificity,
+    matthews_corrcoef,
+    precision_score,
+    recall_score,
+    specificity_score,
+)
+from .confusion import BinaryConfusion, binary_confusion, confusion_matrix
+from .ranking import (
+    auc,
+    average_precision_score,
+    precision_recall_curve,
+    roc_auc_score,
+    roc_curve,
+)
+from .report import (
+    ALL_METRICS,
+    PAPER_METRICS,
+    classification_report,
+    evaluate_classifier,
+)
+
+__all__ = [
+    "accuracy_score",
+    "balanced_accuracy_score",
+    "f1_score",
+    "fbeta_score",
+    "geometric_mean_score",
+    "geometric_mean_sensitivity_specificity",
+    "matthews_corrcoef",
+    "precision_score",
+    "recall_score",
+    "specificity_score",
+    "BinaryConfusion",
+    "binary_confusion",
+    "confusion_matrix",
+    "auc",
+    "average_precision_score",
+    "precision_recall_curve",
+    "roc_auc_score",
+    "roc_curve",
+    "ALL_METRICS",
+    "PAPER_METRICS",
+    "classification_report",
+    "evaluate_classifier",
+]

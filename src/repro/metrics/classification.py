@@ -1,0 +1,107 @@
+"""Threshold metrics used in the paper: precision, recall, F1, G-mean, MCC.
+
+All metrics follow the binary {0, 1} convention with class 1 as the positive
+(minority) class, exactly as the paper defines them in Section II.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..utils.validation import column_or_1d
+from .confusion import binary_confusion
+
+__all__ = [
+    "accuracy_score",
+    "precision_score",
+    "recall_score",
+    "specificity_score",
+    "f1_score",
+    "fbeta_score",
+    "geometric_mean_score",
+    "geometric_mean_sensitivity_specificity",
+    "matthews_corrcoef",
+    "balanced_accuracy_score",
+]
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of correct predictions."""
+    y_true = column_or_1d(y_true)
+    y_pred = column_or_1d(y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def precision_score(y_true, y_pred, *, zero_division: float = 0.0) -> float:
+    """``TP / (TP + FP)``."""
+    c = binary_confusion(y_true, y_pred)
+    denom = c.tp + c.fp
+    return c.tp / denom if denom else zero_division
+
+
+def recall_score(y_true, y_pred, *, zero_division: float = 0.0) -> float:
+    """``TP / (TP + FN)`` (sensitivity, true-positive rate)."""
+    c = binary_confusion(y_true, y_pred)
+    denom = c.tp + c.fn
+    return c.tp / denom if denom else zero_division
+
+
+def specificity_score(y_true, y_pred, *, zero_division: float = 0.0) -> float:
+    """``TN / (TN + FP)`` (true-negative rate)."""
+    c = binary_confusion(y_true, y_pred)
+    denom = c.tn + c.fp
+    return c.tn / denom if denom else zero_division
+
+
+def fbeta_score(y_true, y_pred, *, beta: float = 1.0, zero_division: float = 0.0) -> float:
+    """Weighted harmonic mean of precision and recall."""
+    p = precision_score(y_true, y_pred, zero_division=zero_division)
+    r = recall_score(y_true, y_pred, zero_division=zero_division)
+    if p == 0.0 and r == 0.0:
+        return zero_division
+    b2 = beta * beta
+    denom = b2 * p + r
+    if denom == 0.0:
+        return zero_division
+    return (1 + b2) * p * r / denom
+
+
+def f1_score(y_true, y_pred, *, zero_division: float = 0.0) -> float:
+    """``2 * P * R / (P + R)`` — the paper's F1-score."""
+    return fbeta_score(y_true, y_pred, beta=1.0, zero_division=zero_division)
+
+
+def geometric_mean_score(y_true, y_pred, *, zero_division: float = 0.0) -> float:
+    """``sqrt(precision * recall)`` — the paper's G-mean (GM) definition.
+
+    Note: the paper defines G-mean over precision and recall (Section II);
+    the more common sensitivity/specificity variant is available as
+    :func:`geometric_mean_sensitivity_specificity`.
+    """
+    p = precision_score(y_true, y_pred, zero_division=zero_division)
+    r = recall_score(y_true, y_pred, zero_division=zero_division)
+    return math.sqrt(p * r)
+
+
+def geometric_mean_sensitivity_specificity(y_true, y_pred) -> float:
+    """``sqrt(TPR * TNR)`` — the conventional imbalanced-learning G-mean."""
+    return math.sqrt(recall_score(y_true, y_pred) * specificity_score(y_true, y_pred))
+
+
+def matthews_corrcoef(y_true, y_pred) -> float:
+    """Matthews correlation coefficient, 0.0 when any marginal is empty."""
+    c = binary_confusion(y_true, y_pred)
+    num = c.tp * c.tn - c.fp * c.fn
+    denom = (
+        (c.tp + c.fp) * (c.tp + c.fn) * (c.tn + c.fp) * (c.tn + c.fn)
+    )
+    if denom == 0:
+        return 0.0
+    return num / math.sqrt(denom)
+
+
+def balanced_accuracy_score(y_true, y_pred) -> float:
+    """Mean of sensitivity and specificity."""
+    return 0.5 * (recall_score(y_true, y_pred) + specificity_score(y_true, y_pred))

@@ -1,0 +1,69 @@
+"""Confusion-matrix primitives (paper Table I)."""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import DataValidationError
+from ..utils.validation import column_or_1d, unique_labels
+
+__all__ = ["confusion_matrix", "BinaryConfusion", "binary_confusion"]
+
+
+def confusion_matrix(y_true, y_pred, *, labels: Optional[Sequence] = None) -> np.ndarray:
+    """Confusion matrix ``C`` with ``C[i, j]`` = #samples of class ``labels[i]``
+    predicted as class ``labels[j]``.
+
+    Rows are true labels, columns predictions, matching the paper's Table I
+    orientation when ``labels=[1, 0]`` (positive first).
+    """
+    y_true = column_or_1d(y_true, name="y_true")
+    y_pred = column_or_1d(y_pred, name="y_pred")
+    if y_true.shape[0] != y_pred.shape[0]:
+        raise DataValidationError(
+            f"y_true and y_pred length mismatch: {y_true.shape[0]} != {y_pred.shape[0]}"
+        )
+    if labels is None:
+        labels = unique_labels(y_true, y_pred)
+    labels = np.asarray(labels)
+    n = labels.shape[0]
+    index = {label: i for i, label in enumerate(labels.tolist())}
+    cm = np.zeros((n, n), dtype=np.int64)
+    for t, p in zip(y_true.tolist(), y_pred.tolist()):
+        if t in index and p in index:
+            cm[index[t], index[p]] += 1
+    return cm
+
+
+class BinaryConfusion(NamedTuple):
+    """True/false positive/negative counts for the binary {0, 1} convention."""
+
+    tp: int
+    fp: int
+    fn: int
+    tn: int
+
+    @property
+    def n_positive(self) -> int:
+        return self.tp + self.fn
+
+    @property
+    def n_negative(self) -> int:
+        return self.fp + self.tn
+
+
+def binary_confusion(y_true, y_pred) -> BinaryConfusion:
+    """Vectorised binary confusion counts with class 1 as positive."""
+    y_true = column_or_1d(y_true, name="y_true").astype(int)
+    y_pred = column_or_1d(y_pred, name="y_pred").astype(int)
+    if y_true.shape[0] != y_pred.shape[0]:
+        raise DataValidationError(
+            f"y_true and y_pred length mismatch: {y_true.shape[0]} != {y_pred.shape[0]}"
+        )
+    tp = int(np.sum((y_true == 1) & (y_pred == 1)))
+    fp = int(np.sum((y_true == 0) & (y_pred == 1)))
+    fn = int(np.sum((y_true == 1) & (y_pred == 0)))
+    tn = int(np.sum((y_true == 0) & (y_pred == 0)))
+    return BinaryConfusion(tp=tp, fp=fp, fn=fn, tn=tn)

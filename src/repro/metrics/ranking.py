@@ -1,0 +1,112 @@
+"""Ranking metrics: PR curve, AUCPRC (average precision), ROC, AUC.
+
+``average_precision_score`` is the paper's AUCPRC: the step-wise area under
+the precision-recall curve, the standard estimator that avoids the optimistic
+linear interpolation Davis & Goadrich (2006) warn about.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..exceptions import DataValidationError
+from ..utils.validation import column_or_1d
+
+__all__ = [
+    "precision_recall_curve",
+    "average_precision_score",
+    "roc_curve",
+    "roc_auc_score",
+    "auc",
+]
+
+
+def _check_ranking_inputs(y_true, y_score) -> Tuple[np.ndarray, np.ndarray]:
+    y_true = column_or_1d(y_true, name="y_true").astype(int)
+    y_score = column_or_1d(y_score, name="y_score").astype(float)
+    if y_true.shape[0] != y_score.shape[0]:
+        raise DataValidationError(
+            f"y_true and y_score length mismatch: {y_true.shape[0]} != "
+            f"{y_score.shape[0]}"
+        )
+    if not np.isin(np.unique(y_true), (0, 1)).all():
+        raise DataValidationError("ranking metrics require binary labels in {0, 1}")
+    return y_true, y_score
+
+
+def _binary_curve(y_true, y_score) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Cumulative TP/FP counts at each distinct threshold, descending."""
+    order = np.argsort(-y_score, kind="mergesort")
+    y_true = y_true[order]
+    y_score = y_score[order]
+    # Indices where the score changes; each marks a distinct threshold.
+    distinct = np.flatnonzero(np.diff(y_score)) if y_score.size > 1 else np.array([], int)
+    threshold_idx = np.concatenate([distinct, [y_true.size - 1]])
+    tps = np.cumsum(y_true)[threshold_idx].astype(float)
+    fps = (threshold_idx + 1) - tps
+    return fps, tps, y_score[threshold_idx]
+
+
+def precision_recall_curve(y_true, y_score):
+    """Precision/recall pairs for every distinct threshold.
+
+    Returns ``(precision, recall, thresholds)``, ending with the conventional
+    ``(1, 0)`` anchor point, recall decreasing along the arrays.
+    """
+    y_true, y_score = _check_ranking_inputs(y_true, y_score)
+    n_pos = int(y_true.sum())
+    if n_pos == 0:
+        raise DataValidationError("precision_recall_curve needs at least one positive")
+    fps, tps, thresholds = _binary_curve(y_true, y_score)
+    precision = tps / (tps + fps)
+    recall = tps / n_pos
+    # Reverse so recall is decreasing, then append the (1, 0) anchor.
+    precision = np.concatenate([precision[::-1], [1.0]])
+    recall = np.concatenate([recall[::-1], [0.0]])
+    return precision, recall, thresholds[::-1]
+
+
+def average_precision_score(y_true, y_score) -> float:
+    """AUCPRC — step-wise area under the precision-recall curve.
+
+    ``AP = sum_k (R_k - R_{k-1}) * P_k`` over thresholds in decreasing score
+    order; equivalently the mean precision at the rank of each positive.
+    """
+    precision, recall, _ = precision_recall_curve(y_true, y_score)
+    # recall is decreasing; -diff gives the positive recall increments.
+    return float(-np.sum(np.diff(recall) * precision[:-1]))
+
+
+def roc_curve(y_true, y_score):
+    """ROC curve ``(fpr, tpr, thresholds)`` with the (0,0) anchor prepended."""
+    y_true, y_score = _check_ranking_inputs(y_true, y_score)
+    fps, tps, thresholds = _binary_curve(y_true, y_score)
+    n_pos = tps[-1] if tps.size else 0.0
+    n_neg = fps[-1] if fps.size else 0.0
+    if n_pos == 0 or n_neg == 0:
+        raise DataValidationError("roc_curve needs both classes present")
+    tpr = np.concatenate([[0.0], tps / n_pos])
+    fpr = np.concatenate([[0.0], fps / n_neg])
+    thresholds = np.concatenate([[np.inf], thresholds])
+    return fpr, tpr, thresholds
+
+
+def auc(x, y) -> float:
+    """Trapezoidal area under a curve given by points ``(x, y)``."""
+    x = column_or_1d(x, name="x").astype(float)
+    y = column_or_1d(y, name="y").astype(float)
+    if x.shape[0] < 2:
+        raise DataValidationError("auc needs at least 2 points")
+    dx = np.diff(x)
+    if np.any(dx < 0) and np.any(dx > 0):
+        raise DataValidationError("x must be monotonic for auc")
+    trapezoid = getattr(np, "trapezoid", None) or np.trapz  # numpy 2.x rename
+    return float(abs(trapezoid(y, x)))
+
+
+def roc_auc_score(y_true, y_score) -> float:
+    """Area under the ROC curve (equals the rank-sum statistic)."""
+    fpr, tpr, _ = roc_curve(y_true, y_score)
+    return auc(fpr, tpr)

@@ -1,0 +1,91 @@
+"""Metric registry and report helpers used by the experiment harness.
+
+``PAPER_METRICS`` maps the four criteria reported throughout the paper's
+evaluation (AUCPRC, F1, GM, MCC) to callables with the uniform signature
+``metric(y_true, y_pred, y_score) -> float``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional
+
+import numpy as np
+
+from .classification import (
+    accuracy_score,
+    balanced_accuracy_score,
+    f1_score,
+    geometric_mean_score,
+    matthews_corrcoef,
+    precision_score,
+    recall_score,
+    specificity_score,
+)
+from .confusion import binary_confusion
+from .ranking import average_precision_score, roc_auc_score
+
+__all__ = ["PAPER_METRICS", "ALL_METRICS", "evaluate_classifier", "classification_report"]
+
+
+PAPER_METRICS: Dict[str, Callable] = {
+    "AUCPRC": lambda y_true, y_pred, y_score: average_precision_score(y_true, y_score),
+    "F1": lambda y_true, y_pred, y_score: f1_score(y_true, y_pred),
+    "GM": lambda y_true, y_pred, y_score: geometric_mean_score(y_true, y_pred),
+    "MCC": lambda y_true, y_pred, y_score: matthews_corrcoef(y_true, y_pred),
+}
+
+ALL_METRICS: Dict[str, Callable] = {
+    **PAPER_METRICS,
+    "Accuracy": lambda y_true, y_pred, y_score: accuracy_score(y_true, y_pred),
+    "BalancedAccuracy": lambda y_true, y_pred, y_score: balanced_accuracy_score(
+        y_true, y_pred
+    ),
+    "Precision": lambda y_true, y_pred, y_score: precision_score(y_true, y_pred),
+    "Recall": lambda y_true, y_pred, y_score: recall_score(y_true, y_pred),
+    "Specificity": lambda y_true, y_pred, y_score: specificity_score(y_true, y_pred),
+    "ROCAUC": lambda y_true, y_pred, y_score: roc_auc_score(y_true, y_score),
+}
+
+
+def evaluate_classifier(
+    estimator,
+    X,
+    y,
+    *,
+    metrics: Optional[Mapping[str, Callable]] = None,
+    threshold: float = 0.5,
+) -> Dict[str, float]:
+    """Score a fitted probabilistic classifier on ``(X, y)``.
+
+    Predictions are thresholded from ``predict_proba`` so that ranking and
+    threshold metrics are always consistent with each other.
+    """
+    metrics = PAPER_METRICS if metrics is None else metrics
+    y = np.asarray(y)
+    y_score = estimator.predict_proba(X)[:, 1]
+    y_pred = (y_score >= threshold).astype(int)
+    return {
+        name: float(fn(y, y_pred, y_score)) for name, fn in metrics.items()
+    }
+
+
+def classification_report(y_true, y_pred, *, digits: int = 3) -> str:
+    """Human-readable binary classification report."""
+    c = binary_confusion(y_true, y_pred)
+    rows = [
+        ("precision", precision_score(y_true, y_pred)),
+        ("recall", recall_score(y_true, y_pred)),
+        ("specificity", specificity_score(y_true, y_pred)),
+        ("f1", f1_score(y_true, y_pred)),
+        ("g-mean", geometric_mean_score(y_true, y_pred)),
+        ("mcc", matthews_corrcoef(y_true, y_pred)),
+        ("accuracy", accuracy_score(y_true, y_pred)),
+    ]
+    width = max(len(name) for name, _ in rows)
+    lines = [
+        f"confusion: TP={c.tp} FP={c.fp} FN={c.fn} TN={c.tn}",
+        "-" * (width + 9),
+    ]
+    for name, value in rows:
+        lines.append(f"{name:<{width}}  {value:.{digits}f}")
+    return "\n".join(lines)

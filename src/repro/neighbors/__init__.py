@@ -1,0 +1,11 @@
+"""Nearest-neighbour search and classification."""
+
+from .distance import kneighbors, pairwise_distances
+from .knn import KNeighborsClassifier, NearestNeighbors
+
+__all__ = [
+    "kneighbors",
+    "pairwise_distances",
+    "KNeighborsClassifier",
+    "NearestNeighbors",
+]

@@ -1,0 +1,14 @@
+"""Neural network components: MLP classifier, activations, optimisers."""
+
+from .activations import ACTIVATIONS, log_loss, softmax
+from .mlp import MLPClassifier
+from .optimizers import AdamOptimizer, SGDOptimizer
+
+__all__ = [
+    "ACTIVATIONS",
+    "log_loss",
+    "softmax",
+    "MLPClassifier",
+    "AdamOptimizer",
+    "SGDOptimizer",
+]

@@ -1,0 +1,63 @@
+"""Activation functions and their derivatives for the MLP."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+__all__ = ["ACTIVATIONS", "softmax", "log_loss"]
+
+
+def _relu(z: np.ndarray) -> np.ndarray:
+    return np.maximum(z, 0.0)
+
+
+def _relu_grad(z: np.ndarray, a: np.ndarray) -> np.ndarray:
+    return (z > 0).astype(z.dtype)
+
+
+def _tanh(z: np.ndarray) -> np.ndarray:
+    return np.tanh(z)
+
+
+def _tanh_grad(z: np.ndarray, a: np.ndarray) -> np.ndarray:
+    return 1.0 - a * a
+
+
+def _logistic(z: np.ndarray) -> np.ndarray:
+    out = np.empty_like(z)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+def _logistic_grad(z: np.ndarray, a: np.ndarray) -> np.ndarray:
+    return a * (1.0 - a)
+
+
+# name -> (activation, gradient-given-preactivation-and-activation)
+ACTIVATIONS: Dict[str, Tuple[Callable, Callable]] = {
+    "relu": (_relu, _relu_grad),
+    "tanh": (_tanh, _tanh_grad),
+    "logistic": (_logistic, _logistic_grad),
+}
+
+
+def softmax(z: np.ndarray) -> np.ndarray:
+    """Row-wise softmax, shifted for numerical stability."""
+    shifted = z - z.max(axis=1, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+def log_loss(proba: np.ndarray, y_onehot: np.ndarray, weights=None) -> float:
+    """Mean (optionally weighted) cross entropy."""
+    eps = 1e-12
+    per_sample = -np.sum(y_onehot * np.log(proba + eps), axis=1)
+    if weights is None:
+        return float(per_sample.mean())
+    weights = np.asarray(weights, dtype=float)
+    return float(np.sum(per_sample * weights) / weights.sum())

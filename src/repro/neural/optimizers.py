@@ -1,0 +1,57 @@
+"""Gradient-descent optimisers for the MLP: SGD with momentum and Adam."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+__all__ = ["SGDOptimizer", "AdamOptimizer"]
+
+
+class SGDOptimizer:
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(self, params: List[np.ndarray], lr: float = 0.01, momentum: float = 0.9):
+        self.params = params
+        self.lr = lr
+        self.momentum = momentum
+        self.velocities = [np.zeros_like(p) for p in params]
+
+    def step(self, grads: List[np.ndarray]) -> None:
+        for p, g, v in zip(self.params, grads, self.velocities):
+            v *= self.momentum
+            v -= self.lr * g
+            p += v
+
+
+class AdamOptimizer:
+    """Adam (Kingma & Ba, 2015) with bias-corrected moment estimates."""
+
+    def __init__(
+        self,
+        params: List[np.ndarray],
+        lr: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        self.params = params
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.m = [np.zeros_like(p) for p in params]
+        self.v = [np.zeros_like(p) for p in params]
+        self.t = 0
+
+    def step(self, grads: List[np.ndarray]) -> None:
+        self.t += 1
+        bias1 = 1.0 - self.beta1**self.t
+        bias2 = 1.0 - self.beta2**self.t
+        for p, g, m, v in zip(self.params, grads, self.m, self.v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * (g * g)
+            p -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)

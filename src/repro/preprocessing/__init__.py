@@ -1,0 +1,13 @@
+"""Feature preprocessing: scalers, categorical encoders, imputation."""
+
+from .encoder import OneHotEncoder, OrdinalEncoder
+from .imputer import SimpleImputer
+from .scaler import MinMaxScaler, StandardScaler
+
+__all__ = [
+    "MinMaxScaler",
+    "StandardScaler",
+    "OneHotEncoder",
+    "OrdinalEncoder",
+    "SimpleImputer",
+]

@@ -1,0 +1,110 @@
+"""Categorical encoders used by the KDD-style and PaySim-style datasets."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..base import BaseEstimator
+from ..utils.validation import check_is_fitted
+
+__all__ = ["OrdinalEncoder", "OneHotEncoder"]
+
+
+def _to_object_2d(X) -> np.ndarray:
+    X = np.asarray(X, dtype=object)
+    if X.ndim == 1:
+        X = X.reshape(-1, 1)
+    if X.ndim != 2:
+        raise ValueError(f"Expected 2D categorical array, got {X.ndim}D")
+    return X
+
+
+class OrdinalEncoder(BaseEstimator):
+    """Encode categorical columns as integer codes.
+
+    Unknown categories at transform time map to ``unknown_value`` (default
+    ``-1``) instead of raising, which is what tree learners need when a rare
+    category only occurs in the test split.
+    """
+
+    def __init__(self, unknown_value: int = -1):
+        self.unknown_value = unknown_value
+
+    def fit(self, X, y=None) -> "OrdinalEncoder":
+        X = _to_object_2d(X)
+        self.categories_: List[np.ndarray] = []
+        for j in range(X.shape[1]):
+            self.categories_.append(np.array(sorted(set(X[:, j].tolist()), key=str)))
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_is_fitted(self, ["categories_"])
+        X = _to_object_2d(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} columns, encoder was fitted with "
+                f"{self.n_features_in_}."
+            )
+        out = np.empty(X.shape, dtype=np.float64)
+        for j, cats in enumerate(self.categories_):
+            index = {c: i for i, c in enumerate(cats.tolist())}
+            col = X[:, j]
+            out[:, j] = [index.get(v, self.unknown_value) for v in col.tolist()]
+        return out
+
+    def fit_transform(self, X, y=None) -> np.ndarray:
+        return self.fit(X, y).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        check_is_fitted(self, ["categories_"])
+        X = np.asarray(X)
+        out = np.empty(X.shape, dtype=object)
+        for j, cats in enumerate(self.categories_):
+            codes = X[:, j].astype(int)
+            valid = (codes >= 0) & (codes < len(cats))
+            out[valid, j] = cats[codes[valid]]
+            out[~valid, j] = None
+        return out
+
+
+class OneHotEncoder(BaseEstimator):
+    """One-hot encode categorical columns (dense output).
+
+    Unknown categories at transform time produce an all-zero row for that
+    feature block.
+    """
+
+    def __init__(self, drop_first: bool = False):
+        self.drop_first = drop_first
+
+    def fit(self, X, y=None) -> "OneHotEncoder":
+        X = _to_object_2d(X)
+        self.categories_: List[np.ndarray] = []
+        for j in range(X.shape[1]):
+            self.categories_.append(np.array(sorted(set(X[:, j].tolist()), key=str)))
+        self.n_features_in_ = X.shape[1]
+        start = 1 if self.drop_first else 0
+        self.n_output_features_ = int(
+            sum(max(len(c) - start, 0) for c in self.categories_)
+        )
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_is_fitted(self, ["categories_"])
+        X = _to_object_2d(X)
+        start = 1 if self.drop_first else 0
+        blocks = []
+        for j, cats in enumerate(self.categories_):
+            index = {c: i for i, c in enumerate(cats.tolist())}
+            codes = np.array([index.get(v, -1) for v in X[:, j].tolist()])
+            block = np.zeros((X.shape[0], len(cats)), dtype=np.float64)
+            valid = codes >= 0
+            block[np.flatnonzero(valid), codes[valid]] = 1.0
+            blocks.append(block[:, start:])
+        return np.hstack(blocks) if blocks else np.empty((X.shape[0], 0))
+
+    def fit_transform(self, X, y=None) -> np.ndarray:
+        return self.fit(X, y).transform(X)

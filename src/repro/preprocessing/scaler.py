@@ -1,0 +1,87 @@
+"""Feature scalers: StandardScaler and MinMaxScaler."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import BaseEstimator
+from ..utils.validation import check_array, check_is_fitted
+
+__all__ = ["StandardScaler", "MinMaxScaler"]
+
+
+class StandardScaler(BaseEstimator):
+    """Standardise features to zero mean and unit variance.
+
+    Constant features get a unit scale so transforming never divides by
+    zero. NaN values are ignored when computing statistics and preserved by
+    ``transform`` (useful with the missing-value experiments, Table VII).
+    """
+
+    def __init__(self, with_mean: bool = True, with_std: bool = True):
+        self.with_mean = with_mean
+        self.with_std = with_std
+
+    def fit(self, X, y=None) -> "StandardScaler":
+        X = check_array(X, allow_nan=True)
+        self.mean_ = np.nanmean(X, axis=0) if self.with_mean else np.zeros(X.shape[1])
+        if self.with_std:
+            scale = np.nanstd(X, axis=0)
+            scale[~np.isfinite(scale) | (scale == 0.0)] = 1.0
+            self.scale_ = scale
+        else:
+            self.scale_ = np.ones(X.shape[1])
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_is_fitted(self, ["mean_", "scale_"])
+        X = check_array(X, allow_nan=True, copy=True)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, scaler was fitted with "
+                f"{self.n_features_in_}."
+            )
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X, y=None) -> np.ndarray:
+        return self.fit(X, y).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        check_is_fitted(self, ["mean_", "scale_"])
+        X = check_array(X, allow_nan=True)
+        return X * self.scale_ + self.mean_
+
+
+class MinMaxScaler(BaseEstimator):
+    """Scale features to a target range (default ``[0, 1]``)."""
+
+    def __init__(self, feature_range=(0.0, 1.0)):
+        self.feature_range = feature_range
+
+    def fit(self, X, y=None) -> "MinMaxScaler":
+        lo, hi = self.feature_range
+        if lo >= hi:
+            raise ValueError(f"Invalid feature_range {self.feature_range!r}")
+        X = check_array(X, allow_nan=True)
+        self.data_min_ = np.nanmin(X, axis=0)
+        self.data_max_ = np.nanmax(X, axis=0)
+        span = self.data_max_ - self.data_min_
+        span[~np.isfinite(span) | (span == 0.0)] = 1.0
+        self.scale_ = (hi - lo) / span
+        self.min_ = lo - self.data_min_ * self.scale_
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_is_fitted(self, ["scale_", "min_"])
+        X = check_array(X, allow_nan=True)
+        return X * self.scale_ + self.min_
+
+    def fit_transform(self, X, y=None) -> np.ndarray:
+        return self.fit(X, y).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        check_is_fitted(self, ["scale_", "min_"])
+        X = check_array(X, allow_nan=True)
+        return (X - self.min_) / self.scale_

@@ -1,0 +1,46 @@
+"""Re-sampling methods (the paper's Table V set).
+
+Under-sampling: RandomUnderSampler, NearMiss, TomekLinks,
+EditedNearestNeighbours (ENN), AllKNN, OneSidedSelection (OSS),
+NeighbourhoodCleaningRule (the paper's "Clean").
+
+Over-sampling: RandomOverSampler, SMOTE, BorderlineSMOTE, ADASYN.
+
+Hybrid: SMOTEENN, SMOTETomek.
+"""
+
+from .adasyn import ADASYN
+from .base import BaseSampler, split_classes
+from .cleaning import (
+    AllKNN,
+    EditedNearestNeighbours,
+    NeighbourhoodCleaningRule,
+    OneSidedSelection,
+    TomekLinks,
+)
+from .combine import SMOTEENN, SMOTETomek
+from .condensed import CondensedNearestNeighbour
+from .instance_hardness import InstanceHardnessThreshold
+from .nearmiss import NearMiss
+from .random import RandomOverSampler, RandomUnderSampler
+from .smote import SMOTE, BorderlineSMOTE
+
+__all__ = [
+    "ADASYN",
+    "AllKNN",
+    "BaseSampler",
+    "BorderlineSMOTE",
+    "CondensedNearestNeighbour",
+    "EditedNearestNeighbours",
+    "InstanceHardnessThreshold",
+    "NearMiss",
+    "NeighbourhoodCleaningRule",
+    "OneSidedSelection",
+    "RandomOverSampler",
+    "RandomUnderSampler",
+    "SMOTE",
+    "SMOTEENN",
+    "SMOTETomek",
+    "TomekLinks",
+    "split_classes",
+]

@@ -1,0 +1,64 @@
+"""ADASYN adaptive synthetic over-sampling (He et al., 2008)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..neighbors.distance import kneighbors
+from ..utils.validation import check_random_state
+from .base import BaseSampler, split_classes
+
+__all__ = ["ADASYN"]
+
+
+class ADASYN(BaseSampler):
+    """Generate more synthetics where the minority is harder to learn.
+
+    Each minority sample's share of the synthetic budget is proportional to
+    the fraction of majority samples among its ``n_neighbors`` nearest
+    neighbours in the full dataset.
+    """
+
+    def __init__(self, n_neighbors: int = 5, ratio: float = 1.0, random_state=None):
+        self.n_neighbors = n_neighbors
+        self.ratio = ratio
+        self.random_state = random_state
+
+    def _fit_resample(self, X, y):
+        if self.ratio <= 0:
+            raise ValueError("ratio must be positive")
+        rng = check_random_state(self.random_state)
+        maj, mino = split_classes(X, y)
+        G = max(0, int(round(self.ratio * len(maj))) - len(mino))
+        if G == 0:
+            return X.copy(), y.copy()
+        k = min(self.n_neighbors, len(y) - 1)
+        _, nn = kneighbors(X[mino], X, k, exclude_self=False)
+        r = (y[nn] == 0).mean(axis=1)
+        if r.sum() == 0:
+            # Perfectly separated minority: fall back to uniform allocation.
+            r = np.ones(len(mino))
+        r = r / r.sum()
+        allocation = np.floor(r * G).astype(int)
+        remainder = G - allocation.sum()
+        if remainder > 0:
+            extra = rng.choice(len(mino), size=remainder, p=r)
+            np.add.at(allocation, extra, 1)
+
+        # Interpolate each seed toward one of its nearest *minority*
+        # neighbours (self excluded), allocation[i] times.
+        X_min = X[mino]
+        if len(X_min) < 2:
+            synthetic = np.repeat(X_min, G, axis=0)  # single point: duplicate
+        else:
+            k_min = min(self.n_neighbors, len(X_min) - 1)
+            _, nn_min = kneighbors(X_min, X_min, k_min, exclude_self=True)
+            origin = np.repeat(np.arange(len(X_min)), allocation)
+            neighbor_choice = rng.randint(0, k_min, size=len(origin))
+            targets = X_min[nn_min[origin, neighbor_choice]]
+            gaps = rng.uniform(size=(len(origin), 1))
+            synthetic = X_min[origin] + gaps * (targets - X_min[origin])
+        X_res = np.vstack([X, synthetic])
+        y_res = np.concatenate([y, np.ones(len(synthetic), dtype=y.dtype)])
+        perm = rng.permutation(len(y_res))
+        return X_res[perm], y_res[perm]

@@ -1,0 +1,42 @@
+"""Common machinery for re-samplers.
+
+Every sampler implements ``fit_resample(X, y) -> (X_res, y_res)`` with the
+library's binary convention: class 1 is the minority ("positive"), class 0
+the majority ("negative"). Under-samplers additionally expose
+``sample_indices_`` into the original arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..base import BaseEstimator, SamplerMixin
+from ..exceptions import NotEnoughSamplesError
+from ..utils.validation import check_binary_labels, check_X_y
+
+__all__ = ["BaseSampler", "split_classes"]
+
+
+def split_classes(X: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """``(majority_indices, minority_indices)`` after binary validation."""
+    maj = np.flatnonzero(y == 0)
+    mino = np.flatnonzero(y == 1)
+    if len(mino) == 0:
+        raise NotEnoughSamplesError("No minority (class 1) samples to resample")
+    if len(maj) == 0:
+        raise NotEnoughSamplesError("No majority (class 0) samples to resample")
+    return maj, mino
+
+
+class BaseSampler(BaseEstimator, SamplerMixin):
+    """Template: validates inputs then delegates to ``_fit_resample``."""
+
+    def fit_resample(self, X, y) -> Tuple[np.ndarray, np.ndarray]:
+        X, y = check_X_y(X, y)
+        y = check_binary_labels(y)
+        return self._fit_resample(X, y)
+
+    def _fit_resample(self, X: np.ndarray, y: np.ndarray):
+        raise NotImplementedError

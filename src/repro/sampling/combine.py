@@ -1,0 +1,58 @@
+"""Hybrid re-sampling: SMOTE followed by a cleaning pass."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..neighbors.distance import kneighbors
+from .base import BaseSampler
+from .cleaning import _tomek_link_majority
+from .smote import SMOTE
+
+__all__ = ["SMOTEENN", "SMOTETomek"]
+
+
+class SMOTEENN(BaseSampler):
+    """SMOTE over-sampling, then ENN cleaning applied to *both* classes
+    (Batista et al., 2004)."""
+
+    def __init__(self, k_neighbors: int = 5, n_neighbors_enn: int = 3, random_state=None):
+        self.k_neighbors = k_neighbors
+        self.n_neighbors_enn = n_neighbors_enn
+        self.random_state = random_state
+
+    def _fit_resample(self, X, y):
+        smote = SMOTE(k_neighbors=self.k_neighbors, random_state=self.random_state)
+        X_s, y_s = smote.fit_resample(X, y)
+        k = min(self.n_neighbors_enn, len(y_s) - 1)
+        _, nn = kneighbors(X_s, X_s, k, exclude_self=True)
+        agree = (y_s[nn] == y_s[:, None]).sum(axis=1)
+        keep = agree >= (k / 2.0)
+        # Never drop an entire class.
+        for label in (0, 1):
+            if not (keep & (y_s == label)).any():
+                keep |= y_s == label
+        return X_s[keep], y_s[keep]
+
+
+class SMOTETomek(BaseSampler):
+    """SMOTE over-sampling, then removal of Tomek-link pairs
+    (Batista et al., 2003)."""
+
+    def __init__(self, k_neighbors: int = 5, random_state=None):
+        self.k_neighbors = k_neighbors
+        self.random_state = random_state
+
+    def _fit_resample(self, X, y):
+        smote = SMOTE(k_neighbors=self.k_neighbors, random_state=self.random_state)
+        X_s, y_s = smote.fit_resample(X, y)
+        _, nn = kneighbors(X_s, X_s, 1, exclude_self=True)
+        nn = nn[:, 0]
+        mutual = nn[nn] == np.arange(len(y_s))
+        cross = y_s != y_s[nn]
+        in_link = mutual & cross
+        keep = ~in_link
+        for label in (0, 1):
+            if not (keep & (y_s == label)).any():
+                keep |= y_s == label
+        return X_s[keep], y_s[keep]

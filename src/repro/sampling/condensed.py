@@ -1,0 +1,53 @@
+"""Condensed Nearest Neighbour (Hart, 1968) under-sampling.
+
+CNN keeps a "store" that 1-NN-classifies the whole dataset correctly:
+OSS's condensation step run to a fixed point. Included to complete the
+classic distance-based under-sampling family the paper's related work
+discusses (Tomek's two CNN modifications — reference [12] — build on it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..neighbors.distance import kneighbors
+from ..utils.validation import check_random_state
+from .base import BaseSampler, split_classes
+
+__all__ = ["CondensedNearestNeighbour"]
+
+
+class CondensedNearestNeighbour(BaseSampler):
+    """Keep all minority samples plus a 1-NN-consistent majority subset."""
+
+    def __init__(self, n_seeds: int = 1, max_passes: int = 5, random_state=None):
+        self.n_seeds = n_seeds
+        self.max_passes = max_passes
+        self.random_state = random_state
+
+    def _fit_resample(self, X, y):
+        if self.max_passes < 1:
+            raise ValueError("max_passes must be >= 1")
+        rng = check_random_state(self.random_state)
+        maj, mino = split_classes(X, y)
+        seeds = rng.choice(maj, size=min(self.n_seeds, len(maj)), replace=False)
+        store = list(np.concatenate([mino, seeds]))
+        candidates = np.setdiff1d(maj, seeds)
+        candidates = rng.permutation(candidates)
+        for _ in range(self.max_passes):
+            added = False
+            remaining = []
+            for idx in candidates:
+                _, nn = kneighbors(X[idx : idx + 1], X[store], 1)
+                predicted = y[store[int(nn[0, 0])]]
+                if predicted != y[idx]:
+                    store.append(int(idx))
+                    added = True
+                else:
+                    remaining.append(int(idx))
+            candidates = np.asarray(remaining, dtype=int)
+            if not added or candidates.size == 0:
+                break
+        keep = np.sort(np.asarray(store, dtype=int))
+        self.sample_indices_ = keep
+        return X[keep], y[keep]

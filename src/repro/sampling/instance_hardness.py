@@ -1,0 +1,87 @@
+"""Instance-Hardness-Threshold under-sampling (Smith et al., 2014).
+
+The closest re-sampling prior art to SPE: score every majority sample's
+*instance hardness* — one minus the out-of-fold probability of its true
+class under a probe classifier — and drop the hardest majority samples
+until the classes balance. Unlike SPE it is a one-shot, static filter with
+no self-paced schedule and no easy-sample "skeleton", which is exactly the
+gap the paper's framework fills; having it in the library makes that
+comparison runnable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import clone
+from ..model_selection import StratifiedKFold
+from ..tree import DecisionTreeClassifier
+from ..utils.validation import check_random_state
+from .base import BaseSampler, split_classes
+
+__all__ = ["InstanceHardnessThreshold"]
+
+
+class InstanceHardnessThreshold(BaseSampler):
+    """Remove the majority samples hardest for a cross-validated probe.
+
+    Parameters
+    ----------
+    estimator : classifier, optional (default depth-8 decision tree)
+        Probe whose out-of-fold probabilities define instance hardness.
+    cv : int, default 3
+        Stratified folds used to obtain unbiased probabilities.
+    ratio : float, default 1.0
+        Target ``|N'| / |P|`` after under-sampling.
+    """
+
+    def __init__(self, estimator=None, cv: int = 3, ratio: float = 1.0, random_state=None):
+        self.estimator = estimator
+        self.cv = cv
+        self.ratio = ratio
+        self.random_state = random_state
+
+    def _out_of_fold_proba(self, X, y, rng) -> np.ndarray:
+        base = (
+            DecisionTreeClassifier(max_depth=8)
+            if self.estimator is None
+            else self.estimator
+        )
+        proba_true = np.full(len(y), 0.5)
+        splitter = StratifiedKFold(
+            n_splits=self.cv, shuffle=True,
+            random_state=rng.randint(np.iinfo(np.int32).max),
+        )
+        for train_idx, test_idx in splitter.split(X, y):
+            model = clone(base)
+            if hasattr(model, "random_state"):
+                model.random_state = rng.randint(np.iinfo(np.int32).max)
+            model.fit(X[train_idx], y[train_idx])
+            proba = model.predict_proba(X[test_idx])
+            classes = list(np.asarray(model.classes_).tolist())
+            for label in (0, 1):
+                mask = y[test_idx] == label
+                if label in classes:
+                    proba_true[test_idx[mask]] = proba[mask, classes.index(label)]
+                else:
+                    proba_true[test_idx[mask]] = 0.0
+        return proba_true
+
+    def _fit_resample(self, X, y):
+        if self.ratio <= 0:
+            raise ValueError("ratio must be positive")
+        if self.cv < 2:
+            raise ValueError("cv must be >= 2")
+        rng = check_random_state(self.random_state)
+        maj, mino = split_classes(X, y)
+        n_keep = min(len(maj), max(1, int(round(self.ratio * len(mino)))))
+        proba_true = self._out_of_fold_proba(X, y, rng)
+        hardness_maj = 1.0 - proba_true[maj]
+        # Keep the *easiest* majority samples (lowest instance hardness),
+        # randomised tie-breaking so constant-probability regions don't
+        # introduce index-order bias.
+        order = np.lexsort((rng.permutation(len(maj)), hardness_maj))
+        keep = maj[order[:n_keep]]
+        idx = rng.permutation(np.concatenate([keep, mino]))
+        self.sample_indices_ = idx
+        return X[idx], y[idx]

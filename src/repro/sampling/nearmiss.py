@@ -1,0 +1,80 @@
+"""NearMiss under-sampling (Mani & Zhang, 2003), versions 1-3."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..neighbors.distance import pairwise_distances
+from ..utils.validation import check_random_state
+from .base import BaseSampler, split_classes
+
+__all__ = ["NearMiss"]
+
+
+class NearMiss(BaseSampler):
+    """Keep the majority samples closest (by several notions) to the minority.
+
+    * version 1 — smallest mean distance to the ``n_neighbors`` *nearest*
+      minority samples (the library/imbalanced-learn default);
+    * version 2 — smallest mean distance to the ``n_neighbors`` *farthest*
+      minority samples;
+    * version 3 — pre-select the ``n_neighbors_ver3`` nearest majority
+      samples of each minority point, then among those keep the ones with the
+      *largest* mean distance to their nearest minority neighbours.
+
+    All versions retain ``|P|`` majority samples (balanced output), matching
+    the paper's Table V protocol.
+    """
+
+    def __init__(
+        self,
+        version: int = 1,
+        n_neighbors: int = 3,
+        n_neighbors_ver3: int = 3,
+        random_state=None,
+    ):
+        self.version = version
+        self.n_neighbors = n_neighbors
+        self.n_neighbors_ver3 = n_neighbors_ver3
+        self.random_state = random_state
+
+    def _fit_resample(self, X, y):
+        if self.version not in (1, 2, 3):
+            raise ValueError(f"NearMiss version must be 1, 2 or 3, got {self.version}")
+        rng = check_random_state(self.random_state)
+        maj, mino = split_classes(X, y)
+        n_keep = min(len(mino), len(maj))
+        dist = pairwise_distances(X[maj], X[mino])
+        k = min(self.n_neighbors, len(mino))
+
+        if self.version == 1:
+            part = np.partition(dist, k - 1, axis=1)[:, :k]
+            score = part.mean(axis=1)
+            order = np.argsort(score, kind="stable")
+            keep = maj[order[:n_keep]]
+        elif self.version == 2:
+            part = -np.partition(-dist, k - 1, axis=1)[:, :k]
+            score = part.mean(axis=1)
+            order = np.argsort(score, kind="stable")
+            keep = maj[order[:n_keep]]
+        else:
+            m = min(self.n_neighbors_ver3, len(maj))
+            # Step 1: union of each minority point's m nearest majority samples.
+            nearest_maj = np.argpartition(dist.T, m - 1, axis=1)[:, :m]
+            candidates = np.unique(nearest_maj.ravel())
+            # Step 2: among candidates, keep those farthest from the minority
+            # (largest mean distance to their k nearest minority neighbours).
+            cand_dist = dist[candidates]
+            part = np.partition(cand_dist, k - 1, axis=1)[:, :k]
+            score = part.mean(axis=1)
+            order = np.argsort(-score, kind="stable")
+            keep = maj[candidates[order[:n_keep]]]
+            if len(keep) < n_keep:
+                # Candidate pool smaller than |P|: pad with random majority.
+                rest = np.setdiff1d(maj, keep, assume_unique=False)
+                extra = rng.choice(rest, size=n_keep - len(keep), replace=False)
+                keep = np.concatenate([keep, extra])
+
+        idx = rng.permutation(np.concatenate([keep, mino]))
+        self.sample_indices_ = idx
+        return X[idx], y[idx]

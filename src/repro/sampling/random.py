@@ -1,0 +1,59 @@
+"""Random under- and over-sampling — the no-assumptions baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.validation import check_random_state
+from .base import BaseSampler, split_classes
+
+__all__ = ["RandomUnderSampler", "RandomOverSampler"]
+
+
+class RandomUnderSampler(BaseSampler):
+    """Drop random majority samples until ``|N'| = ratio * |P|``.
+
+    The paper's RandUnder (and the subset generator inside every
+    under-sampling ensemble baseline).
+    """
+
+    def __init__(self, ratio: float = 1.0, replacement: bool = False, random_state=None):
+        self.ratio = ratio
+        self.replacement = replacement
+        self.random_state = random_state
+
+    def _fit_resample(self, X, y):
+        if self.ratio <= 0:
+            raise ValueError("ratio must be positive")
+        rng = check_random_state(self.random_state)
+        maj, mino = split_classes(X, y)
+        n_keep = max(1, int(round(self.ratio * len(mino))))
+        if self.replacement or n_keep > len(maj):
+            keep = rng.choice(maj, size=n_keep, replace=True)
+        else:
+            keep = rng.choice(maj, size=n_keep, replace=False)
+        idx = np.concatenate([keep, mino])
+        idx = rng.permutation(idx)
+        self.sample_indices_ = idx
+        return X[idx], y[idx]
+
+
+class RandomOverSampler(BaseSampler):
+    """Duplicate random minority samples until ``|P'| = ratio * |N|``."""
+
+    def __init__(self, ratio: float = 1.0, random_state=None):
+        self.ratio = ratio
+        self.random_state = random_state
+
+    def _fit_resample(self, X, y):
+        if self.ratio <= 0:
+            raise ValueError("ratio must be positive")
+        rng = check_random_state(self.random_state)
+        maj, mino = split_classes(X, y)
+        n_target = int(round(self.ratio * len(maj)))
+        n_extra = max(0, n_target - len(mino))
+        extra = rng.choice(mino, size=n_extra, replace=True)
+        idx = np.concatenate([maj, mino, extra])
+        idx = rng.permutation(idx)
+        self.sample_indices_ = idx
+        return X[idx], y[idx]

@@ -1,0 +1,117 @@
+"""SMOTE-family over-sampling (Chawla et al., 2002; Han et al., 2005)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import NotEnoughSamplesError
+from ..neighbors.distance import kneighbors
+from ..utils.validation import check_random_state
+from .base import BaseSampler, split_classes
+
+__all__ = ["SMOTE", "BorderlineSMOTE", "smote_interpolate"]
+
+
+def smote_interpolate(
+    seeds: np.ndarray,
+    neighbors_pool: np.ndarray,
+    n_new: int,
+    k_neighbors: int,
+    rng: np.random.RandomState,
+) -> np.ndarray:
+    """Generate ``n_new`` synthetic points between seeds and their neighbours.
+
+    ``seeds`` are the minority samples allowed to originate synthetics;
+    ``neighbors_pool`` is the minority set in which nearest neighbours are
+    searched (SMOTE uses the whole minority class for both).
+    """
+    if n_new <= 0:
+        return np.empty((0, seeds.shape[1]))
+    if len(neighbors_pool) < 2:
+        raise NotEnoughSamplesError(
+            "SMOTE needs at least 2 minority samples to interpolate"
+        )
+    k = min(k_neighbors, len(neighbors_pool) - 1)
+    same_pool = seeds is neighbors_pool or (
+        seeds.shape == neighbors_pool.shape and np.shares_memory(seeds, neighbors_pool)
+    )
+    _, nn = kneighbors(seeds, neighbors_pool, k, exclude_self=same_pool)
+    origin = rng.randint(0, len(seeds), size=n_new)
+    neighbor_choice = rng.randint(0, nn.shape[1], size=n_new)
+    targets = neighbors_pool[nn[origin, neighbor_choice]]
+    gaps = rng.uniform(size=(n_new, 1))
+    return seeds[origin] + gaps * (targets - seeds[origin])
+
+
+class SMOTE(BaseSampler):
+    """Synthetic Minority Over-sampling TechniquE.
+
+    Generates ``ratio * |N| - |P|`` synthetic minority samples by linear
+    interpolation between each seed and one of its ``k_neighbors`` nearest
+    minority neighbours.
+    """
+
+    def __init__(self, k_neighbors: int = 5, ratio: float = 1.0, random_state=None):
+        self.k_neighbors = k_neighbors
+        self.ratio = ratio
+        self.random_state = random_state
+
+    def _fit_resample(self, X, y):
+        if self.ratio <= 0:
+            raise ValueError("ratio must be positive")
+        rng = check_random_state(self.random_state)
+        maj, mino = split_classes(X, y)
+        n_new = max(0, int(round(self.ratio * len(maj))) - len(mino))
+        X_min = X[mino]
+        synthetic = smote_interpolate(X_min, X_min, n_new, self.k_neighbors, rng)
+        X_res = np.vstack([X, synthetic])
+        y_res = np.concatenate([y, np.ones(len(synthetic), dtype=y.dtype)])
+        perm = rng.permutation(len(y_res))
+        return X_res[perm], y_res[perm]
+
+
+class BorderlineSMOTE(BaseSampler):
+    """Borderline-SMOTE (variant 1): only "danger" minority samples seed.
+
+    A minority sample is *danger* when at least half (but not all) of its
+    ``m_neighbors`` nearest neighbours in the full dataset are majority;
+    samples whose neighbours are all majority count as noise and are skipped.
+    """
+
+    def __init__(
+        self,
+        k_neighbors: int = 5,
+        m_neighbors: int = 10,
+        ratio: float = 1.0,
+        random_state=None,
+    ):
+        self.k_neighbors = k_neighbors
+        self.m_neighbors = m_neighbors
+        self.ratio = ratio
+        self.random_state = random_state
+
+    def danger_mask(self, X: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Boolean mask over minority samples flagged as borderline."""
+        maj, mino = split_classes(X, y)
+        m = min(self.m_neighbors, len(y) - 1)
+        _, nn = kneighbors(X[mino], X, m, exclude_self=False)
+        # Self may appear as its own neighbour; count majority votes only.
+        n_majority = (y[nn] == 0).sum(axis=1)
+        half = m / 2.0
+        return (n_majority >= half) & (n_majority < m)
+
+    def _fit_resample(self, X, y):
+        if self.ratio <= 0:
+            raise ValueError("ratio must be positive")
+        rng = check_random_state(self.random_state)
+        maj, mino = split_classes(X, y)
+        danger = self.danger_mask(X, y)
+        seeds = X[mino[danger]] if danger.any() else X[mino]
+        n_new = max(0, int(round(self.ratio * len(maj))) - len(mino))
+        synthetic = smote_interpolate(seeds, X[mino], n_new, self.k_neighbors, rng)
+        X_res = np.vstack([X, synthetic])
+        y_res = np.concatenate([y, np.ones(len(synthetic), dtype=y.dtype)])
+        perm = rng.permutation(len(y_res))
+        return X_res[perm], y_res[perm]

@@ -1,0 +1,6 @@
+"""Support vector machines (Pegasos-trained, Platt-scaled probabilities)."""
+
+from .kernels import linear_kernel, polynomial_kernel, rbf_kernel
+from .svc import SVC, LinearSVC
+
+__all__ = ["SVC", "LinearSVC", "linear_kernel", "polynomial_kernel", "rbf_kernel"]

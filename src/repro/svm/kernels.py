@@ -1,0 +1,45 @@
+"""Kernel functions for the SVM module."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..neighbors.distance import pairwise_distances
+
+__all__ = ["linear_kernel", "rbf_kernel", "polynomial_kernel", "resolve_kernel"]
+
+
+def linear_kernel(X, Y) -> np.ndarray:
+    """``K(x, y) = <x, y>``"""
+    return np.asarray(X) @ np.asarray(Y).T
+
+
+def rbf_kernel(X, Y, *, gamma: float) -> np.ndarray:
+    """``K(x, y) = exp(-gamma * ||x - y||²)``"""
+    d2 = pairwise_distances(X, Y, squared=True)
+    return np.exp(-gamma * d2)
+
+
+def polynomial_kernel(X, Y, *, degree: int = 3, gamma: float = 1.0, coef0: float = 1.0):
+    """``K(x, y) = (gamma * <x, y> + coef0) ** degree``"""
+    return (gamma * linear_kernel(X, Y) + coef0) ** degree
+
+
+def resolve_kernel(kernel: str, gamma, n_features: int, X_var: float):
+    """Return ``f(X, Y) -> K`` for a kernel name, resolving gamma='scale'."""
+    if gamma == "scale":
+        gamma_value = 1.0 / (n_features * X_var) if X_var > 0 else 1.0 / n_features
+    elif gamma == "auto":
+        gamma_value = 1.0 / n_features
+    else:
+        gamma_value = float(gamma)
+    if kernel == "linear":
+        return linear_kernel, gamma_value
+    if kernel == "rbf":
+        return (lambda X, Y: rbf_kernel(X, Y, gamma=gamma_value)), gamma_value
+    if kernel == "poly":
+        return (
+            lambda X, Y: polynomial_kernel(X, Y, gamma=gamma_value),
+            gamma_value,
+        )
+    raise ValueError(f"Unsupported kernel {kernel!r}")

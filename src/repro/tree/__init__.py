@@ -1,0 +1,12 @@
+"""Decision trees: CART-style (gini/entropy) and C4.5-style (gain ratio)."""
+
+from ._binning import FeatureBinner
+from .decision_tree import C45Classifier, DecisionTreeClassifier
+from .export import export_text
+
+__all__ = [
+    "C45Classifier",
+    "DecisionTreeClassifier",
+    "FeatureBinner",
+    "export_text",
+]

@@ -1,0 +1,66 @@
+"""Quantile binning of features for fast histogram-based split search."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..utils.validation import check_array
+
+__all__ = ["FeatureBinner"]
+
+
+class FeatureBinner:
+    """Map each feature to small integer codes via quantile cut points.
+
+    Split search then only has to consider one candidate threshold per bin
+    boundary, turning the O(n log n) exact sort per node into an O(n) histogram
+    pass — the same trick histogram GBDTs (LightGBM) use.
+
+    The code of value ``x`` on feature ``j`` is the number of cut points
+    ``<= x``; the raw-value threshold equivalent to splitting after code ``c``
+    is ``edges[j][c]`` with the test ``x < edges[j][c]``.
+    """
+
+    def __init__(self, max_bins: int = 64):
+        if max_bins < 2:
+            raise ValueError("max_bins must be >= 2")
+        self.max_bins = max_bins
+
+    def fit(self, X) -> "FeatureBinner":
+        X = check_array(X)
+        self.edges_: List[np.ndarray] = []
+        self.n_bins_ = np.empty(X.shape[1], dtype=np.int64)
+        quantiles = np.linspace(0.0, 1.0, self.max_bins + 1)[1:-1]
+        for j in range(X.shape[1]):
+            col = X[:, j]
+            unique = np.unique(col)
+            if unique.size <= self.max_bins:
+                # Cut between consecutive distinct values: exact splits.
+                edges = (unique[:-1] + unique[1:]) / 2.0
+            else:
+                edges = np.unique(np.quantile(col, quantiles))
+            self.edges_.append(edges)
+            self.n_bins_[j] = edges.size + 1
+        self.n_features_ = X.shape[1]
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        X = check_array(X)
+        if X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, binner was fitted with "
+                f"{self.n_features_}."
+            )
+        codes = np.empty(X.shape, dtype=np.int32)
+        for j, edges in enumerate(self.edges_):
+            codes[:, j] = np.searchsorted(edges, X[:, j], side="right")
+        return codes
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def threshold_value(self, feature: int, code: int) -> float:
+        """Raw-value threshold for splitting after bin ``code`` (test x < t)."""
+        return float(self.edges_[feature][code])

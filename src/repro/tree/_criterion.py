@@ -1,0 +1,65 @@
+"""Split-quality criteria: Gini impurity, entropy, C4.5 gain ratio."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["node_impurity", "children_impurity", "split_gain", "CRITERIA"]
+
+CRITERIA = ("gini", "entropy", "gain_ratio")
+
+_EPS = 1e-12
+
+
+def node_impurity(class_weights: np.ndarray, criterion: str) -> float:
+    """Impurity of a node given its per-class weight vector."""
+    total = class_weights.sum()
+    if total <= 0:
+        return 0.0
+    p = class_weights / total
+    if criterion == "gini":
+        return float(1.0 - np.sum(p * p))
+    # entropy and gain_ratio both use entropy as node impurity
+    nz = p[p > 0]
+    return float(-np.sum(nz * np.log2(nz)))
+
+
+def children_impurity(W: np.ndarray, criterion: str) -> np.ndarray:
+    """Row-wise impurity for a (n_candidates, n_classes) weight matrix."""
+    totals = W.sum(axis=1, keepdims=True)
+    safe = np.where(totals > 0, totals, 1.0)
+    p = W / safe
+    if criterion == "gini":
+        return 1.0 - np.sum(p * p, axis=1)
+    logp = np.where(p > 0, np.log2(np.maximum(p, _EPS)), 0.0)
+    return -np.sum(p * logp, axis=1)
+
+
+def split_gain(
+    left: np.ndarray,
+    right: np.ndarray,
+    parent_impurity: float,
+    criterion: str,
+) -> np.ndarray:
+    """Impurity decrease for each candidate split.
+
+    ``left`` / ``right`` are (n_candidates, n_classes) class-weight matrices.
+    For ``gain_ratio`` the information gain is normalised by the split
+    information, as in Quinlan's C4.5.
+    """
+    wl = left.sum(axis=1)
+    wr = right.sum(axis=1)
+    total = wl + wr
+    safe_total = np.where(total > 0, total, 1.0)
+    child_criterion = "entropy" if criterion == "gain_ratio" else criterion
+    il = children_impurity(left, child_criterion)
+    ir = children_impurity(right, child_criterion)
+    gain = parent_impurity - (wl * il + wr * ir) / safe_total
+    if criterion == "gain_ratio":
+        pl = np.clip(wl / safe_total, _EPS, 1.0)
+        pr = np.clip(wr / safe_total, _EPS, 1.0)
+        split_info = -(pl * np.log2(pl) + pr * np.log2(pr))
+        gain = gain / np.maximum(split_info, _EPS)
+    # Degenerate candidates (an empty side) carry no usable gain.
+    gain[(wl <= 0) | (wr <= 0)] = -np.inf
+    return gain

@@ -1,0 +1,217 @@
+"""Array-backed decision tree structure and depth-first builder."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..utils.validation import check_random_state
+from ._binning import FeatureBinner
+from ._criterion import node_impurity, split_gain
+
+__all__ = ["Tree", "build_tree"]
+
+_LEAF = -1
+
+
+@dataclass
+class Tree:
+    """Flat-array decision tree.
+
+    ``feature[i] == -1`` marks node ``i`` as a leaf. Internal nodes route a
+    sample left when ``x[feature[i]] < threshold[i]``. ``value`` holds the
+    (normalised) class-weight distribution of training samples per node.
+    """
+
+    feature: np.ndarray
+    threshold: np.ndarray
+    children_left: np.ndarray
+    children_right: np.ndarray
+    value: np.ndarray
+    n_node_samples: np.ndarray
+    impurity: np.ndarray
+    n_classes: int
+
+    @property
+    def node_count(self) -> int:
+        return len(self.feature)
+
+    @property
+    def max_depth(self) -> int:
+        depth = np.zeros(self.node_count, dtype=int)
+        for i in range(self.node_count):
+            for child in (self.children_left[i], self.children_right[i]):
+                if child != _LEAF:
+                    depth[child] = depth[i] + 1
+        return int(depth.max()) if self.node_count else 0
+
+    def apply(self, X: np.ndarray) -> np.ndarray:
+        """Leaf index for every row of raw (un-binned) ``X``."""
+        n = X.shape[0]
+        node = np.zeros(n, dtype=np.int64)
+        while True:
+            active = np.flatnonzero(self.feature[node] != _LEAF)
+            if active.size == 0:
+                break
+            cur = node[active]
+            feat = self.feature[cur]
+            go_left = X[active, feat] < self.threshold[cur]
+            node[active] = np.where(
+                go_left, self.children_left[cur], self.children_right[cur]
+            )
+        return node
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        leaves = self.apply(X)
+        return self.value[leaves]
+
+
+@dataclass
+class _NodeRecord:
+    indices: np.ndarray
+    depth: int
+    parent: int
+    is_left: bool
+
+
+@dataclass
+class _Growing:
+    feature: List[int] = field(default_factory=list)
+    threshold: List[float] = field(default_factory=list)
+    left: List[int] = field(default_factory=list)
+    right: List[int] = field(default_factory=list)
+    value: List[np.ndarray] = field(default_factory=list)
+    n_samples: List[int] = field(default_factory=list)
+    impurity: List[float] = field(default_factory=list)
+
+    def add(self, value: np.ndarray, n_samples: int, impurity: float) -> int:
+        self.feature.append(_LEAF)
+        self.threshold.append(0.0)
+        self.left.append(_LEAF)
+        self.right.append(_LEAF)
+        self.value.append(value)
+        self.n_samples.append(n_samples)
+        self.impurity.append(impurity)
+        return len(self.feature) - 1
+
+
+def _class_histograms(
+    codes: np.ndarray,
+    y: np.ndarray,
+    w: np.ndarray,
+    n_bins: int,
+    n_classes: int,
+):
+    """Weighted and unweighted per-bin per-class histograms via bincount."""
+    combined = codes.astype(np.int64) * n_classes + y
+    weighted = np.bincount(combined, weights=w, minlength=n_bins * n_classes)
+    counts = np.bincount(combined, minlength=n_bins * n_classes)
+    return (
+        weighted.reshape(n_bins, n_classes),
+        counts.reshape(n_bins, n_classes),
+    )
+
+
+def build_tree(
+    X_binned: np.ndarray,
+    y_encoded: np.ndarray,
+    sample_weight: np.ndarray,
+    binner: FeatureBinner,
+    *,
+    n_classes: int,
+    criterion: str = "gini",
+    max_depth: Optional[int] = None,
+    min_samples_split: int = 2,
+    min_samples_leaf: int = 1,
+    min_impurity_decrease: float = 0.0,
+    max_features: Optional[int] = None,
+    random_state=None,
+) -> Tree:
+    """Grow a tree depth-first on pre-binned data.
+
+    ``max_features`` (when set) samples that many candidate features per node
+    without replacement — the randomisation Random Forest relies on.
+    """
+    rng = check_random_state(random_state)
+    n_features = X_binned.shape[1]
+    max_depth = np.inf if max_depth is None else max_depth
+    grow = _Growing()
+    stack: List[_NodeRecord] = [
+        _NodeRecord(np.arange(X_binned.shape[0]), 0, _LEAF, False)
+    ]
+
+    while stack:
+        rec = stack.pop()
+        idx = rec.indices
+        y_node = y_encoded[idx]
+        w_node = sample_weight[idx]
+        class_w = np.bincount(y_node, weights=w_node, minlength=n_classes)
+        total_w = class_w.sum()
+        imp = node_impurity(class_w, criterion)
+        dist = class_w / total_w if total_w > 0 else np.full(n_classes, 1.0 / n_classes)
+        node_id = grow.add(dist, len(idx), imp)
+        if rec.parent != _LEAF:
+            if rec.is_left:
+                grow.left[rec.parent] = node_id
+            else:
+                grow.right[rec.parent] = node_id
+
+        if (
+            rec.depth >= max_depth
+            or len(idx) < min_samples_split
+            or imp <= 1e-12
+        ):
+            continue
+
+        if max_features is not None and max_features < n_features:
+            features = rng.choice(n_features, size=max_features, replace=False)
+        else:
+            features = np.arange(n_features)
+
+        best_gain = -np.inf
+        best_feature = _LEAF
+        best_code = -1
+        codes_node = X_binned[idx]
+        for j in features:
+            n_bins = int(binner.n_bins_[j])
+            if n_bins < 2:
+                continue
+            weighted, counts = _class_histograms(
+                codes_node[:, j], y_node, w_node, n_bins, n_classes
+            )
+            cum_w = np.cumsum(weighted, axis=0)[:-1]
+            cum_c = np.cumsum(counts.sum(axis=1))[:-1]
+            left_w = cum_w
+            right_w = class_w[None, :] - cum_w
+            gains = split_gain(left_w, right_w, imp, criterion)
+            n_left = cum_c
+            n_right = len(idx) - cum_c
+            gains[(n_left < min_samples_leaf) | (n_right < min_samples_leaf)] = -np.inf
+            best_local = int(np.argmax(gains))
+            if gains[best_local] > best_gain:
+                best_gain = gains[best_local]
+                best_feature = int(j)
+                best_code = best_local
+
+        if best_feature == _LEAF or best_gain <= min_impurity_decrease + 1e-12:
+            continue
+
+        grow.feature[node_id] = best_feature
+        grow.threshold[node_id] = binner.threshold_value(best_feature, best_code)
+        go_left = codes_node[:, best_feature] <= best_code
+        # Push right first so left is processed next (cosmetic: left-to-right ids).
+        stack.append(_NodeRecord(idx[~go_left], rec.depth + 1, node_id, False))
+        stack.append(_NodeRecord(idx[go_left], rec.depth + 1, node_id, True))
+
+    return Tree(
+        feature=np.asarray(grow.feature, dtype=np.int64),
+        threshold=np.asarray(grow.threshold, dtype=np.float64),
+        children_left=np.asarray(grow.left, dtype=np.int64),
+        children_right=np.asarray(grow.right, dtype=np.int64),
+        value=np.asarray(grow.value, dtype=np.float64),
+        n_node_samples=np.asarray(grow.n_samples, dtype=np.int64),
+        impurity=np.asarray(grow.impurity, dtype=np.float64),
+        n_classes=n_classes,
+    )

@@ -1,0 +1,41 @@
+"""Textual rendering of a fitted decision tree (debugging / examples)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..utils.validation import check_is_fitted
+
+__all__ = ["export_text"]
+
+
+def export_text(
+    estimator,
+    *,
+    feature_names: Optional[Sequence[str]] = None,
+    max_depth: int = 10,
+    decimals: int = 3,
+) -> str:
+    """Render the tree of a fitted ``DecisionTreeClassifier`` as ASCII."""
+    check_is_fitted(estimator, ["tree_"])
+    tree = estimator.tree_
+    if feature_names is None:
+        feature_names = [f"feature_{i}" for i in range(estimator.n_features_in_)]
+    lines: List[str] = []
+
+    def recurse(node: int, depth: int) -> None:
+        indent = "|   " * depth + "|-- "
+        if tree.feature[node] < 0 or depth >= max_depth:
+            dist = ", ".join(f"{v:.{decimals}f}" for v in tree.value[node])
+            suffix = " (truncated)" if tree.feature[node] >= 0 else ""
+            lines.append(f"{indent}class distribution: [{dist}]{suffix}")
+            return
+        name = feature_names[tree.feature[node]]
+        thr = tree.threshold[node]
+        lines.append(f"{indent}{name} < {thr:.{decimals}f}")
+        recurse(tree.children_left[node], depth + 1)
+        lines.append(f"{indent}{name} >= {thr:.{decimals}f}")
+        recurse(tree.children_right[node], depth + 1)
+
+    recurse(0, 0)
+    return "\n".join(lines)

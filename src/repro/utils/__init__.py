@@ -1,0 +1,40 @@
+"""Shared utilities: validation, array helpers, timing."""
+
+from .arrays import (
+    class_distribution,
+    imbalance_ratio,
+    majority_minority_split,
+    safe_vstack,
+    shuffle_together,
+    stratified_indices,
+)
+from .timing import Timer, timed_call
+from .validation import (
+    check_array,
+    check_binary_labels,
+    check_is_fitted,
+    check_random_state,
+    check_sample_weight,
+    check_X_y,
+    column_or_1d,
+    unique_labels,
+)
+
+__all__ = [
+    "check_array",
+    "check_binary_labels",
+    "check_is_fitted",
+    "check_random_state",
+    "check_sample_weight",
+    "check_X_y",
+    "column_or_1d",
+    "unique_labels",
+    "class_distribution",
+    "imbalance_ratio",
+    "majority_minority_split",
+    "safe_vstack",
+    "shuffle_together",
+    "stratified_indices",
+    "Timer",
+    "timed_call",
+]

@@ -1,0 +1,89 @@
+"""Tests for the estimator base machinery (get/set params, clone)."""
+
+import numpy as np
+import pytest
+
+from repro.base import BaseEstimator, ClassifierMixin, clone, is_classifier
+from repro.tree import DecisionTreeClassifier
+
+
+class Toy(BaseEstimator, ClassifierMixin):
+    def __init__(self, a=1, b="x", nested=None):
+        self.a = a
+        self.b = b
+        self.nested = nested
+
+    def fit(self, X, y):
+        self.fitted_ = True
+        return self
+
+    def predict(self, X):
+        return np.zeros(len(X))
+
+
+class TestGetSetParams:
+    def test_get_params_returns_init_values(self):
+        assert Toy(a=5, b="y").get_params(deep=False) == {"a": 5, "b": "y", "nested": None}
+
+    def test_set_params_updates(self):
+        toy = Toy().set_params(a=9)
+        assert toy.a == 9
+
+    def test_set_params_rejects_unknown(self):
+        with pytest.raises(ValueError, match="Invalid parameter"):
+            Toy().set_params(zzz=1)
+
+    def test_nested_params_deep(self):
+        outer = Toy(nested=Toy(a=3))
+        params = outer.get_params(deep=True)
+        assert params["nested__a"] == 3
+
+    def test_nested_set_params(self):
+        outer = Toy(nested=Toy(a=3))
+        outer.set_params(nested__a=7)
+        assert outer.nested.a == 7
+
+    def test_repr_contains_params(self):
+        assert "a=2" in repr(Toy(a=2))
+
+
+class TestClone:
+    def test_clone_copies_params(self):
+        original = Toy(a=4, b="z")
+        copy = clone(original)
+        assert copy.a == 4 and copy.b == "z"
+        assert copy is not original
+
+    def test_clone_is_unfitted(self):
+        original = Toy().fit(np.zeros((2, 1)), np.zeros(2))
+        copy = clone(original)
+        assert not hasattr(copy, "fitted_")
+
+    def test_clone_deep_copies_nested(self):
+        original = Toy(nested=Toy(a=1))
+        copy = clone(original)
+        copy.nested.a = 99
+        assert original.nested.a == 1
+
+    def test_clone_list(self):
+        clones = clone([Toy(a=1), Toy(a=2)])
+        assert [c.a for c in clones] == [1, 2]
+
+    def test_clone_rejects_non_estimator(self):
+        with pytest.raises(TypeError):
+            clone(object())
+
+    def test_clone_real_estimator(self):
+        tree = DecisionTreeClassifier(max_depth=3, random_state=5)
+        copy = clone(tree)
+        assert copy.max_depth == 3 and copy.random_state == 5
+
+
+class TestMixins:
+    def test_is_classifier(self):
+        assert is_classifier(Toy())
+        assert not is_classifier(object())
+
+    def test_score_is_accuracy(self):
+        toy = Toy().fit(np.zeros((4, 1)), np.zeros(4))
+        assert toy.score(np.zeros((4, 1)), np.array([0, 0, 1, 1])) == 0.5

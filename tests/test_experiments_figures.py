@@ -1,0 +1,133 @@
+"""Smoke + behaviour tests for the figure data generators (tiny sizes)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_checkerboard, make_credit_fraud
+from repro.experiments import (
+    fig2_hardness_distributions,
+    fig3_selfpaced_bins,
+    fig5_training_curves,
+    fig6_training_views,
+    fig7_n_estimators_sweep,
+    fig8_sensitivity,
+)
+from repro.model_selection import train_test_split
+from repro.tree import DecisionTreeClassifier
+
+
+@pytest.fixture(scope="module")
+def small_task():
+    X, y = make_credit_fraud(n_samples=3000, imbalance_ratio=30, random_state=0)
+    return train_test_split(X, y, test_size=0.3, random_state=0)
+
+
+class TestFig2:
+    def test_structure_and_overlap_story(self):
+        out = fig2_hardness_distributions(
+            imbalance_ratios=(1.0, 20.0), n_minority=80, k_bins=5, random_state=0
+        )
+        assert set(out) == {"disjoint", "overlapped"}
+        assert set(out["disjoint"]) == {"KNN", "AdaBoost"}
+        # Hard-sample mass (top bins) grows with IR on the overlapped data
+        # much more than on the disjoint data.
+        hard_overlap = [
+            out["overlapped"]["KNN"][ir][2:].sum() for ir in (1.0, 20.0)
+        ]
+        hard_disjoint = [
+            out["disjoint"]["KNN"][ir][2:].sum() for ir in (1.0, 20.0)
+        ]
+        growth_overlap = hard_overlap[1] - hard_overlap[0]
+        growth_disjoint = hard_disjoint[1] - hard_disjoint[0]
+        assert growth_overlap > growth_disjoint
+
+
+class TestFig3:
+    def test_alpha_panels(self, checkerboard_small):
+        X, y = checkerboard_small
+        out = fig3_selfpaced_bins(
+            X, y, alphas=(0.0, 0.1, np.inf), k_bins=8, n_estimators=5, random_state=0
+        )
+        assert set(out) == {"original", "alpha=0", "alpha=0.1", "alpha=inf"}
+        n_min = int((y == 1).sum())
+        for key in ("alpha=0", "alpha=0.1", "alpha=inf"):
+            assert out[key]["population"].sum() <= n_min + 1
+
+    def test_alpha_inf_flat_populations(self, checkerboard_small):
+        X, y = checkerboard_small
+        out = fig3_selfpaced_bins(
+            X, y, alphas=(np.inf,), k_bins=5, n_estimators=5, random_state=0
+        )
+        pop = out["alpha=inf"]["population"]
+        original = out["original"]["population"]
+        occupied = original > 0
+        # Non-empty bins get roughly equal shares under alpha -> inf
+        # (up to integer rounding and bins smaller than their quota).
+        quotas = pop[occupied & (original >= pop.max())]
+        if len(quotas) >= 2:
+            assert quotas.max() - quotas.min() <= max(2, 0.2 * quotas.max())
+
+
+class TestFig5:
+    def test_curves_recorded(self):
+        out = fig5_training_curves(
+            cov_scales=(0.1,), n_estimators=5, n_minority=100, n_majority=1000,
+            random_state=0,
+        )
+        assert set(out) == {0.1}
+        assert len(out[0.1]["SPE"]) == 5
+        assert len(out[0.1]["Cascade"]) == 5
+
+
+class TestFig6:
+    def test_views_for_all_methods(self):
+        out = fig6_training_views(
+            n_minority=80, n_majority=800, resolution=15, random_state=0
+        )
+        for method in ("Clean", "SMOTE", "Easy", "Cascade", "SPE"):
+            assert method in out
+            assert out[method]["grid"].shape == (15, 15)
+        # Ensembles capture two iteration snapshots, samplers one.
+        assert len(out["SPE"]["training_sets"]) == 2
+        assert len(out["Clean"]["training_sets"]) == 1
+
+    def test_spe_training_sets_balanced(self):
+        out = fig6_training_views(
+            n_minority=60, n_majority=600, resolution=10, random_state=1
+        )
+        for X_set, y_set in out["SPE"]["training_sets"]:
+            assert (y_set == 0).sum() == (y_set == 1).sum()
+
+
+class TestFig7:
+    def test_sweep_structure(self, small_task):
+        X_tr, X_te, y_tr, y_te = small_task
+        out = fig7_n_estimators_sweep(
+            X_tr, y_tr, X_te, y_te,
+            ns=(1, 5),
+            methods=None,
+            estimator=DecisionTreeClassifier(max_depth=4, random_state=0),
+            n_runs=1,
+        )
+        assert set(out) == {
+            "SPE", "Cascade", "UnderBagging", "SMOTEBagging", "RUSBoost", "SMOTEBoost",
+        }
+        for series in out.values():
+            assert set(series) == {1, 5}
+
+
+class TestFig8:
+    def test_sensitivity_structure(self, small_task):
+        X_tr, X_te, y_tr, y_te = small_task
+        out = fig8_sensitivity(
+            X_tr, y_tr, X_te, y_te,
+            ks=(2, 10),
+            hardness_functions=("absolute", "squared"),
+            n_estimators=5,
+            estimator=DecisionTreeClassifier(max_depth=4, random_state=0),
+            n_runs=1,
+        )
+        assert set(out) == {"absolute", "squared"}
+        for series in out.values():
+            for scores in series.values():
+                assert all(0 <= v <= 1 for v in scores)

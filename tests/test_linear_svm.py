@@ -1,0 +1,139 @@
+"""Tests for logistic regression and the SVM family."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError
+from repro.linear import LogisticRegression
+from repro.svm import SVC, LinearSVC
+from repro.svm.kernels import linear_kernel, polynomial_kernel, rbf_kernel
+
+
+class TestLogisticRegression:
+    def test_separable_accuracy(self, binary_blobs):
+        X, y = binary_blobs
+        assert LogisticRegression(C=10.0).fit(X, y).score(X, y) > 0.95
+
+    def test_proba_valid(self, binary_blobs):
+        X, y = binary_blobs
+        proba = LogisticRegression().fit(X, y).predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert (proba >= 0).all() and (proba <= 1).all()
+
+    def test_coefficient_sign(self):
+        rng = np.random.RandomState(0)
+        X = rng.randn(500, 2)
+        y = (X[:, 0] > 0).astype(int)
+        clf = LogisticRegression(C=10.0).fit(X, y)
+        assert clf.coef_[0] > abs(clf.coef_[1])
+
+    def test_regularisation_shrinks_weights(self, binary_blobs):
+        X, y = binary_blobs
+        loose = LogisticRegression(C=100.0).fit(X, y)
+        tight = LogisticRegression(C=0.001).fit(X, y)
+        assert np.linalg.norm(tight.coef_) < np.linalg.norm(loose.coef_)
+
+    def test_sample_weight_shifts_boundary(self):
+        X = np.array([[-1.0], [-0.5], [0.5], [1.0]])
+        y = np.array([0, 0, 1, 1])
+        heavy_pos = LogisticRegression().fit(X, y, sample_weight=[1, 1, 100, 100])
+        baseline = LogisticRegression().fit(X, y)
+        x_probe = np.array([[-0.25]])
+        assert (
+            heavy_pos.predict_proba(x_probe)[0, 1]
+            > baseline.predict_proba(x_probe)[0, 1]
+        )
+
+    def test_invalid_c(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(C=0).fit(np.ones((2, 1)), [0, 1])
+
+    def test_multiclass_rejected(self, rng):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(rng.randn(9, 2), [0, 1, 2] * 3)
+
+    def test_decision_function_consistent(self, binary_blobs):
+        X, y = binary_blobs
+        clf = LogisticRegression().fit(X, y)
+        decision = clf.decision_function(X)
+        proba = clf.predict_proba(X)[:, 1]
+        assert np.array_equal(decision > 0, proba > 0.5)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            LogisticRegression().predict(np.ones((2, 2)))
+
+
+class TestKernels:
+    def test_linear_kernel(self, rng):
+        A, B = rng.randn(5, 3), rng.randn(4, 3)
+        assert np.allclose(linear_kernel(A, B), A @ B.T)
+
+    def test_rbf_diagonal_ones(self, rng):
+        A = rng.randn(6, 3)
+        K = rbf_kernel(A, A, gamma=0.5)
+        assert np.allclose(np.diag(K), 1.0, atol=1e-10)
+
+    def test_rbf_range(self, rng):
+        K = rbf_kernel(rng.randn(5, 2), rng.randn(5, 2), gamma=1.0)
+        assert (K > 0).all() and (K <= 1.0 + 1e-12).all()
+
+    def test_polynomial(self, rng):
+        A = rng.randn(3, 2)
+        K = polynomial_kernel(A, A, degree=2, gamma=1.0, coef0=0.0)
+        assert np.allclose(K, (A @ A.T) ** 2)
+
+
+class TestLinearSVC:
+    def test_separable(self, binary_blobs):
+        X, y = binary_blobs
+        clf = LinearSVC(C=1.0, max_iter=3000, random_state=0).fit(X, y)
+        assert clf.score(X, y) > 0.9
+
+    def test_proba_monotone_in_decision(self, binary_blobs):
+        X, y = binary_blobs
+        clf = LinearSVC(random_state=0).fit(X, y)
+        decision = clf.decision_function(X)
+        proba = clf.predict_proba(X)[:, 1]
+        order = np.argsort(decision)
+        assert (np.diff(proba[order]) >= -1e-9).all()
+
+    def test_invalid_c(self):
+        with pytest.raises(ValueError):
+            LinearSVC(C=-1).fit(np.ones((2, 1)), [0, 1])
+
+
+class TestSVC:
+    def test_rbf_solves_circle(self):
+        """A radially separable problem no linear model can solve."""
+        rng = np.random.RandomState(0)
+        X = rng.randn(400, 2)
+        y = (np.linalg.norm(X, axis=1) < 1.0).astype(int)
+        clf = SVC(C=10.0, max_iter=6000, random_state=0).fit(X, y)
+        assert clf.score(X, y) > 0.85
+
+    def test_proba_shape_and_range(self, binary_blobs):
+        X, y = binary_blobs
+        proba = SVC(max_iter=2000, random_state=0).fit(X, y).predict_proba(X)
+        assert proba.shape == (len(y), 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_gamma_scale_auto(self, binary_blobs):
+        X, y = binary_blobs
+        for gamma in ("scale", "auto", 0.3):
+            clf = SVC(gamma=gamma, max_iter=500, random_state=0).fit(X, y)
+            assert clf.gamma_ > 0
+
+    def test_linear_kernel_mode(self, binary_blobs):
+        X, y = binary_blobs
+        clf = SVC(kernel="linear", max_iter=2000, random_state=0).fit(X, y)
+        assert clf.score(X, y) > 0.85
+
+    def test_unsupported_kernel(self, binary_blobs):
+        X, y = binary_blobs
+        with pytest.raises(ValueError):
+            SVC(kernel="sigmoid").fit(X, y)
+
+    def test_multiclass_rejected(self, rng):
+        with pytest.raises(ValueError):
+            SVC().fit(rng.randn(9, 2), [0, 1, 2] * 3)

@@ -1,0 +1,126 @@
+"""Tests for threshold metrics against hand-computed values and invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics import (
+    accuracy_score,
+    balanced_accuracy_score,
+    f1_score,
+    fbeta_score,
+    geometric_mean_score,
+    geometric_mean_sensitivity_specificity,
+    matthews_corrcoef,
+    precision_score,
+    recall_score,
+    specificity_score,
+)
+
+# Hand-worked example: TP=3, FP=1, FN=2, TN=4
+Y_TRUE = np.array([1, 1, 1, 1, 1, 0, 0, 0, 0, 0])
+Y_PRED = np.array([1, 1, 1, 0, 0, 1, 0, 0, 0, 0])
+
+
+class TestHandComputed:
+    def test_precision(self):
+        assert precision_score(Y_TRUE, Y_PRED) == pytest.approx(3 / 4)
+
+    def test_recall(self):
+        assert recall_score(Y_TRUE, Y_PRED) == pytest.approx(3 / 5)
+
+    def test_specificity(self):
+        assert specificity_score(Y_TRUE, Y_PRED) == pytest.approx(4 / 5)
+
+    def test_f1(self):
+        p, r = 3 / 4, 3 / 5
+        assert f1_score(Y_TRUE, Y_PRED) == pytest.approx(2 * p * r / (p + r))
+
+    def test_gm_paper_definition(self):
+        assert geometric_mean_score(Y_TRUE, Y_PRED) == pytest.approx(
+            math.sqrt(3 / 4 * 3 / 5)
+        )
+
+    def test_gm_tpr_tnr(self):
+        assert geometric_mean_sensitivity_specificity(Y_TRUE, Y_PRED) == pytest.approx(
+            math.sqrt(3 / 5 * 4 / 5)
+        )
+
+    def test_mcc(self):
+        num = 3 * 4 - 1 * 2
+        den = math.sqrt((3 + 1) * (3 + 2) * (4 + 1) * (4 + 2))
+        assert matthews_corrcoef(Y_TRUE, Y_PRED) == pytest.approx(num / den)
+
+    def test_accuracy(self):
+        assert accuracy_score(Y_TRUE, Y_PRED) == pytest.approx(0.7)
+
+    def test_balanced_accuracy(self):
+        assert balanced_accuracy_score(Y_TRUE, Y_PRED) == pytest.approx(
+            0.5 * (3 / 5 + 4 / 5)
+        )
+
+
+class TestEdgeCases:
+    def test_no_predicted_positives(self):
+        assert precision_score([0, 1], [0, 0]) == 0.0
+
+    def test_zero_division_override(self):
+        assert precision_score([0, 1], [0, 0], zero_division=1.0) == 1.0
+
+    def test_perfect_prediction(self):
+        y = [0, 1, 1, 0]
+        assert f1_score(y, y) == 1.0
+        assert matthews_corrcoef(y, y) == pytest.approx(1.0)
+
+    def test_inverted_prediction_mcc(self):
+        y = np.array([0, 1, 0, 1])
+        assert matthews_corrcoef(y, 1 - y) == pytest.approx(-1.0)
+
+    def test_all_same_prediction_mcc_zero(self):
+        assert matthews_corrcoef([0, 1, 0, 1], [1, 1, 1, 1]) == 0.0
+
+    def test_fbeta_recall_heavy(self):
+        """Large beta weights recall: predicting everything positive helps."""
+        y_true = [1, 1, 0, 0]
+        y_all = [1, 1, 1, 1]
+        y_half = [1, 0, 0, 0]
+        assert fbeta_score(y_true, y_all, beta=10) > fbeta_score(y_true, y_half, beta=10)
+
+
+@st.composite
+def prediction_pairs(draw):
+    n = draw(st.integers(min_value=2, max_value=60))
+    y_true = draw(st.lists(st.sampled_from([0, 1]), min_size=n, max_size=n))
+    y_pred = draw(st.lists(st.sampled_from([0, 1]), min_size=n, max_size=n))
+    return np.array(y_true), np.array(y_pred)
+
+
+class TestProperties:
+    @given(prediction_pairs())
+    def test_metrics_bounded(self, pair):
+        y_true, y_pred = pair
+        for fn in (precision_score, recall_score, f1_score, geometric_mean_score):
+            assert 0.0 <= fn(y_true, y_pred) <= 1.0
+        assert -1.0 <= matthews_corrcoef(y_true, y_pred) <= 1.0
+
+    @given(prediction_pairs())
+    def test_f1_below_gm_below_mean(self, pair):
+        """Harmonic mean <= geometric mean of precision and recall."""
+        y_true, y_pred = pair
+        assert f1_score(y_true, y_pred) <= geometric_mean_score(y_true, y_pred) + 1e-12
+
+    @given(prediction_pairs())
+    def test_mcc_symmetric_under_class_swap(self, pair):
+        y_true, y_pred = pair
+        assert matthews_corrcoef(y_true, y_pred) == pytest.approx(
+            matthews_corrcoef(1 - y_true, 1 - y_pred), abs=1e-12
+        )
+
+    @given(prediction_pairs())
+    def test_accuracy_matches_manual(self, pair):
+        y_true, y_pred = pair
+        assert accuracy_score(y_true, y_pred) == pytest.approx(
+            float(np.mean(y_true == y_pred))
+        )

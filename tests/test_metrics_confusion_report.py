@@ -1,0 +1,84 @@
+"""Tests for confusion matrices and the metric registry/report."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError
+from repro.metrics import (
+    ALL_METRICS,
+    PAPER_METRICS,
+    BinaryConfusion,
+    binary_confusion,
+    classification_report,
+    confusion_matrix,
+    evaluate_classifier,
+)
+from repro.tree import DecisionTreeClassifier
+
+
+class TestConfusionMatrix:
+    def test_binary_layout(self):
+        cm = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1], labels=[0, 1])
+        assert cm.tolist() == [[1, 1], [0, 2]]
+
+    def test_paper_orientation(self):
+        """labels=[1, 0] puts TP at (0, 0) as in the paper's Table I."""
+        cm = confusion_matrix([1, 1, 0, 0], [1, 0, 1, 0], labels=[1, 0])
+        assert cm.tolist() == [[1, 1], [1, 1]]
+
+    def test_multiclass(self):
+        cm = confusion_matrix([0, 1, 2], [0, 2, 2])
+        assert cm.trace() == 2
+
+    def test_length_mismatch(self):
+        with pytest.raises(DataValidationError):
+            confusion_matrix([0, 1], [0])
+
+
+class TestBinaryConfusion:
+    def test_counts(self):
+        c = binary_confusion([1, 1, 0, 0, 0], [1, 0, 1, 0, 0])
+        assert c == BinaryConfusion(tp=1, fp=1, fn=1, tn=2)
+
+    def test_class_sizes(self):
+        c = binary_confusion([1, 1, 0], [1, 1, 0])
+        assert c.n_positive == 2 and c.n_negative == 1
+
+
+class TestRegistry:
+    def test_paper_metrics_keys(self):
+        assert set(PAPER_METRICS) == {"AUCPRC", "F1", "GM", "MCC"}
+
+    def test_all_metrics_superset(self):
+        assert set(PAPER_METRICS) <= set(ALL_METRICS)
+
+    def test_uniform_signature(self):
+        y = np.array([0, 1, 0, 1])
+        score = np.array([0.1, 0.9, 0.4, 0.6])
+        for name, fn in ALL_METRICS.items():
+            value = fn(y, (score >= 0.5).astype(int), score)
+            assert np.isfinite(value), name
+
+
+class TestEvaluateClassifier:
+    def test_returns_all_metrics(self, binary_blobs):
+        X, y = binary_blobs
+        clf = DecisionTreeClassifier(max_depth=4, random_state=0).fit(X, y)
+        out = evaluate_classifier(clf, X, y)
+        assert set(out) == set(PAPER_METRICS)
+        assert all(np.isfinite(v) for v in out.values())
+
+    def test_threshold_changes_predictions(self, binary_blobs):
+        X, y = binary_blobs
+        clf = DecisionTreeClassifier(max_depth=2, random_state=0).fit(X, y)
+        strict = evaluate_classifier(clf, X, y, threshold=0.99)
+        lax = evaluate_classifier(clf, X, y, threshold=0.01)
+        # AUCPRC is threshold-free; F1 differs between thresholds in general.
+        assert strict["AUCPRC"] == pytest.approx(lax["AUCPRC"])
+
+
+class TestReport:
+    def test_report_contains_metrics(self):
+        report = classification_report([0, 1, 1, 0], [0, 1, 0, 0])
+        for key in ("precision", "recall", "f1", "g-mean", "mcc", "TP="):
+            assert key in report

@@ -1,0 +1,142 @@
+"""Tests for ranking metrics: PR curve, AUCPRC, ROC."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import DataValidationError
+from repro.metrics import (
+    auc,
+    average_precision_score,
+    precision_recall_curve,
+    roc_auc_score,
+    roc_curve,
+)
+
+
+class TestPrecisionRecallCurve:
+    def test_perfect_ranking(self):
+        precision, recall, _ = precision_recall_curve([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9])
+        assert recall[0] == 1.0 and recall[-1] == 0.0
+        assert precision[-1] == 1.0
+
+    def test_anchor_point(self):
+        precision, recall, _ = precision_recall_curve([1, 0], [0.9, 0.1])
+        assert precision[-1] == 1.0 and recall[-1] == 0.0
+
+    def test_requires_positive(self):
+        with pytest.raises(DataValidationError):
+            precision_recall_curve([0, 0], [0.1, 0.2])
+
+    def test_length_mismatch(self):
+        with pytest.raises(DataValidationError):
+            precision_recall_curve([0, 1], [0.5])
+
+
+class TestAveragePrecision:
+    def test_perfect_is_one(self):
+        assert average_precision_score([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_worst_ranking(self):
+        """All positives ranked last: AP equals the prevalence-driven floor."""
+        ap = average_precision_score([1, 1, 0, 0], [0.1, 0.2, 0.8, 0.9])
+        # manual: positives at ranks 3,4 -> precision 1/3 and 2/4, mean = 5/12
+        assert ap == pytest.approx((1 / 3 + 2 / 4) / 2)
+
+    def test_known_value(self):
+        # ranks by score: y = [1, 0, 1, 0]; precisions at positives: 1/1, 2/3
+        ap = average_precision_score([0, 1, 0, 1], [0.2, 0.9, 0.4, 0.3])
+        assert ap == pytest.approx((1.0 + 2 / 3) / 2)
+
+    def test_random_scores_near_prevalence(self):
+        rng = np.random.RandomState(0)
+        y = (rng.uniform(size=4000) < 0.1).astype(int)
+        ap = average_precision_score(y, rng.uniform(size=4000))
+        assert 0.05 < ap < 0.2  # ~prevalence 0.1
+
+    def test_ties_handled(self):
+        ap = average_precision_score([0, 1, 0, 1], [0.5, 0.5, 0.5, 0.5])
+        assert ap == pytest.approx(0.5)
+
+
+class TestRoc:
+    def test_perfect_auc(self):
+        assert roc_auc_score([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_reversed_auc(self):
+        assert roc_auc_score([1, 1, 0, 0], [0.1, 0.2, 0.8, 0.9]) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.RandomState(1)
+        y = (rng.uniform(size=3000) < 0.5).astype(int)
+        assert roc_auc_score(y, rng.uniform(size=3000)) == pytest.approx(0.5, abs=0.05)
+
+    def test_curve_starts_origin(self):
+        fpr, tpr, _ = roc_curve([0, 1], [0.2, 0.8])
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+
+    def test_needs_both_classes(self):
+        with pytest.raises(DataValidationError):
+            roc_curve([1, 1], [0.2, 0.8])
+
+
+class TestAuc:
+    def test_unit_square(self):
+        assert auc([0, 1], [1, 1]) == pytest.approx(1.0)
+
+    def test_triangle(self):
+        assert auc([0, 1], [0, 1]) == pytest.approx(0.5)
+
+    def test_needs_two_points(self):
+        with pytest.raises(DataValidationError):
+            auc([0], [1])
+
+    def test_non_monotonic_rejected(self):
+        with pytest.raises(DataValidationError):
+            auc([0, 2, 1], [0, 1, 2])
+
+
+@st.composite
+def scored_labels(draw):
+    n = draw(st.integers(min_value=4, max_value=80))
+    y = draw(
+        st.lists(st.sampled_from([0, 1]), min_size=n, max_size=n).filter(
+            lambda ls: 0 < sum(ls) < len(ls)
+        )
+    )
+    scores = draw(
+        st.lists(
+            st.floats(min_value=0, max_value=1, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    # Quantise so adding a constant cannot merge distinct scores through
+    # floating-point absorption (which would legitimately change the ranking).
+    return np.array(y), np.round(np.array(scores), 6)
+
+
+class TestRankingProperties:
+    @given(scored_labels())
+    def test_ap_bounded(self, data):
+        y, s = data
+        assert 0.0 <= average_precision_score(y, s) <= 1.0
+
+    @given(scored_labels())
+    def test_auc_bounded(self, data):
+        y, s = data
+        assert 0.0 <= roc_auc_score(y, s) <= 1.0
+
+    @given(scored_labels())
+    def test_score_shift_invariance(self, data):
+        """Adding a constant to all scores must not change ranking metrics."""
+        y, s = data
+        assert average_precision_score(y, s) == pytest.approx(
+            average_precision_score(y, s + 10.0)
+        )
+
+    @given(scored_labels())
+    def test_ap_at_least_with_perfect_scores(self, data):
+        """Using the labels as scores is a perfect ranking: AP = 1."""
+        y, _ = data
+        assert average_precision_score(y, y.astype(float)) == pytest.approx(1.0)

@@ -1,0 +1,133 @@
+"""Tests for the MLP classifier and neural building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.neural import (
+    ACTIVATIONS,
+    AdamOptimizer,
+    MLPClassifier,
+    SGDOptimizer,
+    log_loss,
+    softmax,
+)
+
+
+class TestActivations:
+    def test_relu(self):
+        fn, grad = ACTIVATIONS["relu"]
+        z = np.array([-1.0, 0.0, 2.0])
+        assert fn(z).tolist() == [0.0, 0.0, 2.0]
+        assert grad(z, fn(z)).tolist() == [0.0, 0.0, 1.0]
+
+    def test_tanh_gradient(self):
+        fn, grad = ACTIVATIONS["tanh"]
+        z = np.array([0.3])
+        a = fn(z)
+        numeric = (fn(z + 1e-6) - fn(z - 1e-6)) / 2e-6
+        assert np.allclose(grad(z, a), numeric, atol=1e-6)
+
+    def test_logistic_range(self):
+        fn, _ = ACTIVATIONS["logistic"]
+        z = np.array([-100.0, 0.0, 100.0])
+        out = fn(z)
+        assert out[0] < 1e-6 and out[1] == 0.5 and out[2] > 1 - 1e-6
+
+    def test_softmax_rows_sum(self, rng):
+        p = softmax(rng.randn(10, 4))
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_softmax_stability(self):
+        p = softmax(np.array([[1000.0, 1000.0]]))
+        assert np.allclose(p, 0.5)
+
+    def test_log_loss_perfect(self):
+        proba = np.array([[0.0, 1.0], [1.0, 0.0]])
+        onehot = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert log_loss(proba, onehot) < 1e-10
+
+
+class TestOptimizers:
+    def test_adam_minimises_quadratic(self):
+        x = np.array([5.0])
+        opt = AdamOptimizer([x], lr=0.1)
+        for _ in range(500):
+            opt.step([2 * x])  # gradient of x^2
+        assert abs(x[0]) < 0.1
+
+    def test_sgd_momentum_minimises(self):
+        x = np.array([3.0])
+        opt = SGDOptimizer([x], lr=0.05, momentum=0.5)
+        for _ in range(300):
+            opt.step([2 * x])
+        assert abs(x[0]) < 0.1
+
+
+class TestMLP:
+    def test_learns_xor(self):
+        rng = np.random.RandomState(0)
+        X = rng.uniform(-1, 1, size=(600, 2))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+        clf = MLPClassifier(
+            hidden_layer_sizes=(32,), max_epochs=60, random_state=0
+        ).fit(X, y)
+        assert clf.score(X, y) > 0.9
+
+    def test_loss_decreases(self, binary_blobs):
+        X, y = binary_blobs
+        clf = MLPClassifier(hidden_layer_sizes=(16,), max_epochs=15, random_state=0)
+        clf.fit(X, y)
+        assert clf.loss_curve_[-1] < clf.loss_curve_[0]
+
+    def test_early_stopping_can_trigger(self, binary_blobs):
+        X, y = binary_blobs
+        clf = MLPClassifier(
+            hidden_layer_sizes=(8,),
+            max_epochs=200,
+            tol=10.0,  # absurd tolerance: no epoch ever "improves"
+            n_iter_no_change=2,
+            random_state=0,
+        ).fit(X, y)
+        assert clf.n_epochs_ <= 3
+
+    def test_sgd_solver(self, binary_blobs):
+        X, y = binary_blobs
+        clf = MLPClassifier(
+            solver="sgd", learning_rate=0.05, max_epochs=20, random_state=0
+        ).fit(X, y)
+        assert clf.score(X, y) > 0.8
+
+    def test_two_hidden_layers(self, binary_blobs):
+        X, y = binary_blobs
+        clf = MLPClassifier(hidden_layer_sizes=(16, 8), max_epochs=15, random_state=0)
+        assert clf.fit(X, y).score(X, y) > 0.8
+
+    def test_proba_rows_sum(self, binary_blobs):
+        X, y = binary_blobs
+        proba = (
+            MLPClassifier(max_epochs=5, random_state=0).fit(X, y).predict_proba(X[:7])
+        )
+        assert np.allclose(proba.sum(axis=1), 1.0, atol=1e-6)
+
+    def test_stratified_batches(self, imbalanced_data):
+        X, y = imbalanced_data
+        clf = MLPClassifier(
+            max_epochs=8, batch_order="stratified", random_state=0
+        ).fit(X, y)
+        assert hasattr(clf, "n_epochs_")
+
+    def test_invalid_activation(self, binary_blobs):
+        X, y = binary_blobs
+        with pytest.raises(ValueError):
+            MLPClassifier(activation="swish").fit(X, y)
+
+    def test_invalid_solver(self, binary_blobs):
+        X, y = binary_blobs
+        with pytest.raises(ValueError):
+            MLPClassifier(solver="rmsprop").fit(X, y)
+
+    def test_deterministic(self, binary_blobs):
+        X, y = binary_blobs
+        p1 = MLPClassifier(max_epochs=5, random_state=1).fit(X, y).predict_proba(X)
+        p2 = MLPClassifier(max_epochs=5, random_state=1).fit(X, y).predict_proba(X)
+        assert np.allclose(p1, p2)

@@ -1,0 +1,161 @@
+"""Tests for scalers, encoders and the imputer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import NotFittedError
+from repro.preprocessing import (
+    MinMaxScaler,
+    OneHotEncoder,
+    OrdinalEncoder,
+    SimpleImputer,
+    StandardScaler,
+)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_var(self, rng):
+        X = rng.randn(200, 3) * 5 + 2
+        Xs = StandardScaler().fit_transform(X)
+        assert np.allclose(Xs.mean(axis=0), 0, atol=1e-10)
+        assert np.allclose(Xs.std(axis=0), 1, atol=1e-10)
+
+    def test_constant_feature_no_nan(self):
+        X = np.column_stack([np.ones(10), np.arange(10, dtype=float)])
+        Xs = StandardScaler().fit_transform(X)
+        assert np.isfinite(Xs).all()
+
+    def test_inverse_roundtrip(self, rng):
+        X = rng.randn(50, 4)
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_nan_passthrough(self):
+        X = np.array([[1.0, np.nan], [3.0, 2.0], [5.0, 4.0]])
+        Xs = StandardScaler().fit_transform(X)
+        assert np.isnan(Xs[0, 1]) and np.isfinite(Xs[:, 0]).all()
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+    def test_feature_count_mismatch(self, rng):
+        scaler = StandardScaler().fit(rng.randn(10, 3))
+        with pytest.raises(ValueError):
+            scaler.transform(rng.randn(5, 2))
+
+    @settings(max_examples=25)
+    @given(
+        arrays(
+            np.float64,
+            (10, 3),
+            elements=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        )
+    )
+    def test_transform_inverse_property(self, X):
+        scaler = StandardScaler().fit(X)
+        back = scaler.inverse_transform(scaler.transform(X))
+        assert np.allclose(back, X, atol=1e-6 * (1 + np.abs(X).max()))
+
+
+class TestMinMaxScaler:
+    def test_range(self, rng):
+        X = rng.randn(100, 2) * 3
+        Xs = MinMaxScaler().fit_transform(X)
+        assert Xs.min() >= -1e-12 and Xs.max() <= 1 + 1e-12
+
+    def test_custom_range(self, rng):
+        Xs = MinMaxScaler(feature_range=(-1, 1)).fit_transform(rng.randn(50, 2))
+        assert Xs.min() >= -1 - 1e-12 and Xs.max() <= 1 + 1e-12
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler(feature_range=(1, 0)).fit(np.ones((3, 1)))
+
+    def test_inverse_roundtrip(self, rng):
+        X = rng.randn(30, 3)
+        scaler = MinMaxScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+
+class TestOrdinalEncoder:
+    def test_basic_encoding(self):
+        X = [["a"], ["b"], ["a"]]
+        enc = OrdinalEncoder().fit(X)
+        assert enc.transform(X).ravel().tolist() == [0.0, 1.0, 0.0]
+
+    def test_unknown_maps_to_sentinel(self):
+        enc = OrdinalEncoder().fit([["a"], ["b"]])
+        assert enc.transform([["zzz"]])[0, 0] == -1.0
+
+    def test_multi_column(self):
+        X = [["a", "x"], ["b", "y"]]
+        out = OrdinalEncoder().fit_transform(X)
+        assert out.shape == (2, 2)
+
+    def test_inverse_transform(self):
+        X = [["a"], ["b"]]
+        enc = OrdinalEncoder().fit(X)
+        assert enc.inverse_transform(enc.transform(X))[0, 0] == "a"
+
+    def test_column_mismatch(self):
+        enc = OrdinalEncoder().fit([["a", "b"]])
+        with pytest.raises(ValueError):
+            enc.transform([["a"]])
+
+
+class TestOneHotEncoder:
+    def test_shape_and_values(self):
+        X = [["a"], ["b"], ["c"], ["a"]]
+        out = OneHotEncoder().fit_transform(X)
+        assert out.shape == (4, 3)
+        assert np.allclose(out.sum(axis=1), 1.0)
+
+    def test_unknown_all_zero(self):
+        enc = OneHotEncoder().fit([["a"], ["b"]])
+        assert enc.transform([["q"]]).sum() == 0.0
+
+    def test_drop_first(self):
+        out = OneHotEncoder(drop_first=True).fit_transform([["a"], ["b"], ["c"]])
+        assert out.shape == (3, 2)
+
+    def test_output_feature_count(self):
+        enc = OneHotEncoder().fit([["a", "x"], ["b", "y"]])
+        assert enc.n_output_features_ == 4
+
+
+class TestSimpleImputer:
+    def test_mean_strategy(self):
+        X = np.array([[1.0, np.nan], [3.0, 4.0]])
+        out = SimpleImputer(strategy="mean").fit_transform(X)
+        assert out[0, 1] == 4.0
+
+    def test_median_strategy(self):
+        X = np.array([[1.0], [np.nan], [3.0], [100.0]])
+        out = SimpleImputer(strategy="median").fit_transform(X)
+        assert out[1, 0] == 3.0
+
+    def test_most_frequent(self):
+        X = np.array([[1.0], [1.0], [2.0], [np.nan]])
+        out = SimpleImputer(strategy="most_frequent").fit_transform(X)
+        assert out[3, 0] == 1.0
+
+    def test_constant_zero_matches_paper_protocol(self):
+        X = np.array([[np.nan, 5.0]])
+        out = SimpleImputer(strategy="constant", fill_value=0.0).fit_transform(X)
+        assert out[0, 0] == 0.0
+
+    def test_all_nan_column_falls_back(self):
+        X = np.array([[np.nan], [np.nan]])
+        out = SimpleImputer(strategy="mean", fill_value=-7.0).fit_transform(X)
+        assert np.all(out == -7.0)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            SimpleImputer(strategy="bogus").fit(np.ones((2, 2)))
+
+    def test_no_nan_unchanged(self, rng):
+        X = rng.randn(20, 3)
+        assert np.allclose(SimpleImputer().fit_transform(X), X)

@@ -1,0 +1,130 @@
+"""Tests for random/NearMiss samplers and the sampler base contract."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import NotEnoughSamplesError
+from repro.sampling import NearMiss, RandomOverSampler, RandomUnderSampler
+from repro.sampling.base import split_classes
+
+
+def _data(n_maj=300, n_min=30, seed=0, d=3):
+    rng = np.random.RandomState(seed)
+    X = np.vstack([rng.randn(n_maj, d), rng.randn(n_min, d) + 2.0])
+    y = np.concatenate([np.zeros(n_maj, dtype=int), np.ones(n_min, dtype=int)])
+    return X, y
+
+
+class TestSplitClasses:
+    def test_indices(self):
+        X, y = _data(5, 2)
+        maj, mino = split_classes(X, y)
+        assert len(maj) == 5 and len(mino) == 2
+
+    def test_missing_class_raises(self):
+        with pytest.raises(NotEnoughSamplesError):
+            split_classes(np.ones((3, 1)), np.zeros(3, dtype=int))
+
+
+class TestRandomUnderSampler:
+    def test_balanced_output(self):
+        X, y = _data()
+        Xr, yr = RandomUnderSampler(random_state=0).fit_resample(X, y)
+        assert (yr == 0).sum() == (yr == 1).sum() == 30
+
+    def test_keeps_all_minority(self):
+        X, y = _data()
+        sampler = RandomUnderSampler(random_state=0)
+        Xr, yr = sampler.fit_resample(X, y)
+        minority_rows = {tuple(row) for row in X[y == 1]}
+        assert {tuple(row) for row in Xr[yr == 1]} == minority_rows
+
+    def test_samples_come_from_original(self):
+        X, y = _data()
+        Xr, yr = RandomUnderSampler(random_state=0).fit_resample(X, y)
+        original = {tuple(row) for row in X}
+        assert all(tuple(row) in original for row in Xr)
+
+    def test_ratio(self):
+        X, y = _data()
+        _, yr = RandomUnderSampler(ratio=2.0, random_state=0).fit_resample(X, y)
+        assert (yr == 0).sum() == 60
+
+    def test_sample_indices_recorded(self):
+        X, y = _data()
+        sampler = RandomUnderSampler(random_state=0)
+        Xr, _ = sampler.fit_resample(X, y)
+        assert np.allclose(X[sampler.sample_indices_], Xr)
+
+    def test_deterministic(self):
+        X, y = _data()
+        a = RandomUnderSampler(random_state=3).fit_resample(X, y)[0]
+        b = RandomUnderSampler(random_state=3).fit_resample(X, y)[0]
+        assert np.allclose(a, b)
+
+    def test_invalid_ratio(self):
+        X, y = _data()
+        with pytest.raises(ValueError):
+            RandomUnderSampler(ratio=0).fit_resample(X, y)
+
+    def test_rejects_multiclass(self):
+        X = np.ones((6, 2))
+        with pytest.raises(Exception):
+            RandomUnderSampler().fit_resample(X, [0, 1, 2, 0, 1, 2])
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=40), st.integers(min_value=50, max_value=200))
+    def test_balance_property(self, n_min, n_maj):
+        X, y = _data(n_maj, n_min)
+        _, yr = RandomUnderSampler(random_state=0).fit_resample(X, y)
+        assert (yr == 0).sum() == (yr == 1).sum() == n_min
+
+
+class TestRandomOverSampler:
+    def test_balanced_output(self):
+        X, y = _data()
+        _, yr = RandomOverSampler(random_state=0).fit_resample(X, y)
+        assert (yr == 0).sum() == (yr == 1).sum() == 300
+
+    def test_new_minority_are_duplicates(self):
+        X, y = _data()
+        Xr, yr = RandomOverSampler(random_state=0).fit_resample(X, y)
+        minority_rows = {tuple(row) for row in X[y == 1]}
+        assert all(tuple(row) in minority_rows for row in Xr[yr == 1])
+
+    def test_majority_untouched(self):
+        X, y = _data()
+        Xr, yr = RandomOverSampler(random_state=0).fit_resample(X, y)
+        assert (yr == 0).sum() == 300
+
+
+class TestNearMiss:
+    @pytest.mark.parametrize("version", [1, 2, 3])
+    def test_balanced_output(self, version):
+        X, y = _data()
+        _, yr = NearMiss(version=version, random_state=0).fit_resample(X, y)
+        assert (yr == 0).sum() == (yr == 1).sum() == 30
+
+    def test_version1_prefers_close_majority(self):
+        """NearMiss-1 keeps the majority samples nearest to the minority."""
+        rng = np.random.RandomState(0)
+        near = rng.randn(50, 2) * 0.3 + 2.0      # close to minority at (2, 2)
+        far = rng.randn(250, 2) * 0.3 - 5.0      # far away
+        X = np.vstack([near, far, rng.randn(30, 2) * 0.3 + 2.0])
+        y = np.concatenate([np.zeros(300, int), np.ones(30, int)])
+        sampler = NearMiss(version=1)
+        Xr, yr = sampler.fit_resample(X, y)
+        kept_majority = Xr[yr == 0]
+        assert (kept_majority.mean(axis=0) > 0).all()  # from the near blob
+
+    def test_invalid_version(self):
+        X, y = _data()
+        with pytest.raises(ValueError):
+            NearMiss(version=4).fit_resample(X, y)
+
+    def test_subset_of_original(self):
+        X, y = _data()
+        Xr, _ = NearMiss(version=2).fit_resample(X, y)
+        original = {tuple(row) for row in X}
+        assert all(tuple(row) in original for row in Xr)

@@ -1,0 +1,118 @@
+"""Tests for cleaning under-samplers: Tomek, ENN, AllKNN, OSS, NCR."""
+
+import numpy as np
+import pytest
+
+from repro.sampling import (
+    AllKNN,
+    EditedNearestNeighbours,
+    NeighbourhoodCleaningRule,
+    OneSidedSelection,
+    TomekLinks,
+)
+
+
+def _noisy_data(seed=0):
+    """Separated blobs plus majority outliers planted inside the minority."""
+    rng = np.random.RandomState(seed)
+    maj = rng.randn(200, 2)
+    mino = rng.randn(40, 2) * 0.5 + np.array([4.0, 4.0])
+    outliers = rng.randn(5, 2) * 0.2 + np.array([4.0, 4.0])  # majority noise
+    X = np.vstack([maj, outliers, mino])
+    y = np.concatenate([np.zeros(205, dtype=int), np.ones(40, dtype=int)])
+    return X, y, np.arange(200, 205)  # outlier indices
+
+
+class TestTomekLinks:
+    def test_removes_only_majority(self):
+        X, y, _ = _noisy_data()
+        Xr, yr = TomekLinks().fit_resample(X, y)
+        assert (yr == 1).sum() == 40
+        assert (yr == 0).sum() <= 205
+
+    def test_planted_outliers_removed(self):
+        X, y, outlier_idx = _noisy_data()
+        sampler = TomekLinks()
+        sampler.fit_resample(X, y)
+        removed = set(range(len(y))) - set(sampler.sample_indices_.tolist())
+        # At least one planted outlier participates in a Tomek link.
+        assert removed & set(outlier_idx.tolist())
+
+    def test_clean_data_untouched(self):
+        rng = np.random.RandomState(1)
+        X = np.vstack([rng.randn(50, 2) - 10, rng.randn(10, 2) + 10])
+        y = np.concatenate([np.zeros(50, int), np.ones(10, int)])
+        Xr, yr = TomekLinks().fit_resample(X, y)
+        assert len(yr) == 60
+
+
+class TestENN:
+    def test_removes_contradicted_majority(self):
+        X, y, outlier_idx = _noisy_data()
+        sampler = EditedNearestNeighbours(n_neighbors=3)
+        _, yr = sampler.fit_resample(X, y)
+        removed = set(range(len(y))) - set(sampler.sample_indices_.tolist())
+        assert set(outlier_idx.tolist()) <= removed
+
+    def test_minority_never_removed(self):
+        X, y, _ = _noisy_data()
+        _, yr = EditedNearestNeighbours().fit_resample(X, y)
+        assert (yr == 1).sum() == 40
+
+    def test_kind_sel_all_more_aggressive(self):
+        X, y, _ = _noisy_data(seed=3)
+        n_mode = len(EditedNearestNeighbours(kind_sel="mode").fit_resample(X, y)[1])
+        n_all = len(EditedNearestNeighbours(kind_sel="all").fit_resample(X, y)[1])
+        assert n_all <= n_mode
+
+    def test_invalid_kind_sel(self):
+        X, y, _ = _noisy_data()
+        with pytest.raises(ValueError):
+            EditedNearestNeighbours(kind_sel="bogus").fit_resample(X, y)
+
+
+class TestAllKNN:
+    def test_removes_at_least_enn1(self):
+        X, y, _ = _noisy_data()
+        n_allknn = len(AllKNN(n_neighbors=3).fit_resample(X, y)[1])
+        n_enn1 = len(EditedNearestNeighbours(n_neighbors=1).fit_resample(X, y)[1])
+        assert n_allknn <= n_enn1
+
+    def test_minority_preserved(self):
+        X, y, _ = _noisy_data()
+        _, yr = AllKNN().fit_resample(X, y)
+        assert (yr == 1).sum() == 40
+
+
+class TestOSS:
+    def test_output_smaller(self):
+        X, y, _ = _noisy_data()
+        _, yr = OneSidedSelection(random_state=0).fit_resample(X, y)
+        assert len(yr) < len(y)
+        assert (yr == 1).sum() == 40
+
+    def test_subset_of_original_indices(self):
+        X, y, _ = _noisy_data()
+        sampler = OneSidedSelection(random_state=0)
+        Xr, _ = sampler.fit_resample(X, y)
+        assert np.allclose(X[sampler.sample_indices_], Xr)
+
+
+class TestNCR:
+    def test_cleans_majority_noise(self):
+        X, y, outlier_idx = _noisy_data()
+        sampler = NeighbourhoodCleaningRule()
+        _, yr = sampler.fit_resample(X, y)
+        removed = set(range(len(y))) - set(sampler.sample_indices_.tolist())
+        assert set(outlier_idx.tolist()) <= removed
+
+    def test_no_balance_guarantee(self):
+        """The paper notes Clean does not balance the classes (MLP fails)."""
+        X, y, _ = _noisy_data()
+        _, yr = NeighbourhoodCleaningRule().fit_resample(X, y)
+        assert (yr == 0).sum() > (yr == 1).sum()
+
+    def test_minority_preserved(self):
+        X, y, _ = _noisy_data()
+        _, yr = NeighbourhoodCleaningRule().fit_resample(X, y)
+        assert (yr == 1).sum() == 40

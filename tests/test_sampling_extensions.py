@@ -1,0 +1,83 @@
+"""Tests for CNN and InstanceHardnessThreshold under-samplers."""
+
+import numpy as np
+import pytest
+
+from repro.neighbors import KNeighborsClassifier
+from repro.sampling import CondensedNearestNeighbour, InstanceHardnessThreshold
+from repro.tree import DecisionTreeClassifier
+
+
+def _data(n_maj=250, n_min=30, seed=0):
+    rng = np.random.RandomState(seed)
+    X = np.vstack([rng.randn(n_maj, 2), rng.randn(n_min, 2) * 0.6 + 2.5])
+    y = np.concatenate([np.zeros(n_maj, dtype=int), np.ones(n_min, dtype=int)])
+    return X, y
+
+
+class TestCondensedNearestNeighbour:
+    def test_store_is_1nn_consistent(self):
+        """Every sample must be correctly 1-NN-classified by the store."""
+        X, y = _data()
+        sampler = CondensedNearestNeighbour(random_state=0)
+        X_res, y_res = sampler.fit_resample(X, y)
+        clf = KNeighborsClassifier(n_neighbors=1).fit(X_res, y_res)
+        assert clf.score(X, y) == 1.0
+
+    def test_reduces_majority(self):
+        X, y = _data()
+        _, y_res = CondensedNearestNeighbour(random_state=0).fit_resample(X, y)
+        assert (y_res == 0).sum() < (y == 0).sum()
+        assert (y_res == 1).sum() == 30
+
+    def test_subset_of_original(self):
+        X, y = _data()
+        sampler = CondensedNearestNeighbour(random_state=0)
+        X_res, _ = sampler.fit_resample(X, y)
+        assert np.allclose(X[sampler.sample_indices_], X_res)
+
+    def test_invalid_max_passes(self):
+        X, y = _data()
+        with pytest.raises(ValueError):
+            CondensedNearestNeighbour(max_passes=0).fit_resample(X, y)
+
+
+class TestInstanceHardnessThreshold:
+    def test_balanced_output(self):
+        X, y = _data()
+        _, y_res = InstanceHardnessThreshold(random_state=0).fit_resample(X, y)
+        assert (y_res == 0).sum() == (y_res == 1).sum() == 30
+
+    def test_keeps_easy_majority(self):
+        """Kept majority samples should be easier (farther from the
+        minority blob) on average than dropped ones."""
+        X, y = _data(400, 40)
+        sampler = InstanceHardnessThreshold(
+            estimator=DecisionTreeClassifier(max_depth=6, random_state=0),
+            random_state=0,
+        )
+        sampler.fit_resample(X, y)
+        kept = set(sampler.sample_indices_.tolist())
+        maj_idx = np.flatnonzero(y == 0)
+        kept_maj = np.array([i for i in maj_idx if i in kept])
+        dropped_maj = np.array([i for i in maj_idx if i not in kept])
+        dist_to_minority = np.linalg.norm(X - np.array([2.5, 2.5]), axis=1)
+        assert dist_to_minority[kept_maj].mean() > dist_to_minority[dropped_maj].mean()
+
+    def test_ratio_param(self):
+        X, y = _data()
+        _, y_res = InstanceHardnessThreshold(ratio=2.0, random_state=0).fit_resample(X, y)
+        assert (y_res == 0).sum() == 60
+
+    def test_invalid_params(self):
+        X, y = _data()
+        with pytest.raises(ValueError):
+            InstanceHardnessThreshold(ratio=0).fit_resample(X, y)
+        with pytest.raises(ValueError):
+            InstanceHardnessThreshold(cv=1).fit_resample(X, y)
+
+    def test_deterministic(self):
+        X, y = _data()
+        a = InstanceHardnessThreshold(random_state=3).fit_resample(X, y)[0]
+        b = InstanceHardnessThreshold(random_state=3).fit_resample(X, y)[0]
+        assert np.allclose(a, b)

@@ -1,0 +1,169 @@
+"""Tests for SMOTE-family over-samplers and hybrid methods."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import NotEnoughSamplesError
+from repro.sampling import (
+    ADASYN,
+    SMOTE,
+    SMOTEENN,
+    SMOTETomek,
+    BorderlineSMOTE,
+)
+from repro.sampling.smote import smote_interpolate
+
+
+def _data(n_maj=200, n_min=25, seed=0):
+    rng = np.random.RandomState(seed)
+    X = np.vstack([rng.randn(n_maj, 2), rng.randn(n_min, 2) * 0.5 + 3.0])
+    y = np.concatenate([np.zeros(n_maj, dtype=int), np.ones(n_min, dtype=int)])
+    return X, y
+
+
+def _on_segment(p, a_set):
+    """True if p lies on a segment between some pair of points in a_set."""
+    for i in range(len(a_set)):
+        for j in range(len(a_set)):
+            if i == j:
+                continue
+            d = a_set[j] - a_set[i]
+            denom = d @ d
+            if denom == 0:
+                continue
+            t = (p - a_set[i]) @ d / denom
+            if -1e-9 <= t <= 1 + 1e-9:
+                if np.linalg.norm(a_set[i] + t * d - p) < 1e-8:
+                    return True
+    return False
+
+
+class TestSmoteInterpolate:
+    def test_count(self, rng):
+        pool = rng.randn(20, 3)
+        out = smote_interpolate(pool, pool, 15, 5, rng)
+        assert out.shape == (15, 3)
+
+    def test_zero_requested(self, rng):
+        pool = rng.randn(5, 2)
+        assert smote_interpolate(pool, pool, 0, 3, rng).shape == (0, 2)
+
+    def test_needs_two_points(self, rng):
+        with pytest.raises(NotEnoughSamplesError):
+            smote_interpolate(rng.randn(1, 2), rng.randn(1, 2), 3, 5, rng)
+
+    def test_synthetics_in_convex_hull_bbox(self, rng):
+        pool = rng.randn(30, 2)
+        out = smote_interpolate(pool, pool, 50, 5, rng)
+        assert (out.min(axis=0) >= pool.min(axis=0) - 1e-9).all()
+        assert (out.max(axis=0) <= pool.max(axis=0) + 1e-9).all()
+
+
+class TestSMOTE:
+    def test_balanced_output(self):
+        X, y = _data()
+        _, yr = SMOTE(random_state=0).fit_resample(X, y)
+        assert (yr == 0).sum() == (yr == 1).sum() == 200
+
+    def test_originals_retained(self):
+        X, y = _data()
+        Xr, yr = SMOTE(random_state=0).fit_resample(X, y)
+        original = {tuple(row) for row in X}
+        kept = sum(tuple(row) in original for row in Xr)
+        assert kept == len(X)
+
+    def test_synthetics_on_minority_segments(self):
+        X, y = _data(n_maj=30, n_min=6)
+        Xr, yr = SMOTE(k_neighbors=3, random_state=0).fit_resample(X, y)
+        X_min = X[y == 1]
+        original = {tuple(row) for row in X}
+        synthetics = [row for row in Xr[yr == 1] if tuple(row) not in original]
+        assert synthetics, "expected synthetic samples"
+        for p in synthetics:
+            assert _on_segment(p, X_min)
+
+    def test_deterministic(self):
+        X, y = _data()
+        a = SMOTE(random_state=1).fit_resample(X, y)[0]
+        b = SMOTE(random_state=1).fit_resample(X, y)[0]
+        assert np.allclose(np.sort(a, axis=0), np.sort(b, axis=0))
+
+    def test_invalid_ratio(self):
+        X, y = _data()
+        with pytest.raises(ValueError):
+            SMOTE(ratio=-1).fit_resample(X, y)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=5, max_value=30))
+    def test_balance_property(self, n_min):
+        X, y = _data(100, n_min)
+        _, yr = SMOTE(random_state=0).fit_resample(X, y)
+        assert (yr == 1).sum() == (yr == 0).sum()
+
+
+class TestBorderlineSMOTE:
+    def test_balanced_output(self):
+        X, y = _data()
+        _, yr = BorderlineSMOTE(random_state=0).fit_resample(X, y)
+        assert (yr == 0).sum() == (yr == 1).sum()
+
+    def test_danger_mask_identifies_border(self):
+        rng = np.random.RandomState(0)
+        safe = rng.randn(20, 2) * 0.2 + np.array([5.0, 5.0])
+        border = rng.randn(20, 2) * 0.2  # inside the majority mass
+        maj = rng.randn(200, 2)
+        X = np.vstack([maj, safe, border])
+        y = np.concatenate([np.zeros(200, int), np.ones(40, int)])
+        sampler = BorderlineSMOTE()
+        danger = sampler.danger_mask(X, y)
+        assert danger[20:].mean() > danger[:20].mean()
+
+
+class TestADASYN:
+    def test_roughly_balanced(self):
+        X, y = _data()
+        _, yr = ADASYN(random_state=0).fit_resample(X, y)
+        assert abs(int((yr == 1).sum()) - int((yr == 0).sum())) <= 5
+
+    def test_hard_samples_get_more_synthetics(self):
+        rng = np.random.RandomState(0)
+        easy = rng.randn(10, 2) * 0.1 + np.array([8.0, 8.0])
+        hard = rng.randn(10, 2) * 0.1  # swamped by majority
+        maj = rng.randn(300, 2)
+        X = np.vstack([maj, easy, hard])
+        y = np.concatenate([np.zeros(300, int), np.ones(20, int)])
+        Xr, yr = ADASYN(random_state=0).fit_resample(X, y)
+        synthetics = Xr[len(X):]
+        near_hard = (np.linalg.norm(synthetics, axis=1) < 4).sum()
+        near_easy = (np.linalg.norm(synthetics - 8.0, axis=1) < 4).sum()
+        assert near_hard > near_easy
+
+    def test_already_balanced_noop(self):
+        X, y = _data(50, 50)
+        Xr, yr = ADASYN(random_state=0).fit_resample(X, y)
+        assert len(yr) == 100
+
+
+class TestHybrid:
+    def test_smoteenn_cleans(self):
+        X, y = _data()
+        _, y_smote = SMOTE(random_state=0).fit_resample(X, y)
+        _, y_hybrid = SMOTEENN(random_state=0).fit_resample(X, y)
+        assert len(y_hybrid) <= len(y_smote)
+
+    def test_smoteenn_keeps_both_classes(self):
+        X, y = _data()
+        _, yr = SMOTEENN(random_state=0).fit_resample(X, y)
+        assert (yr == 0).any() and (yr == 1).any()
+
+    def test_smotetomek_cleans(self):
+        X, y = _data()
+        _, y_smote = SMOTE(random_state=0).fit_resample(X, y)
+        _, y_hybrid = SMOTETomek(random_state=0).fit_resample(X, y)
+        assert len(y_hybrid) <= len(y_smote)
+
+    def test_smotetomek_near_balanced(self):
+        X, y = _data()
+        _, yr = SMOTETomek(random_state=0).fit_resample(X, y)
+        assert abs(int((yr == 0).sum()) - int((yr == 1).sum())) < 30

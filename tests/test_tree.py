@@ -1,0 +1,204 @@
+"""Tests for the decision-tree substrate (binning, CART, C4.5, export)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import NotFittedError
+from repro.tree import (
+    C45Classifier,
+    DecisionTreeClassifier,
+    FeatureBinner,
+    export_text,
+)
+
+
+class TestFeatureBinner:
+    def test_few_unique_values_exact(self):
+        X = np.array([[0.0], [1.0], [1.0], [2.0]])
+        binner = FeatureBinner(max_bins=64).fit(X)
+        codes = binner.transform(X)
+        assert len(np.unique(codes)) == 3  # one code per distinct value
+
+    def test_codes_monotonic_in_value(self, rng):
+        X = rng.randn(100, 1)
+        binner = FeatureBinner(max_bins=8).fit(X)
+        codes = binner.transform(X).ravel()
+        order = np.argsort(X.ravel())
+        assert (np.diff(codes[order]) >= 0).all()
+
+    def test_threshold_semantics(self, rng):
+        """code <= c  iff  value < threshold_value(feature, c)."""
+        X = rng.randn(200, 1)
+        binner = FeatureBinner(max_bins=6).fit(X)
+        codes = binner.transform(X).ravel()
+        for c in range(int(binner.n_bins_[0]) - 1):
+            thr = binner.threshold_value(0, c)
+            assert np.array_equal(codes <= c, X.ravel() < thr)
+
+    def test_max_bins_respected(self, rng):
+        X = rng.randn(1000, 2)
+        binner = FeatureBinner(max_bins=16).fit(X)
+        assert (binner.n_bins_ <= 16).all()
+
+    def test_invalid_max_bins(self):
+        with pytest.raises(ValueError):
+            FeatureBinner(max_bins=1)
+
+    def test_feature_count_check(self, rng):
+        binner = FeatureBinner().fit(rng.randn(10, 2))
+        with pytest.raises(ValueError):
+            binner.transform(rng.randn(10, 3))
+
+
+class TestDecisionTree:
+    def test_pure_split_learned(self):
+        """A single-threshold concept must be learned exactly."""
+        X = np.linspace(0, 1, 100).reshape(-1, 1)
+        y = (X.ravel() > 0.5).astype(int)
+        clf = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        assert clf.score(X, y) == 1.0
+
+    def test_xor_learned_with_depth(self):
+        """XOR defeats any depth-1 tree; enough depth must solve it.
+
+        Greedy impurity splits see ~zero gain at the XOR root, so a few
+        extra levels are needed before the quadrant structure emerges —
+        the same behaviour as sklearn's exact-split trees.
+        """
+        rng = np.random.RandomState(0)
+        X = rng.uniform(-1, 1, size=(1500, 2))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+        shallow = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        deep = DecisionTreeClassifier(max_depth=6).fit(X, y)
+        assert shallow.score(X, y) < 0.7
+        assert deep.score(X, y) > 0.95
+
+    def test_max_depth_respected(self, binary_blobs):
+        X, y = binary_blobs
+        clf = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert clf.tree_.max_depth <= 2
+
+    def test_min_samples_leaf(self, binary_blobs):
+        X, y = binary_blobs
+        clf = DecisionTreeClassifier(min_samples_leaf=30).fit(X, y)
+        leaf_mask = clf.tree_.feature < 0
+        assert clf.tree_.n_node_samples[leaf_mask].min() >= 30
+
+    def test_proba_sums_to_one(self, binary_blobs):
+        X, y = binary_blobs
+        proba = DecisionTreeClassifier(max_depth=4).fit(X, y).predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_predict_is_argmax(self, binary_blobs):
+        X, y = binary_blobs
+        clf = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        proba = clf.predict_proba(X)
+        assert np.array_equal(clf.predict(X), clf.classes_[proba.argmax(axis=1)])
+
+    def test_sample_weight_shifts_decision(self):
+        """Heavily weighting one class must pull the prediction toward it."""
+        X = np.array([[0.0], [0.0], [0.0], [1.0]])
+        y = np.array([0, 0, 1, 1])
+        w_heavy_1 = np.array([1.0, 1.0, 10.0, 1.0])
+        clf = DecisionTreeClassifier(max_depth=1).fit(X, y, sample_weight=w_heavy_1)
+        proba = clf.predict_proba(np.array([[0.0]]))
+        assert proba[0, 1] > 0.5
+
+    def test_multiclass(self, rng):
+        X = np.vstack([rng.randn(50, 2) + c * 4 for c in range(3)])
+        y = np.repeat([0, 1, 2], 50)
+        clf = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        assert clf.score(X, y) > 0.95
+        assert clf.predict_proba(X).shape == (150, 3)
+
+    def test_non_contiguous_labels(self, rng):
+        X = np.vstack([rng.randn(30, 2), rng.randn(30, 2) + 5])
+        y = np.concatenate([np.full(30, 7), np.full(30, 42)])
+        clf = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        assert set(np.unique(clf.predict(X))) <= {7, 42}
+
+    def test_apply_leaves(self, binary_blobs):
+        X, y = binary_blobs
+        clf = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        leaves = clf.apply(X)
+        assert (clf.tree_.feature[leaves] == -1).all()
+
+    def test_feature_importances(self):
+        rng = np.random.RandomState(3)
+        X = rng.randn(300, 3)
+        y = (X[:, 1] > 0).astype(int)  # only feature 1 matters
+        clf = DecisionTreeClassifier(max_depth=3, random_state=0).fit(X, y)
+        importances = clf.feature_importances_
+        assert importances.argmax() == 1
+        assert importances.sum() == pytest.approx(1.0)
+
+    def test_unknown_criterion(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(criterion="bogus").fit(np.ones((4, 1)), [0, 1, 0, 1])
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeClassifier().predict(np.ones((2, 2)))
+
+    def test_feature_mismatch_at_predict(self, binary_blobs):
+        X, y = binary_blobs
+        clf = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        with pytest.raises(ValueError):
+            clf.predict(np.ones((2, X.shape[1] + 1)))
+
+    def test_deterministic_given_seed(self, binary_blobs):
+        X, y = binary_blobs
+        p1 = (
+            DecisionTreeClassifier(max_depth=5, max_features=2, random_state=9)
+            .fit(X, y)
+            .predict_proba(X)
+        )
+        p2 = (
+            DecisionTreeClassifier(max_depth=5, max_features=2, random_state=9)
+            .fit(X, y)
+            .predict_proba(X)
+        )
+        assert np.allclose(p1, p2)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=8))
+    def test_depth_property(self, depth):
+        rng = np.random.RandomState(0)
+        X = rng.randn(200, 3)
+        y = (X[:, 0] + X[:, 1] > 0).astype(int)
+        clf = DecisionTreeClassifier(max_depth=depth).fit(X, y)
+        assert clf.tree_.max_depth <= depth
+
+
+class TestC45:
+    def test_uses_gain_ratio(self):
+        assert C45Classifier().criterion == "gain_ratio"
+
+    def test_learns_separable(self, binary_blobs):
+        X, y = binary_blobs
+        assert C45Classifier(max_depth=5).fit(X, y).score(X, y) > 0.9
+
+    def test_clone_roundtrip(self):
+        from repro.base import clone
+
+        clf = clone(C45Classifier(max_depth=7))
+        assert clf.max_depth == 7
+
+
+class TestExportText:
+    def test_contains_thresholds(self, binary_blobs):
+        X, y = binary_blobs
+        clf = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        text = export_text(clf)
+        assert "feature_" in text and "<" in text
+
+    def test_custom_feature_names(self, binary_blobs):
+        X, y = binary_blobs
+        clf = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        text = export_text(clf, feature_names=["alpha", "beta", "gamma"])
+        assert any(name in text for name in ("alpha", "beta", "gamma"))
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            export_text(DecisionTreeClassifier())

@@ -1,0 +1,89 @@
+"""Tests for array helpers and timing utilities."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    Timer,
+    class_distribution,
+    imbalance_ratio,
+    majority_minority_split,
+    safe_vstack,
+    shuffle_together,
+    stratified_indices,
+    timed_call,
+)
+
+
+class TestClassDistribution:
+    def test_counts(self):
+        assert class_distribution([0, 0, 1, 0]) == {0: 3, 1: 1}
+
+    def test_multi_label(self):
+        assert class_distribution([2, 1, 2]) == {1: 1, 2: 2}
+
+
+class TestImbalanceRatio:
+    def test_basic(self):
+        y = [0] * 90 + [1] * 10
+        assert imbalance_ratio(y) == pytest.approx(9.0)
+
+    def test_no_minority_is_inf(self):
+        assert imbalance_ratio([0, 0]) == float("inf")
+
+    def test_balanced_is_one(self):
+        assert imbalance_ratio([0, 1]) == 1.0
+
+
+class TestMajorityMinoritySplit:
+    def test_split_indices(self):
+        y = np.array([0, 1, 0, 1, 0])
+        maj, mino = majority_minority_split(np.zeros((5, 1)), y)
+        assert maj.tolist() == [0, 2, 4]
+        assert mino.tolist() == [1, 3]
+
+
+class TestStratifiedIndices:
+    def test_is_permutation(self):
+        rng = np.random.RandomState(0)
+        y = np.array([0] * 20 + [1] * 5)
+        order = stratified_indices(y, rng)
+        assert sorted(order.tolist()) == list(range(25))
+
+    def test_prefix_contains_minority(self):
+        """Any reasonable prefix should contain some of both classes."""
+        rng = np.random.RandomState(1)
+        y = np.array([0] * 90 + [1] * 10)
+        order = stratified_indices(y, rng)
+        first_half = y[order[:50]]
+        assert (first_half == 1).sum() >= 2
+
+
+class TestSafeVstack:
+    def test_skips_empty(self):
+        out = safe_vstack([np.zeros((0, 2)), np.ones((2, 2))])
+        assert out.shape == (2, 2)
+
+    def test_all_empty_raises(self):
+        with pytest.raises(ValueError):
+            safe_vstack([np.zeros((0, 2))])
+
+
+class TestShuffleTogether:
+    def test_alignment_preserved(self):
+        rng = np.random.RandomState(0)
+        X = np.arange(10).reshape(-1, 1).astype(float)
+        y = np.arange(10)
+        Xs, ys = shuffle_together(X, y, rng)
+        assert np.array_equal(Xs.ravel().astype(int), ys)
+
+
+class TestTiming:
+    def test_timer_measures(self):
+        with Timer() as t:
+            sum(range(100))
+        assert t.elapsed >= 0.0
+
+    def test_timed_call_returns_result(self):
+        result, seconds = timed_call(lambda a: a + 1, 2)
+        assert result == 3 and seconds >= 0.0
