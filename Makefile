@@ -1,0 +1,19 @@
+# Single-command entrypoints for CI and local verification.
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench-smoke lint
+
+# Tier-1 suite (the ROADMAP verify command).
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Fast end-to-end run of the parallel-scaling benchmark; writes
+# BENCH_parallel.json at the repo root.
+bench-smoke:
+	REPRO_SCALE=0.25 $(PYTHON) benchmarks/bench_parallel_scaling.py
+
+# No third-party linters in the toolchain: byte-compile everything so
+# syntax/undefined-future errors fail fast.
+lint:
+	$(PYTHON) -m compileall -q src tests benchmarks examples

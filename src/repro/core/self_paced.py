@@ -20,13 +20,14 @@ BalanceCascade (paper Fig 5/6).
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable, List, Optional, Tuple, Union
 
 import numpy as np
 
-from ..base import BaseEstimator, ClassifierMixin, clone
-from ..ensemble.bagging import average_ensemble_proba
-from ..tree import DecisionTreeClassifier
+from ..base import BaseEstimator, ClassifierMixin
+from ..ensemble.bagging import make_member_model
+from ..parallel import ensemble_predict_proba, fit_ensemble_member
 from ..utils.validation import (
     check_array,
     check_binary_labels,
@@ -72,6 +73,26 @@ def linear_self_paced_factor(iteration: int, n_iterations: int) -> float:
 
 
 _SCHEDULES = {"tan": tan_self_paced_factor, "linear": linear_self_paced_factor}
+
+
+def _majority_union_minority_sample(
+    index: int,
+    rng: np.random.RandomState,
+    X_sub_maj: np.ndarray,
+    y_unused,
+    X_min: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Engine ``sample_fn`` for one SPE member: shuffled sampled-majority ∪
+    all-minority training set (labels rebuilt as 0/1)."""
+    y_train = np.concatenate(
+        [
+            np.zeros(len(X_sub_maj), dtype=int),
+            np.ones(len(X_min), dtype=int),
+        ]
+    )
+    X_train = np.vstack([X_sub_maj, X_min])
+    perm = rng.permutation(len(y_train))
+    return X_train[perm], y_train[perm]
 
 
 def self_paced_under_sample(
@@ -132,6 +153,17 @@ class SelfPacedEnsembleClassifier(BaseEstimator, ClassifierMixin):
     record_bins : bool, default False
         Keep per-iteration :class:`HardnessBins` and α in ``bin_history_``
         (used by the Fig 3 reproduction).
+    n_jobs : int, optional
+        Workers for the chunked scoring paths (per-iteration majority
+        re-scoring and ``predict_proba``); ``None``/1 serial, ``-1`` all
+        CPUs. Training stays iteration-sequential (Algorithm 1 is a
+        cascade), so results are identical for every ``n_jobs``.
+    backend : {"serial", "thread", "process"}, default "thread"
+        Executor used by the scoring paths (see :mod:`repro.parallel`).
+    chunk_size : int, optional
+        Rows per scoring task; default
+        :data:`repro.parallel.DEFAULT_CHUNK_SIZE`. Any value yields the
+        same probabilities.
     random_state : int / RandomState, optional
 
     Attributes
@@ -160,6 +192,9 @@ class SelfPacedEnsembleClassifier(BaseEstimator, ClassifierMixin):
         alpha_schedule: Union[str, Callable] = "tan",
         include_cold_start: bool = True,
         record_bins: bool = False,
+        n_jobs: Optional[int] = None,
+        backend: str = "thread",
+        chunk_size: Optional[int] = None,
         random_state=None,
     ):
         self.estimator = estimator
@@ -169,17 +204,12 @@ class SelfPacedEnsembleClassifier(BaseEstimator, ClassifierMixin):
         self.alpha_schedule = alpha_schedule
         self.include_cold_start = include_cold_start
         self.record_bins = record_bins
+        self.n_jobs = n_jobs
+        self.backend = backend
+        self.chunk_size = chunk_size
         self.random_state = random_state
 
     # ------------------------------------------------------------------ #
-    def _make_base(self, rng: np.random.RandomState):
-        model = (
-            DecisionTreeClassifier() if self.estimator is None else clone(self.estimator)
-        )
-        if hasattr(model, "random_state"):
-            model.random_state = rng.randint(np.iinfo(np.int32).max)
-        return model
-
     def _resolve_schedule(self) -> Callable[[int, int], float]:
         if callable(self.alpha_schedule):
             return self.alpha_schedule
@@ -192,12 +222,19 @@ class SelfPacedEnsembleClassifier(BaseEstimator, ClassifierMixin):
             ) from None
 
     def _proba_pos(self, model, X: np.ndarray) -> np.ndarray:
-        """Positive-class probability, robust to single-class base fits."""
-        proba = model.predict_proba(X)
-        classes = list(np.asarray(model.classes_).tolist())
-        if 1 in classes:
-            return proba[:, classes.index(1)]
-        return np.zeros(X.shape[0])
+        """Positive-class probability, robust to single-class base fits.
+
+        Scored through the chunked inference engine so large majority sets
+        stream in cache-friendly blocks, split across ``n_jobs`` workers.
+        """
+        return ensemble_predict_proba(
+            [model],
+            X,
+            np.array([0, 1]),
+            n_jobs=self.n_jobs,
+            backend=self.backend,
+            chunk_size=self.chunk_size,
+        )[:, 1]
 
     # ------------------------------------------------------------------ #
     def fit(self, X, y, eval_set: Optional[Tuple] = None) -> "SelfPacedEnsembleClassifier":
@@ -234,17 +271,16 @@ class SelfPacedEnsembleClassifier(BaseEstimator, ClassifierMixin):
             y_eval = np.asarray(eval_set[1])
             proba_eval = np.zeros(X_eval.shape[0])
 
+        sample_fn = partial(_majority_union_minority_sample, X_min=X_min)
+        make_model = partial(make_member_model, estimator=self.estimator)
+
         def train_one(X_sub_maj: np.ndarray) -> None:
             """Fit one base model on sampled majority ∪ all minority."""
-            X_train = np.vstack([X_sub_maj, X_min])
-            y_train = np.concatenate(
-                [np.zeros(len(X_sub_maj), dtype=int), np.ones(n_min, dtype=int)]
+            model, n_trained = fit_ensemble_member(
+                len(self.estimators_), rng, X_sub_maj, None, sample_fn, make_model
             )
-            perm = rng.permutation(len(y_train))
-            model = self._make_base(rng)
-            model.fit(X_train[perm], y_train[perm])
             self.estimators_.append(model)
-            self.n_training_samples_ += len(y_train)
+            self.n_training_samples_ += n_trained
 
         # --- cold start: random balanced subset (Algorithm 1, line 2) ----
         cold = rng.choice(maj_idx, size=min(n_min, len(maj_idx)), replace=False)
@@ -292,7 +328,14 @@ class SelfPacedEnsembleClassifier(BaseEstimator, ClassifierMixin):
     def predict_proba(self, X) -> np.ndarray:
         check_is_fitted(self, ["estimators_"])
         X = check_array(X)
-        return average_ensemble_proba(self._voting_estimators(), X, self.classes_)
+        return ensemble_predict_proba(
+            self._voting_estimators(),
+            X,
+            self.classes_,
+            n_jobs=self.n_jobs,
+            backend=self.backend,
+            chunk_size=self.chunk_size,
+        )
 
     def predict(self, X) -> np.ndarray:
         proba = self.predict_proba(X)

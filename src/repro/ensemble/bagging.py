@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
-from typing import List, Optional
+from functools import partial
+from typing import Optional
 
 import numpy as np
 
 from ..base import BaseEstimator, ClassifierMixin, clone
+from ..parallel import ensemble_predict_proba, fit_ensemble_parallel
 from ..tree import DecisionTreeClassifier
 from ..utils.validation import (
     check_array,
@@ -15,28 +17,62 @@ from ..utils.validation import (
     check_X_y,
 )
 
-__all__ = ["BaggingClassifier", "average_ensemble_proba"]
+__all__ = [
+    "BaggingClassifier",
+    "average_ensemble_proba",
+    "ensemble_predict_proba",
+    "make_member_model",
+]
 
 
 def average_ensemble_proba(estimators, X, classes: np.ndarray) -> np.ndarray:
-    """Average ``predict_proba`` over fitted estimators, aligning classes.
+    """Serial shorthand for :func:`repro.parallel.ensemble_predict_proba`.
 
-    Each estimator may have seen a subset of the classes (an extreme-IR
-    bootstrap can miss the minority entirely); probabilities are mapped into
-    the full class space before averaging.
+    Kept as the historical name; the chunked engine behind it aligns each
+    estimator's classes into the full class space before averaging.
     """
-    proba = np.zeros((X.shape[0], len(classes)))
-    class_pos = {c: i for i, c in enumerate(classes.tolist())}
-    for est in estimators:
-        p = est.predict_proba(X)
-        cols = [class_pos[c] for c in est.classes_.tolist()]
-        proba[:, cols] += p
-    proba /= len(estimators)
-    return proba
+    return ensemble_predict_proba(estimators, X, classes, backend="serial")
+
+
+def make_member_model(rng: np.random.RandomState, estimator=None):
+    """Default ensemble-member factory shared across the ensemble layers:
+    clone ``estimator`` (or build a fresh tree) and seed it from the
+    member's private RNG."""
+    model = DecisionTreeClassifier() if estimator is None else clone(estimator)
+    if hasattr(model, "random_state"):
+        model.random_state = rng.randint(np.iinfo(np.int32).max)
+    return model
+
+
+def _bootstrap_sample(
+    index: int,
+    rng: np.random.RandomState,
+    X: np.ndarray,
+    y: np.ndarray,
+    size: int,
+    bootstrap: bool,
+    n_classes: int,
+):
+    if bootstrap:
+        idx = rng.randint(0, X.shape[0], size=size)
+        # Guarantee both classes appear whenever the data has both:
+        # resample until the subset is non-degenerate (tiny cost).
+        tries = 0
+        while n_classes > 1 and len(np.unique(y[idx])) < 2 and tries < 10:
+            idx = rng.randint(0, X.shape[0], size=size)
+            tries += 1
+    else:
+        idx = rng.permutation(X.shape[0])[:size]
+    return X[idx], y[idx]
 
 
 class BaggingClassifier(BaseEstimator, ClassifierMixin):
-    """Train ``n_estimators`` clones on bootstrap resamples and average."""
+    """Train ``n_estimators`` clones on bootstrap resamples and average.
+
+    ``n_jobs`` / ``backend`` drive both the per-member fits and the chunked
+    ``predict_proba`` through :mod:`repro.parallel`; results are identical
+    for every backend and worker count at a fixed ``random_state``.
+    """
 
     def __init__(
         self,
@@ -44,18 +80,17 @@ class BaggingClassifier(BaseEstimator, ClassifierMixin):
         n_estimators: int = 10,
         max_samples: float = 1.0,
         bootstrap: bool = True,
+        n_jobs: Optional[int] = None,
+        backend: str = "thread",
         random_state=None,
     ):
         self.estimator = estimator
         self.n_estimators = n_estimators
         self.max_samples = max_samples
         self.bootstrap = bootstrap
+        self.n_jobs = n_jobs
+        self.backend = backend
         self.random_state = random_state
-
-    def _make_base(self):
-        if self.estimator is None:
-            return DecisionTreeClassifier()
-        return clone(self.estimator)
 
     def fit(self, X, y) -> "BaggingClassifier":
         if self.n_estimators < 1:
@@ -65,33 +100,35 @@ class BaggingClassifier(BaseEstimator, ClassifierMixin):
         X, y = check_X_y(X, y)
         rng = check_random_state(self.random_state)
         self.classes_ = np.unique(y)
-        n = X.shape[0]
-        size = max(1, int(round(self.max_samples * n)))
-        self.estimators_: List = []
-        for _ in range(self.n_estimators):
-            if self.bootstrap:
-                idx = rng.randint(0, n, size=size)
-            else:
-                idx = rng.permutation(n)[:size]
-            # Guarantee both classes appear whenever the data has both:
-            # resample until the subset is non-degenerate (tiny cost).
-            if len(self.classes_) > 1:
-                tries = 0
-                while len(np.unique(y[idx])) < 2 and tries < 10:
-                    idx = rng.randint(0, n, size=size) if self.bootstrap else idx
-                    tries += 1
-            model = self._make_base()
-            if hasattr(model, "random_state"):
-                model.random_state = rng.randint(np.iinfo(np.int32).max)
-            model.fit(X[idx], y[idx])
-            self.estimators_.append(model)
+        size = max(1, int(round(self.max_samples * X.shape[0])))
+        self.estimators_, _ = fit_ensemble_parallel(
+            X,
+            y,
+            n_estimators=self.n_estimators,
+            sample_fn=partial(
+                _bootstrap_sample,
+                size=size,
+                bootstrap=self.bootstrap,
+                n_classes=len(self.classes_),
+            ),
+            make_model=partial(make_member_model, estimator=self.estimator),
+            random_state=rng,
+            backend=self.backend,
+            n_jobs=self.n_jobs,
+        )
         self.n_features_in_ = X.shape[1]
         return self
 
     def predict_proba(self, X) -> np.ndarray:
         check_is_fitted(self, ["estimators_"])
         X = check_array(X)
-        return average_ensemble_proba(self.estimators_, X, self.classes_)
+        return ensemble_predict_proba(
+            self.estimators_,
+            X,
+            self.classes_,
+            n_jobs=self.n_jobs,
+            backend=self.backend,
+        )
 
     def predict(self, X) -> np.ndarray:
         proba = self.predict_proba(X)

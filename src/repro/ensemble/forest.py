@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from functools import partial
+from typing import Dict, Optional, Union
 
 import numpy as np
 
 from ..base import BaseEstimator, ClassifierMixin
+from ..parallel import ensemble_predict_proba, fit_ensemble_parallel
 from ..tree import DecisionTreeClassifier
 from ..utils.validation import (
     check_array,
@@ -14,13 +16,42 @@ from ..utils.validation import (
     check_random_state,
     check_X_y,
 )
-from .bagging import average_ensemble_proba
 
 __all__ = ["RandomForestClassifier"]
 
 
+def _forest_sample(
+    index: int,
+    rng: np.random.RandomState,
+    X: np.ndarray,
+    y: np.ndarray,
+    bootstrap: bool,
+    n_classes: int,
+):
+    n = X.shape[0]
+    if not bootstrap:
+        return X, y
+    idx = rng.randint(0, n, size=n)
+    tries = 0
+    while n_classes > 1 and len(np.unique(y[idx])) < 2 and tries < 10:
+        idx = rng.randint(0, n, size=n)
+        tries += 1
+    return X[idx], y[idx]
+
+
+def _make_forest_tree(rng: np.random.RandomState, params: Dict) -> DecisionTreeClassifier:
+    return DecisionTreeClassifier(
+        random_state=rng.randint(np.iinfo(np.int32).max), **params
+    )
+
+
 class RandomForestClassifier(BaseEstimator, ClassifierMixin):
-    """Breiman-style random forest over the library's histogram CART trees."""
+    """Breiman-style random forest over the library's histogram CART trees.
+
+    Tree fits and chunked ``predict_proba`` run through the
+    :mod:`repro.parallel` engine; ``n_jobs`` / ``backend`` never change the
+    forest grown under a fixed ``random_state``.
+    """
 
     def __init__(
         self,
@@ -32,6 +63,8 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
         max_features: Union[None, str, int, float] = "sqrt",
         bootstrap: bool = True,
         max_bins: int = 64,
+        n_jobs: Optional[int] = None,
+        backend: str = "thread",
         random_state=None,
     ):
         self.n_estimators = n_estimators
@@ -42,6 +75,8 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
         self.max_features = max_features
         self.bootstrap = bootstrap
         self.max_bins = max_bins
+        self.n_jobs = n_jobs
+        self.backend = backend
         self.random_state = random_state
 
     def fit(self, X, y) -> "RandomForestClassifier":
@@ -50,33 +85,41 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
         X, y = check_X_y(X, y)
         rng = check_random_state(self.random_state)
         self.classes_ = np.unique(y)
-        n = X.shape[0]
-        self.estimators_: List[DecisionTreeClassifier] = []
-        for _ in range(self.n_estimators):
-            idx = rng.randint(0, n, size=n) if self.bootstrap else np.arange(n)
-            if len(self.classes_) > 1:
-                tries = 0
-                while len(np.unique(y[idx])) < 2 and tries < 10 and self.bootstrap:
-                    idx = rng.randint(0, n, size=n)
-                    tries += 1
-            tree = DecisionTreeClassifier(
-                criterion=self.criterion,
-                max_depth=self.max_depth,
-                min_samples_split=self.min_samples_split,
-                min_samples_leaf=self.min_samples_leaf,
-                max_features=self.max_features,
-                max_bins=self.max_bins,
-                random_state=rng.randint(np.iinfo(np.int32).max),
-            )
-            tree.fit(X[idx], y[idx])
-            self.estimators_.append(tree)
+        tree_params = dict(
+            criterion=self.criterion,
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+            max_bins=self.max_bins,
+        )
+        self.estimators_, _ = fit_ensemble_parallel(
+            X,
+            y,
+            n_estimators=self.n_estimators,
+            sample_fn=partial(
+                _forest_sample,
+                bootstrap=self.bootstrap,
+                n_classes=len(self.classes_),
+            ),
+            make_model=partial(_make_forest_tree, params=tree_params),
+            random_state=rng,
+            backend=self.backend,
+            n_jobs=self.n_jobs,
+        )
         self.n_features_in_ = X.shape[1]
         return self
 
     def predict_proba(self, X) -> np.ndarray:
         check_is_fitted(self, ["estimators_"])
         X = check_array(X)
-        return average_ensemble_proba(self.estimators_, X, self.classes_)
+        return ensemble_predict_proba(
+            self.estimators_,
+            X,
+            self.classes_,
+            n_jobs=self.n_jobs,
+            backend=self.backend,
+        )
 
     def predict(self, X) -> np.ndarray:
         proba = self.predict_proba(X)

@@ -8,27 +8,58 @@ confidently, shrinking the majority pool geometrically with keep rate
 This is the method whose late-iteration noise overfitting (only hard
 samples — often outliers — remain in the pool) the paper's Fig 5 and Fig 6
 demonstrate, and which SPE's self-paced "skeleton" of easy samples fixes.
+
+The cascade is inherently sequential (each round's pool depends on the
+ensemble so far), so ``n_jobs`` / ``backend`` parallelise the scoring —
+the per-round pool re-ranking and ``predict_proba`` — not the fits.
 """
 
 from __future__ import annotations
 
+from functools import partial
 from typing import List, Optional
 
 import numpy as np
 
-from ..ensemble.bagging import average_ensemble_proba
-from .base import BaseImbalanceEnsemble, random_balanced_subset
+from ..parallel import ensemble_predict_proba, fit_ensemble_member
+from .base import (
+    BaseImbalanceEnsemble,
+    make_member_model,
+    random_balanced_subset,
+)
 
 __all__ = ["BalanceCascadeClassifier"]
+
+
+def _pool_sample(index, rng, X, y, maj_pool, min_idx):
+    return random_balanced_subset(X, y, maj_pool, min_idx, rng)
 
 
 class BalanceCascadeClassifier(BaseImbalanceEnsemble):
     """Cascade of base models on progressively harder majority pools."""
 
-    def __init__(self, estimator=None, n_estimators: int = 10, random_state=None):
+    def __init__(
+        self,
+        estimator=None,
+        n_estimators: int = 10,
+        n_jobs: Optional[int] = None,
+        backend: str = "thread",
+        random_state=None,
+    ):
         self.estimator = estimator
         self.n_estimators = n_estimators
+        self.n_jobs = n_jobs
+        self.backend = backend
         self.random_state = random_state
+
+    def _ensemble_pos_proba(self, X) -> np.ndarray:
+        return ensemble_predict_proba(
+            self.estimators_,
+            X,
+            self.classes_,
+            n_jobs=self.n_jobs,
+            backend=self.backend,
+        )[:, 1]
 
     def fit(self, X, y, eval_set: Optional[tuple] = None) -> "BalanceCascadeClassifier":
         """Fit the cascade; with ``eval_set=(X_e, y_e)`` records the test
@@ -39,6 +70,7 @@ class BalanceCascadeClassifier(BaseImbalanceEnsemble):
         n_maj, n_min = len(maj_pool), len(min_idx)
         T = self.n_estimators
         keep_rate = (n_min / n_maj) ** (1.0 / (T - 1)) if T > 1 and n_maj > n_min else 1.0
+        make_model = partial(make_member_model, estimator=self.estimator)
 
         self.estimators_: List = []
         self.n_training_samples_ = 0
@@ -46,18 +78,21 @@ class BalanceCascadeClassifier(BaseImbalanceEnsemble):
         self.train_curve_: List[float] = []
         for i in range(T):
             self.pool_sizes_.append(len(maj_pool))
-            X_bag, y_bag = random_balanced_subset(X, y, maj_pool, min_idx, rng)
-            model = self._make_base(rng)
-            model.fit(X_bag, y_bag)
+            model, n_bag = fit_ensemble_member(
+                i,
+                rng,
+                X,
+                y,
+                partial(_pool_sample, maj_pool=maj_pool, min_idx=min_idx),
+                make_model,
+            )
             self.estimators_.append(model)
-            self.n_training_samples_ += len(y_bag)
+            self.n_training_samples_ += n_bag
 
             if eval_set is not None:
                 from ..metrics import average_precision_score
 
-                proba = average_ensemble_proba(
-                    self.estimators_, np.asarray(eval_set[0], dtype=float), self.classes_
-                )[:, 1]
+                proba = self._ensemble_pos_proba(np.asarray(eval_set[0], dtype=float))
                 self.train_curve_.append(
                     float(average_precision_score(np.asarray(eval_set[1]), proba))
                 )
@@ -66,7 +101,7 @@ class BalanceCascadeClassifier(BaseImbalanceEnsemble):
                 continue
             # Drop the best-classified majority samples: keep the hardest
             # |N| * f^(i+1), ranked by the current ensemble's P(y = 1).
-            scores = average_ensemble_proba(self.estimators_, X[maj_pool], self.classes_)[:, 1]
+            scores = self._ensemble_pos_proba(X[maj_pool])
             n_keep = max(n_min, int(round(n_maj * keep_rate ** (i + 1))))
             n_keep = min(n_keep, len(maj_pool))
             order = np.argsort(-scores, kind="stable")  # hardest (high P(1)) first

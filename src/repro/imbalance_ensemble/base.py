@@ -7,17 +7,25 @@ the paper's tables report:
 * ``n_training_samples_`` — total number of samples used to train all base
   models (the "# Sample" column of Tables V and VI);
 * ``estimators_`` — the fitted base models.
+
+The per-member clone/resample/fit plumbing that used to be copy-pasted into
+every subclass lives in one place now: :func:`fit_resampled_ensemble`, a
+thin specialisation of :func:`repro.parallel.fit_ensemble_parallel` that
+fills in the library's default model factory. Subclasses supply only their
+``sample_fn`` (how member *i* builds its training set) and inherit the
+``n_jobs`` / ``backend`` knobs.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from functools import partial
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
 from ..base import BaseEstimator, ClassifierMixin, clone
-from ..ensemble.bagging import average_ensemble_proba
-from ..tree import DecisionTreeClassifier
+from ..ensemble.bagging import make_member_model
+from ..parallel import ensemble_predict_proba, fit_ensemble_parallel
 from ..utils.validation import (
     check_array,
     check_binary_labels,
@@ -26,7 +34,13 @@ from ..utils.validation import (
     check_X_y,
 )
 
-__all__ = ["BaseImbalanceEnsemble", "ResampleEnsembleClassifier", "random_balanced_subset"]
+__all__ = [
+    "BaseImbalanceEnsemble",
+    "ResampleEnsembleClassifier",
+    "fit_resampled_ensemble",
+    "make_member_model",
+    "random_balanced_subset",
+]
 
 
 def random_balanced_subset(
@@ -43,6 +57,65 @@ def random_balanced_subset(
     return X[idx], y[idx]
 
 
+def balanced_subset_sample(
+    index: int,
+    rng: np.random.RandomState,
+    X: np.ndarray,
+    y: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Engine ``sample_fn``: one random balanced under-sample per member."""
+    maj_idx = np.flatnonzero(y == 0)
+    min_idx = np.flatnonzero(y == 1)
+    return random_balanced_subset(X, y, maj_idx, min_idx, rng)
+
+
+def _sampler_resample(
+    index: int,
+    rng: np.random.RandomState,
+    X: np.ndarray,
+    y: np.ndarray,
+    sampler,
+) -> Tuple[np.ndarray, np.ndarray]:
+    member_sampler = clone(sampler)
+    if hasattr(member_sampler, "random_state"):
+        member_sampler.random_state = rng.randint(np.iinfo(np.int32).max)
+    return member_sampler.fit_resample(X, y)
+
+
+def fit_resampled_ensemble(
+    X: np.ndarray,
+    y: np.ndarray,
+    *,
+    n_estimators: int,
+    sample_fn: Callable,
+    estimator=None,
+    make_model: Optional[Callable] = None,
+    random_state=None,
+    backend: str = "serial",
+    n_jobs: Optional[int] = None,
+) -> Tuple[List, int]:
+    """Fit an ensemble of independently resampled members.
+
+    ``sample_fn(i, rng, X, y)`` builds member *i*'s training set;
+    ``make_model(rng)`` (default: clone ``estimator``) its unfitted model.
+    Returns ``(estimators, total_training_samples)``. With ``backend`` =
+    ``"process"`` both callables must be picklable (module-level functions
+    or ``functools.partial`` of them).
+    """
+    if make_model is None:
+        make_model = partial(make_member_model, estimator=estimator)
+    return fit_ensemble_parallel(
+        X,
+        y,
+        n_estimators=n_estimators,
+        sample_fn=sample_fn,
+        make_model=make_model,
+        random_state=random_state,
+        backend=backend,
+        n_jobs=n_jobs,
+    )
+
+
 class BaseImbalanceEnsemble(BaseEstimator, ClassifierMixin):
     """Common fit plumbing: validation, base-model creation, averaging."""
 
@@ -50,14 +123,12 @@ class BaseImbalanceEnsemble(BaseEstimator, ClassifierMixin):
     estimator = None
     n_estimators = 10
     random_state = None
+    #: parallel knobs; subclasses expose them as __init__ params
+    n_jobs: Optional[int] = None
+    backend: str = "thread"
 
     def _make_base(self, rng: np.random.RandomState):
-        model = (
-            DecisionTreeClassifier() if self.estimator is None else clone(self.estimator)
-        )
-        if hasattr(model, "random_state"):
-            model.random_state = rng.randint(np.iinfo(np.int32).max)
-        return model
+        return make_member_model(rng, self.estimator)
 
     def _validate(self, X, y):
         if self.n_estimators < 1:
@@ -71,7 +142,13 @@ class BaseImbalanceEnsemble(BaseEstimator, ClassifierMixin):
     def predict_proba(self, X) -> np.ndarray:
         check_is_fitted(self, ["estimators_"])
         X = check_array(X)
-        return average_ensemble_proba(self.estimators_, X, self.classes_)
+        return ensemble_predict_proba(
+            self.estimators_,
+            X,
+            self.classes_,
+            n_jobs=self.n_jobs,
+            backend=self.backend,
+        )
 
     def predict(self, X) -> np.ndarray:
         proba = self.predict_proba(X)
@@ -87,25 +164,34 @@ class ResampleEnsembleClassifier(BaseImbalanceEnsemble):
     useful as an ablation harness for arbitrary samplers.
     """
 
-    def __init__(self, sampler=None, estimator=None, n_estimators: int = 10, random_state=None):
+    def __init__(
+        self,
+        sampler=None,
+        estimator=None,
+        n_estimators: int = 10,
+        n_jobs: Optional[int] = None,
+        backend: str = "thread",
+        random_state=None,
+    ):
         self.sampler = sampler
         self.estimator = estimator
         self.n_estimators = n_estimators
+        self.n_jobs = n_jobs
+        self.backend = backend
         self.random_state = random_state
 
     def fit(self, X, y) -> "ResampleEnsembleClassifier":
         if self.sampler is None:
             raise ValueError("ResampleEnsembleClassifier requires a sampler")
         X, y, rng = self._validate(X, y)
-        self.estimators_: List = []
-        self.n_training_samples_ = 0
-        for _ in range(self.n_estimators):
-            sampler = clone(self.sampler)
-            if hasattr(sampler, "random_state"):
-                sampler.random_state = rng.randint(np.iinfo(np.int32).max)
-            X_res, y_res = sampler.fit_resample(X, y)
-            model = self._make_base(rng)
-            model.fit(X_res, y_res)
-            self.estimators_.append(model)
-            self.n_training_samples_ += len(y_res)
+        self.estimators_, self.n_training_samples_ = fit_resampled_ensemble(
+            X,
+            y,
+            n_estimators=self.n_estimators,
+            sample_fn=partial(_sampler_resample, sampler=self.sampler),
+            estimator=self.estimator,
+            random_state=rng,
+            backend=self.backend,
+            n_jobs=self.n_jobs,
+        )
         return self

@@ -2,15 +2,33 @@
 
 from __future__ import annotations
 
-from typing import List
+from functools import partial
+from typing import Optional
 
 import numpy as np
 
 from ..ensemble.adaboost import AdaBoostClassifier, fit_supports_sample_weight
 from ..tree import DecisionTreeClassifier
-from .base import BaseImbalanceEnsemble, random_balanced_subset
+from .base import (
+    BaseImbalanceEnsemble,
+    balanced_subset_sample,
+    fit_resampled_ensemble,
+    make_member_model,
+)
 
 __all__ = ["EasyEnsembleClassifier"]
+
+
+def _make_boosted_model(
+    rng: np.random.RandomState, base, n_boost_rounds: int, plain: bool
+):
+    if plain:
+        return make_member_model(rng, base)
+    return AdaBoostClassifier(
+        estimator=base,
+        n_estimators=n_boost_rounds,
+        random_state=rng.randint(np.iinfo(np.int32).max),
+    )
 
 
 class EasyEnsembleClassifier(BaseImbalanceEnsemble):
@@ -30,37 +48,43 @@ class EasyEnsembleClassifier(BaseImbalanceEnsemble):
         n_estimators: int = 10,
         n_boost_rounds: int = 10,
         boost_incapable: str = "resample",
+        n_jobs: Optional[int] = None,
+        backend: str = "thread",
         random_state=None,
     ):
         self.estimator = estimator
         self.n_estimators = n_estimators
         self.n_boost_rounds = n_boost_rounds
         self.boost_incapable = boost_incapable
+        self.n_jobs = n_jobs
+        self.backend = backend
         self.random_state = random_state
 
     def fit(self, X, y) -> "EasyEnsembleClassifier":
         if self.boost_incapable not in ("resample", "plain"):
             raise ValueError(f"Unknown boost_incapable {self.boost_incapable!r}")
         X, y, rng = self._validate(X, y)
-        maj_idx = np.flatnonzero(y == 0)
-        min_idx = np.flatnonzero(y == 1)
-        self.estimators_: List = []
-        self.n_training_samples_ = 0
-        base = self.estimator if self.estimator is not None else DecisionTreeClassifier(max_depth=1)
+        base = (
+            self.estimator
+            if self.estimator is not None
+            else DecisionTreeClassifier(max_depth=1)
+        )
         plain = (
             self.boost_incapable == "plain" and not fit_supports_sample_weight(base)
         ) or self.n_boost_rounds <= 1
-        for _ in range(self.n_estimators):
-            X_bag, y_bag = random_balanced_subset(X, y, maj_idx, min_idx, rng)
-            if plain:
-                model = self._make_base(rng)
-            else:
-                model = AdaBoostClassifier(
-                    estimator=base,
-                    n_estimators=self.n_boost_rounds,
-                    random_state=rng.randint(np.iinfo(np.int32).max),
-                )
-            model.fit(X_bag, y_bag)
-            self.estimators_.append(model)
-            self.n_training_samples_ += len(y_bag)
+        self.estimators_, self.n_training_samples_ = fit_resampled_ensemble(
+            X,
+            y,
+            n_estimators=self.n_estimators,
+            sample_fn=balanced_subset_sample,
+            make_model=partial(
+                _make_boosted_model,
+                base=base,
+                n_boost_rounds=self.n_boost_rounds,
+                plain=plain,
+            ),
+            random_state=rng,
+            backend=self.backend,
+            n_jobs=self.n_jobs,
+        )
         return self

@@ -2,14 +2,43 @@
 
 from __future__ import annotations
 
-from typing import List
+from functools import partial
+from typing import Optional
 
 import numpy as np
 
 from ..sampling.smote import smote_interpolate
-from .base import BaseImbalanceEnsemble
+from .base import BaseImbalanceEnsemble, fit_resampled_ensemble
 
 __all__ = ["SMOTEBaggingClassifier"]
+
+
+def _smote_bag_sample(
+    index: int,
+    rng: np.random.RandomState,
+    X: np.ndarray,
+    y: np.ndarray,
+    k_neighbors: int,
+):
+    maj_idx = np.flatnonzero(y == 0)
+    min_idx = np.flatnonzero(y == 1)
+    X_min = X[min_idx]
+    n_maj = len(maj_idx)
+    rate = ((index % 10) + 1) / 10.0  # 10%, 20%, ... 100%, cycling
+    maj_bag = rng.choice(maj_idx, size=n_maj, replace=True)
+    n_real = max(1, int(round(rate * n_maj)))
+    real = rng.choice(min_idx, size=min(n_real, n_maj), replace=True)
+    n_synth = n_maj - len(real)
+    synthetic = smote_interpolate(X_min, X_min, n_synth, k_neighbors, rng)
+    X_bag = np.vstack([X[maj_bag], X[real], synthetic])
+    y_bag = np.concatenate(
+        [
+            np.zeros(len(maj_bag), dtype=y.dtype),
+            np.ones(len(real) + len(synthetic), dtype=y.dtype),
+        ]
+    )
+    perm = rng.permutation(len(y_bag))
+    return X_bag[perm], y_bag[perm]
 
 
 class SMOTEBaggingClassifier(BaseImbalanceEnsemble):
@@ -29,40 +58,27 @@ class SMOTEBaggingClassifier(BaseImbalanceEnsemble):
         estimator=None,
         n_estimators: int = 10,
         k_neighbors: int = 5,
+        n_jobs: Optional[int] = None,
+        backend: str = "thread",
         random_state=None,
     ):
         self.estimator = estimator
         self.n_estimators = n_estimators
         self.k_neighbors = k_neighbors
+        self.n_jobs = n_jobs
+        self.backend = backend
         self.random_state = random_state
 
     def fit(self, X, y) -> "SMOTEBaggingClassifier":
         X, y, rng = self._validate(X, y)
-        maj_idx = np.flatnonzero(y == 0)
-        min_idx = np.flatnonzero(y == 1)
-        X_min = X[min_idx]
-        n_maj = len(maj_idx)
-        self.estimators_: List = []
-        self.n_training_samples_ = 0
-        for i in range(self.n_estimators):
-            rate = ((i % 10) + 1) / 10.0  # 10%, 20%, ... 100%, cycling
-            maj_bag = rng.choice(maj_idx, size=n_maj, replace=True)
-            n_real = max(1, int(round(rate * n_maj)))
-            real = rng.choice(min_idx, size=min(n_real, n_maj), replace=True)
-            n_synth = n_maj - len(real)
-            synthetic = smote_interpolate(
-                X_min, X_min, n_synth, self.k_neighbors, rng
-            )
-            X_bag = np.vstack([X[maj_bag], X[real], synthetic])
-            y_bag = np.concatenate(
-                [
-                    np.zeros(len(maj_bag), dtype=y.dtype),
-                    np.ones(len(real) + len(synthetic), dtype=y.dtype),
-                ]
-            )
-            perm = rng.permutation(len(y_bag))
-            model = self._make_base(rng)
-            model.fit(X_bag[perm], y_bag[perm])
-            self.estimators_.append(model)
-            self.n_training_samples_ += len(y_bag)
+        self.estimators_, self.n_training_samples_ = fit_resampled_ensemble(
+            X,
+            y,
+            n_estimators=self.n_estimators,
+            sample_fn=partial(_smote_bag_sample, k_neighbors=self.k_neighbors),
+            estimator=self.estimator,
+            random_state=rng,
+            backend=self.backend,
+            n_jobs=self.n_jobs,
+        )
         return self

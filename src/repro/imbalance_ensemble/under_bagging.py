@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
-from typing import List
+from typing import Optional
 
-import numpy as np
-
-from .base import BaseImbalanceEnsemble, random_balanced_subset
+from .base import (
+    BaseImbalanceEnsemble,
+    balanced_subset_sample,
+    fit_resampled_ensemble,
+)
 
 __all__ = ["UnderBaggingClassifier"]
 
@@ -20,21 +22,30 @@ class UnderBaggingClassifier(BaseImbalanceEnsemble):
     failure mode the paper attributes to RandUnder-style methods.
     """
 
-    def __init__(self, estimator=None, n_estimators: int = 10, random_state=None):
+    def __init__(
+        self,
+        estimator=None,
+        n_estimators: int = 10,
+        n_jobs: Optional[int] = None,
+        backend: str = "thread",
+        random_state=None,
+    ):
         self.estimator = estimator
         self.n_estimators = n_estimators
+        self.n_jobs = n_jobs
+        self.backend = backend
         self.random_state = random_state
 
     def fit(self, X, y) -> "UnderBaggingClassifier":
         X, y, rng = self._validate(X, y)
-        maj_idx = np.flatnonzero(y == 0)
-        min_idx = np.flatnonzero(y == 1)
-        self.estimators_: List = []
-        self.n_training_samples_ = 0
-        for _ in range(self.n_estimators):
-            X_bag, y_bag = random_balanced_subset(X, y, maj_idx, min_idx, rng)
-            model = self._make_base(rng)
-            model.fit(X_bag, y_bag)
-            self.estimators_.append(model)
-            self.n_training_samples_ += len(y_bag)
+        self.estimators_, self.n_training_samples_ = fit_resampled_ensemble(
+            X,
+            y,
+            n_estimators=self.n_estimators,
+            sample_fn=balanced_subset_sample,
+            estimator=self.estimator,
+            random_state=rng,
+            backend=self.backend,
+            n_jobs=self.n_jobs,
+        )
         return self

@@ -1,0 +1,40 @@
+"""Parallel execution engine: backends, seeding, fitting, and inference.
+
+The subsystem has four small layers:
+
+* :mod:`repro.parallel.executor` — ``serial`` / ``thread`` / ``process``
+  backends behind one ordered :func:`parallel_map` primitive;
+* :mod:`repro.parallel.seeding` — per-task seed derivation so results are
+  bit-identical across backends and worker counts;
+* :mod:`repro.parallel.engine` — the generic "resample → build → fit"
+  member loop every bagging-style ensemble shares;
+* :mod:`repro.parallel.inference` — chunked, batched
+  :func:`ensemble_predict_proba` for streaming large scoring jobs.
+
+All ensemble classes expose the same three knobs on top of it: ``n_jobs``
+(worker count, ``-1`` = all CPUs), ``backend`` (executor choice), and —
+where scoring matters — ``chunk_size`` (rows per inference task).
+"""
+
+from .engine import fit_ensemble_member, fit_ensemble_parallel
+from .executor import BACKENDS, parallel_map, resolve_n_jobs
+from .inference import (
+    DEFAULT_CHUNK_SIZE,
+    ESTIMATOR_BLOCK,
+    ensemble_predict_proba,
+)
+from .seeding import MAX_SEED, spawn_seeds, task_rng
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_CHUNK_SIZE",
+    "ESTIMATOR_BLOCK",
+    "MAX_SEED",
+    "ensemble_predict_proba",
+    "fit_ensemble_member",
+    "fit_ensemble_parallel",
+    "parallel_map",
+    "resolve_n_jobs",
+    "spawn_seeds",
+    "task_rng",
+]

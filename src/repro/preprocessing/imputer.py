@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from ..base import BaseEstimator
@@ -29,10 +31,14 @@ class SimpleImputer(BaseEstimator):
                 f"Unknown strategy {self.strategy!r}; expected one of {_STRATEGIES}"
             )
         X = check_array(X, allow_nan=True)
-        if self.strategy == "mean":
-            stats = np.nanmean(X, axis=0)
-        elif self.strategy == "median":
-            stats = np.nanmedian(X, axis=0)
+        if self.strategy in ("mean", "median"):
+            # An all-NaN column makes nanmean/nanmedian emit a RuntimeWarning
+            # ("Mean of empty slice") and return NaN; the NaN is handled by
+            # the fill_value fallback below, so the warning is just noise.
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", category=RuntimeWarning)
+                reduce = np.nanmean if self.strategy == "mean" else np.nanmedian
+                stats = reduce(X, axis=0)
         elif self.strategy == "most_frequent":
             stats = np.empty(X.shape[1])
             for j in range(X.shape[1]):

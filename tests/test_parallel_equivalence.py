@@ -1,0 +1,123 @@
+"""Backend equivalence: parallelism must never change model output.
+
+Every ensemble that exposes ``n_jobs`` / ``backend`` must produce
+bit-identical ``predict_proba`` for the serial, thread, and process
+backends (and any worker count) under a fixed ``random_state``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SelfPacedEnsembleClassifier
+from repro.ensemble import BaggingClassifier, RandomForestClassifier
+from repro.imbalance_ensemble import (
+    BalanceCascadeClassifier,
+    EasyEnsembleClassifier,
+    ResampleEnsembleClassifier,
+    SMOTEBaggingClassifier,
+    UnderBaggingClassifier,
+)
+from repro.sampling import RandomUnderSampler
+from repro.tree import DecisionTreeClassifier
+
+BACKENDS = ("serial", "thread", "process")
+
+
+def _base():
+    return DecisionTreeClassifier(max_depth=4, random_state=0)
+
+
+def _fit_proba(factory, X, y, backend, n_jobs):
+    model = factory(backend=backend, n_jobs=n_jobs).fit(X, y)
+    return model.predict_proba(X)
+
+
+FACTORIES = {
+    "spe": lambda **kw: SelfPacedEnsembleClassifier(
+        _base(), n_estimators=5, random_state=7, **kw
+    ),
+    "bagging": lambda **kw: BaggingClassifier(
+        _base(), n_estimators=5, random_state=7, **kw
+    ),
+    "forest": lambda **kw: RandomForestClassifier(
+        n_estimators=5, max_depth=4, random_state=7, **kw
+    ),
+    "under_bagging": lambda **kw: UnderBaggingClassifier(
+        _base(), n_estimators=5, random_state=7, **kw
+    ),
+    "smote_bagging": lambda **kw: SMOTEBaggingClassifier(
+        _base(), n_estimators=3, random_state=7, **kw
+    ),
+    "easy_ensemble": lambda **kw: EasyEnsembleClassifier(
+        n_estimators=3, n_boost_rounds=3, random_state=7, **kw
+    ),
+    "resample_ensemble": lambda **kw: ResampleEnsembleClassifier(
+        sampler=RandomUnderSampler(),
+        estimator=_base(),
+        n_estimators=4,
+        random_state=7,
+        **kw,
+    ),
+    "balance_cascade": lambda **kw: BalanceCascadeClassifier(
+        _base(), n_estimators=4, random_state=7, **kw
+    ),
+}
+
+
+@pytest.mark.parametrize("name", ["spe", "bagging"])
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_backends_bit_identical_core(name, backend, imbalanced_data):
+    """The issue's headline guarantee, on SPE and Bagging for every backend."""
+    X, y = imbalanced_data
+    reference = _fit_proba(FACTORIES[name], X, y, "serial", 1)
+    proba = _fit_proba(FACTORIES[name], X, y, backend, 2)
+    assert np.array_equal(reference, proba)
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "forest",
+        "under_bagging",
+        "smote_bagging",
+        "easy_ensemble",
+        "resample_ensemble",
+        "balance_cascade",
+    ],
+)
+def test_backends_bit_identical_family(name, imbalanced_data):
+    """Thread-vs-serial equivalence across the rest of the ensemble family."""
+    X, y = imbalanced_data
+    reference = _fit_proba(FACTORIES[name], X, y, "serial", 1)
+    proba = _fit_proba(FACTORIES[name], X, y, "thread", 4)
+    assert np.array_equal(reference, proba)
+
+
+def test_spe_n_jobs_four_matches_one(imbalanced_data):
+    """Acceptance criterion: n_jobs=4 reproduces the n_jobs=1 probabilities."""
+    X, y = imbalanced_data
+    p1 = (
+        SelfPacedEnsembleClassifier(_base(), n_estimators=6, n_jobs=1, random_state=0)
+        .fit(X, y)
+        .predict_proba(X)
+    )
+    p4 = (
+        SelfPacedEnsembleClassifier(_base(), n_estimators=6, n_jobs=4, random_state=0)
+        .fit(X, y)
+        .predict_proba(X)
+    )
+    assert np.allclose(p1, p4)
+
+
+def test_chunk_size_invariance_spe(imbalanced_data):
+    X, y = imbalanced_data
+    probas = [
+        SelfPacedEnsembleClassifier(
+            _base(), n_estimators=4, chunk_size=chunk, random_state=2
+        )
+        .fit(X, y)
+        .predict_proba(X)
+        for chunk in (None, 16, 100_000)
+    ]
+    assert np.array_equal(probas[0], probas[1])
+    assert np.array_equal(probas[0], probas[2])
