@@ -1,19 +1,33 @@
 # Single-command entrypoints for CI and local verification.
+# .github/workflows/ci.yml invokes exactly these targets — keep them green.
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke lint
+.PHONY: test test-fast coverage bench-smoke lint
 
-# Tier-1 suite (the ROADMAP verify command).
+# Tier-1 suite (the ROADMAP verify command). Runs everything, including
+# tests marked `slow`.
 test:
 	$(PYTHON) -m pytest -x -q
 
-# Fast end-to-end run of the parallel-scaling benchmark; writes
-# BENCH_parallel.json at the repo root.
+# PR-gating subset: skips `slow` experiment/figure reproductions and
+# anything marked `bench` (markers registered in pyproject.toml).
+test-fast:
+	$(PYTHON) -m pytest -x -q -m "not slow and not bench"
+
+# Informational line-coverage summary for src/repro. Uses pytest-cov /
+# coverage.py when installed (the CI coverage job installs them); otherwise
+# falls back to the dependency-free stdlib tracer in tools/coverage_run.py.
+coverage:
+	$(PYTHON) tools/coverage_run.py
+
+# Fast end-to-end run of the perf benchmarks; writes BENCH_parallel.json
+# and BENCH_streaming.json at the repo root (uploaded as CI artifacts).
 bench-smoke:
 	REPRO_SCALE=0.25 $(PYTHON) benchmarks/bench_parallel_scaling.py
+	REPRO_SCALE=0.25 $(PYTHON) benchmarks/bench_streaming_memory.py
 
 # No third-party linters in the toolchain: byte-compile everything so
 # syntax/undefined-future errors fail fast.
 lint:
-	$(PYTHON) -m compileall -q src tests benchmarks examples
+	$(PYTHON) -m compileall -q src tests benchmarks examples tools

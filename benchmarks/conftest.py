@@ -16,6 +16,17 @@ import pytest
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def pytest_collection_modifyitems(items):
+    """Everything under benchmarks/ carries the ``bench`` marker, so the
+    PR-gating ``make test-fast`` (-m "not slow and not bench") skips it even
+    when a bench file is passed to pytest explicitly. The hook registers
+    session-wide, so filter to this directory before marking."""
+    bench_dir = str(pathlib.Path(__file__).parent)
+    for item in items:
+        if str(item.path).startswith(bench_dir):
+            item.add_marker(pytest.mark.bench)
+
+
 def bench_scale() -> float:
     return float(os.environ.get("REPRO_SCALE", "1.0"))
 

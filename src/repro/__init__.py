@@ -19,6 +19,7 @@ Quickstart
 
 from .base import BaseEstimator, ClassifierMixin, clone, is_classifier
 from .core import SelfPacedEnsembleClassifier
+from .streaming import StreamingSelfPacedEnsembleClassifier
 from .exceptions import (
     ConvergenceWarning,
     DataValidationError,
@@ -35,6 +36,7 @@ __all__ = [
     "clone",
     "is_classifier",
     "SelfPacedEnsembleClassifier",
+    "StreamingSelfPacedEnsembleClassifier",
     "ConvergenceWarning",
     "DataValidationError",
     "NotEnoughSamplesError",

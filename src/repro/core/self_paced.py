@@ -7,7 +7,8 @@ Training pipeline (Fig 1 of the paper):
    a. hardness of every *majority* sample w.r.t. the running ensemble
       ``F_i = mean(f₀ .. f_{i−1})``;
    b. cut the majority into ``k`` equal-width hardness bins;
-   c. self-paced factor ``α = tan(π/2 · i/(n−1))``;
+   c. self-paced factor ``α = tan(π/2 · i/n)`` (paper line 7; see
+      :func:`tan_self_paced_factor` for the pinned (i, n) convention);
    d. sample ``|P| · p_ℓ/Σp`` majority points from bin ℓ, ``p_ℓ = 1/(h_ℓ+α)``;
    e. fit ``f_i`` on sampled majority ∪ all minority;
 3. predict with the average probability of all base models.
@@ -54,8 +55,16 @@ __all__ = [
 def tan_self_paced_factor(iteration: int, n_iterations: int) -> float:
     """``α = tan(π/2 · i / n)`` growth schedule (paper line 7 of Algorithm 1).
 
-    ``i = 0`` gives α = 0 (pure hardness harmonise); the final iteration
-    evaluates tan at π/2 — effectively ∞, flattening the bin weights.
+    Convention (pinned by ``tests/test_core_self_paced.py``): ``n`` is the
+    total ensemble size ``n_estimators`` and ``i`` the 1-based self-paced
+    iteration, so :meth:`SelfPacedEnsembleClassifier.fit` evaluates the
+    schedule at ``i = 1 .. n−1`` exactly as the paper's ``tan(iπ/2n)``.
+    ``i = 0`` gives α = 0 (pure hardness harmonise); ``i = n`` evaluates tan
+    at π/2 — effectively ∞, flattening the bin weights — but ``fit`` never
+    reaches it: the last trained model uses the large-but-finite
+    ``tan(π/2 · (n−1)/n)``. (Earlier revisions passed ``n_estimators − 1``
+    here, which drove every final iteration — and, for ``n_estimators=2``,
+    the *only* self-paced iteration — straight into the ∞ clamp.)
     Floating-point rounding can push ``π/2 · i/n`` a hair past π/2 where
     tan wraps negative, so the result is clamped to a large positive value.
     """
@@ -122,6 +131,36 @@ def self_paced_under_sample(
         n = min(n_samples, hardness.size)
         return rng.choice(hardness.size, size=n, replace=False), bins
     return np.concatenate(chosen), bins
+
+
+class InMemoryMajorityAccess:
+    """Majority-class data operations for the in-memory training path.
+
+    Algorithm 1 touches the majority set in exactly three ways — gather rows
+    by global index (cold start), gather rows by majority-local index
+    (self-paced subsets), and score a model over every majority row. The fit
+    loop is written against this three-method seam so the out-of-core path
+    (:class:`repro.streaming.StreamingSelfPacedEnsembleClassifier`) can swap
+    in block-streaming implementations while sharing the loop — and with it
+    the RNG consumption order that makes the two paths bit-identical.
+    """
+
+    def __init__(self, X: np.ndarray, maj_idx: np.ndarray, proba_fn: Callable):
+        self._X = X
+        self._X_maj = X[maj_idx]
+        self._proba_fn = proba_fn
+
+    def take_global(self, indices: np.ndarray) -> np.ndarray:
+        """Rows by global dataset index (the cold-start draw)."""
+        return self._X[indices]
+
+    def take(self, local_indices: np.ndarray) -> np.ndarray:
+        """Rows by majority-local index (the self-paced subsets)."""
+        return self._X_maj[local_indices]
+
+    def score(self, model) -> np.ndarray:
+        """Positive-class probability of ``model`` on every majority row."""
+        return self._proba_fn(model, self._X_maj)
 
 
 class SelfPacedEnsembleClassifier(BaseEstimator, ClassifierMixin):
@@ -248,8 +287,6 @@ class SelfPacedEnsembleClassifier(BaseEstimator, ClassifierMixin):
             raise ValueError("n_estimators must be >= 1")
         if self.k_bins < 1:
             raise ValueError("k_bins must be >= 1")
-        hardness_fn = resolve_hardness(self.hardness)
-        schedule = self._resolve_schedule()
         X, y = check_X_y(X, y)
         y = check_binary_labels(y)
         rng = check_random_state(self.random_state)
@@ -258,9 +295,29 @@ class SelfPacedEnsembleClassifier(BaseEstimator, ClassifierMixin):
         min_idx = np.flatnonzero(y == 1)
         if len(min_idx) == 0 or len(maj_idx) == 0:
             raise ValueError("SPE requires both classes present (0=majority, 1=minority)")
-        X_maj = X[maj_idx]
-        X_min = X[min_idx]
-        n_min = len(min_idx)
+        majority = InMemoryMajorityAccess(X, maj_idx, self._proba_pos)
+        self._fit_loop(majority, X[min_idx], maj_idx, rng, eval_set)
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def _fit_loop(
+        self,
+        majority,
+        X_min: np.ndarray,
+        maj_idx: np.ndarray,
+        rng: np.random.RandomState,
+        eval_set: Optional[Tuple],
+    ) -> None:
+        """Algorithm 1 against the majority-access seam.
+
+        ``majority`` supplies ``take_global`` / ``take`` / ``score`` (see
+        :class:`InMemoryMajorityAccess`); everything else — RNG consumption
+        order, hardness maths, bin bookkeeping — lives here exactly once, so
+        the in-memory and streaming classifiers cannot drift apart.
+        """
+        hardness_fn = resolve_hardness(self.hardness)
+        schedule = self._resolve_schedule()
+        n_min = len(X_min)
 
         self.estimators_: List = []
         self.n_training_samples_ = 0
@@ -284,14 +341,17 @@ class SelfPacedEnsembleClassifier(BaseEstimator, ClassifierMixin):
 
         # --- cold start: random balanced subset (Algorithm 1, line 2) ----
         cold = rng.choice(maj_idx, size=min(n_min, len(maj_idx)), replace=False)
-        train_one(X[cold])
-        proba_maj = self._proba_pos(self.estimators_[0], X_maj)
+        train_one(majority.take_global(cold))
+        proba_maj = majority.score(self.estimators_[0])
         if eval_set is not None:
             proba_eval = self._proba_pos(self.estimators_[0], X_eval)
             self._record_eval(y_eval, proba_eval)
 
         # --- self-paced iterations (Algorithm 1, lines 3-11) --------------
-        n_iter = self.n_estimators - 1
+        # Schedule convention: α_i = tan(π/2 · i/n) with n = n_estimators,
+        # the paper's tan(iπ/2n). Every trained iteration gets a finite α;
+        # the π/2 clamp inside the schedule guards only the i = n limit.
+        n_iter = self.n_estimators
         y_maj_zeros = np.zeros(len(maj_idx))
         for i in range(1, self.n_estimators):
             hardness = hardness_fn(y_maj_zeros, proba_maj)
@@ -302,17 +362,15 @@ class SelfPacedEnsembleClassifier(BaseEstimator, ClassifierMixin):
             if self.record_bins:
                 sub_bins = cut_hardness_bins(hardness[selected], self.k_bins)
                 self.bin_history_.append((alpha, bins, sub_bins))
-            train_one(X_maj[selected])
+            train_one(majority.take(selected))
             # Incremental running-average update (Algorithm 1, line 4).
             n_models = len(self.estimators_)
-            latest = self._proba_pos(self.estimators_[-1], X_maj)
+            latest = majority.score(self.estimators_[-1])
             proba_maj = (proba_maj * (n_models - 1) + latest) / n_models
             if eval_set is not None:
                 latest_eval = self._proba_pos(self.estimators_[-1], X_eval)
                 proba_eval = (proba_eval * (n_models - 1) + latest_eval) / n_models
                 self._record_eval(y_eval, proba_eval)
-        self.n_features_in_ = X.shape[1]
-        return self
 
     def _record_eval(self, y_eval: np.ndarray, proba_eval: np.ndarray) -> None:
         from ..metrics import average_precision_score

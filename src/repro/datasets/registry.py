@@ -52,6 +52,18 @@ class Dataset:
     def imbalance_ratio(self) -> float:
         return imbalance_ratio(self.y)
 
+    def as_source(self, block_size: Optional[int] = None):
+        """The dataset as a :class:`repro.streaming.ArraySource`.
+
+        Feeds the out-of-core trainers (``StreamingSelfPacedEnsemble-
+        Classifier``, ``fit_source``) with block-streamed access to the
+        loaded arrays — the drop-in stand-in for the CSV/NPY sources used
+        when data genuinely exceeds memory.
+        """
+        from ..streaming.sources import ArraySource
+
+        return ArraySource(self.X, self.y, block_size=block_size)
+
 
 _BASE_SIZE = {
     "credit_fraud": 40_000,

@@ -139,6 +139,39 @@ class BaseImbalanceEnsemble(BaseEstimator, ClassifierMixin):
         self.n_features_in_ = X.shape[1]
         return X, y, check_random_state(self.random_state)
 
+    def _validate_source(self, source, scan=None):
+        """Source counterpart of :meth:`_validate` for ``fit_source``.
+
+        Scans the source once (unless a scan is supplied) and derives the
+        same fitted metadata as the in-memory path. Returns
+        ``(scan, rng)``.
+        """
+        from ..streaming.sources import class_index_scan
+
+        if self.n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        if scan is None:
+            scan = class_index_scan(source, collect_indices=True)
+        elif scan.y is None or scan.maj_idx is None:
+            raise ValueError(
+                "fit_source needs a scan built with collect_indices=True "
+                "(the supplied one carries class counts only)"
+            )
+        self.classes_ = np.unique(scan.y)
+        self.n_features_in_ = scan.n_features
+        return scan, check_random_state(self.random_state)
+
+    def fit_source(self, source, scan=None):
+        """Fit out-of-core from a :class:`repro.streaming.DataSource`.
+
+        Implemented by the balanced-subset ensembles (UnderBagging,
+        EasyEnsemble); bit-identical to ``fit`` on the same data for a
+        fixed ``random_state``.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support source-based fitting"
+        )
+
     def predict_proba(self, X) -> np.ndarray:
         check_is_fitted(self, ["estimators_"])
         X = check_array(X)

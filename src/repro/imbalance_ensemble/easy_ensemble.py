@@ -60,10 +60,10 @@ class EasyEnsembleClassifier(BaseImbalanceEnsemble):
         self.backend = backend
         self.random_state = random_state
 
-    def fit(self, X, y) -> "EasyEnsembleClassifier":
+    def _member_factory(self):
+        """The ``make_model`` shared by ``fit`` and ``fit_source``."""
         if self.boost_incapable not in ("resample", "plain"):
             raise ValueError(f"Unknown boost_incapable {self.boost_incapable!r}")
-        X, y, rng = self._validate(X, y)
         base = (
             self.estimator
             if self.estimator is not None
@@ -72,19 +72,46 @@ class EasyEnsembleClassifier(BaseImbalanceEnsemble):
         plain = (
             self.boost_incapable == "plain" and not fit_supports_sample_weight(base)
         ) or self.n_boost_rounds <= 1
+        return partial(
+            _make_boosted_model,
+            base=base,
+            n_boost_rounds=self.n_boost_rounds,
+            plain=plain,
+        )
+
+    def fit(self, X, y) -> "EasyEnsembleClassifier":
+        make_model = self._member_factory()
+        X, y, rng = self._validate(X, y)
         self.estimators_, self.n_training_samples_ = fit_resampled_ensemble(
             X,
             y,
             n_estimators=self.n_estimators,
             sample_fn=balanced_subset_sample,
-            make_model=partial(
-                _make_boosted_model,
-                base=base,
-                n_boost_rounds=self.n_boost_rounds,
-                plain=plain,
-            ),
+            make_model=make_model,
             random_state=rng,
             backend=self.backend,
             n_jobs=self.n_jobs,
+        )
+        return self
+
+    def fit_source(self, source, scan=None) -> "EasyEnsembleClassifier":
+        """Out-of-core ``fit`` from a :class:`repro.streaming.DataSource`:
+        every boosted bag gathers only its own balanced subset.
+        Bit-identical to ``fit`` on the same data for a fixed
+        ``random_state``."""
+        from ..streaming.adapters import fit_balanced_source_ensemble
+
+        make_model = self._member_factory()
+        scan, rng = self._validate_source(source, scan)
+        self.estimators_, self.n_training_samples_, _ = (
+            fit_balanced_source_ensemble(
+                source,
+                n_estimators=self.n_estimators,
+                make_model=make_model,
+                random_state=rng,
+                backend=self.backend,
+                n_jobs=self.n_jobs,
+                scan=scan,
+            )
         )
         return self

@@ -1,0 +1,128 @@
+"""CI-pipeline contract: the workflow file, Makefile, and markers agree.
+
+The acceptance criteria of the CI issue: .github/workflows/ci.yml must be
+syntactically valid YAML, every command it runs must exist as a Makefile
+target, the PR gate must cover the Python 3.10/3.11 matrix, and the bench
+job must upload both BENCH_*.json artifacts. Kept dependency-light (PyYAML
+only, regex for the rest) so it runs on every matrix entry.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+yaml = pytest.importorskip("yaml")
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+WORKFLOW = REPO_ROOT / ".github" / "workflows" / "ci.yml"
+EXPECTED_JOBS = {"lint", "test-fast", "test", "coverage", "bench-smoke"}
+
+
+@pytest.fixture(scope="module")
+def workflow():
+    return yaml.safe_load(WORKFLOW.read_text())
+
+
+@pytest.fixture(scope="module")
+def makefile_text():
+    return (REPO_ROOT / "Makefile").read_text()
+
+
+def _run_commands(workflow):
+    for job in workflow["jobs"].values():
+        for step in job.get("steps", []):
+            if "run" in step:
+                yield step["run"]
+
+
+class TestWorkflowFile:
+    def test_parses_as_yaml_with_jobs(self, workflow):
+        assert isinstance(workflow, dict)
+        assert set(workflow["jobs"]) == EXPECTED_JOBS
+
+    def test_triggers_on_push_and_pr(self, workflow):
+        # YAML 1.1 parses the bare key `on` as boolean True.
+        triggers = workflow.get("on", workflow.get(True))
+        assert "push" in triggers and "pull_request" in triggers
+
+    def test_pr_gate_matrix_covers_310_and_311(self, workflow):
+        matrix = workflow["jobs"]["test-fast"]["strategy"]["matrix"]
+        assert set(matrix["python-version"]) == {"3.10", "3.11"}
+        # Versions must be quoted strings: a bare 3.10 is YAML float 3.1.
+        assert all(isinstance(v, str) for v in matrix["python-version"])
+
+    def test_full_suite_runs_in_second_job(self, workflow):
+        assert any(
+            "make test" in cmd.split("\n")[-1] or cmd.strip() == "make test"
+            for cmd in _run_commands(workflow)
+        )
+        assert workflow["jobs"]["test"]["needs"] == "test-fast"
+
+    def test_every_make_command_has_a_target(self, workflow, makefile_text):
+        targets = set(re.findall(r"^([A-Za-z][\w-]*):", makefile_text, re.M))
+        invoked = {
+            m.group(1)
+            for cmd in _run_commands(workflow)
+            for m in re.finditer(r"\bmake\s+([\w-]+)", cmd)
+        }
+        assert invoked, "workflow must drive the build through make"
+        missing = invoked - targets
+        assert not missing, f"workflow invokes unknown make targets: {missing}"
+
+    def test_expected_make_targets_are_all_exercised(self, workflow):
+        invoked = {
+            m.group(1)
+            for cmd in _run_commands(workflow)
+            for m in re.finditer(r"\bmake\s+([\w-]+)", cmd)
+        }
+        assert {"lint", "test-fast", "test", "coverage", "bench-smoke"} <= invoked
+
+    def test_bench_job_uploads_both_artifacts(self, workflow):
+        uploads = [
+            step
+            for step in workflow["jobs"]["bench-smoke"]["steps"]
+            if "upload-artifact" in str(step.get("uses", ""))
+        ]
+        assert uploads, "bench-smoke must upload artifacts"
+        paths = uploads[0]["with"]["path"]
+        assert "BENCH_parallel.json" in paths
+        assert "BENCH_streaming.json" in paths
+
+    def test_coverage_job_is_informational(self, workflow):
+        assert workflow["jobs"]["coverage"].get("continue-on-error") is True
+
+    def test_jobs_gate_on_lint_then_fast_tests(self, workflow):
+        assert workflow["jobs"]["test-fast"]["needs"] == "lint"
+        for job in ("coverage", "bench-smoke"):
+            assert workflow["jobs"][job]["needs"] == "test-fast"
+
+
+class TestMarkersRegistered:
+    def test_pyproject_registers_slow_and_bench(self):
+        # Text-level check: tomllib only exists on 3.11+, and the CI matrix
+        # includes 3.10.
+        pyproject = (REPO_ROOT / "pyproject.toml").read_text()
+        assert "[tool.pytest.ini_options]" in pyproject
+        assert re.search(r'"slow:', pyproject)
+        assert re.search(r'"bench:', pyproject)
+
+    def test_slow_marker_applied_to_experiment_tests(self):
+        for name in (
+            "test_experiments.py",
+            "test_experiments_figures.py",
+            "test_integration.py",
+        ):
+            text = (REPO_ROOT / "tests" / name).read_text()
+            assert "pytestmark = pytest.mark.slow" in text, name
+
+    def test_makefile_fast_target_deselects_markers(self):
+        makefile = (REPO_ROOT / "Makefile").read_text()
+        assert 'not slow and not bench' in makefile
+
+    def test_running_session_knows_the_markers(self, pytestconfig):
+        """The live pytest session parsed pyproject.toml and registered
+        both markers — no unknown-marker warnings anywhere in the suite."""
+        registered = "\n".join(pytestconfig.getini("markers"))
+        assert "slow:" in registered
+        assert "bench:" in registered

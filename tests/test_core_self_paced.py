@@ -45,6 +45,38 @@ class TestAlphaSchedule:
             for i in range(n + 1):
                 assert tan_self_paced_factor(i, n) >= 0.0, (i, n)
 
+    def test_fit_convention_keeps_alpha_finite(self):
+        """Pin the (i, n) convention: fit evaluates tan(pi/2 * i/n) at
+        i = 1..n-1 with n = n_estimators, so every trained iteration gets a
+        finite alpha; the inf clamp guards only the unreached i == n limit.
+        (Regression: fit used to pass n_estimators - 1, driving the last
+        iteration — and the only one, for n_estimators=2 — to alpha=inf.)"""
+        for n_estimators in (2, 3, 10, 50):
+            alphas = [
+                tan_self_paced_factor(i, n_estimators)
+                for i in range(1, n_estimators)
+            ]
+            assert all(np.isfinite(a) and 0.0 < a < 1e12 for a in alphas)
+        # n_estimators=2: the single self-paced iteration sits at tan(pi/4).
+        assert tan_self_paced_factor(1, 2) == pytest.approx(1.0)
+
+    def test_fit_passes_total_ensemble_size(self, imbalanced_data):
+        """The schedule receives n = n_estimators (paper's tan(i*pi/2n))."""
+        X, y = imbalanced_data
+        seen = []
+
+        def probe(i, n):
+            seen.append((i, n))
+            return 0.0
+
+        SelfPacedEnsembleClassifier(
+            DecisionTreeClassifier(max_depth=3, random_state=0),
+            n_estimators=2,
+            alpha_schedule=probe,
+            random_state=0,
+        ).fit(X, y)
+        assert seen == [(1, 2)]
+
 
 class TestSelfPacedUnderSample:
     def test_returns_requested_count(self, rng):
@@ -140,7 +172,7 @@ class TestSPEFit:
         SelfPacedEnsembleClassifier(
             _base(), n_estimators=4, alpha_schedule=schedule, random_state=0
         ).fit(X, y)
-        assert seen == [(1, 3), (2, 3), (3, 3)]
+        assert seen == [(1, 4), (2, 4), (3, 4)]
 
     def test_record_bins(self, imbalanced_data):
         X, y = imbalanced_data

@@ -3,6 +3,9 @@
 import numpy as np
 import pytest
 
+# Experiment-harness reproductions; excluded from the PR-gating `make test-fast`.
+pytestmark = pytest.mark.slow
+
 from repro.experiments import (
     MethodSpec,
     RecordingClassifier,

@@ -3,6 +3,9 @@
 import numpy as np
 import pytest
 
+# Figure-data reproductions; excluded from the PR-gating `make test-fast`.
+pytestmark = pytest.mark.slow
+
 from repro.datasets import make_checkerboard, make_credit_fraud
 from repro.experiments import (
     fig2_hardness_distributions,

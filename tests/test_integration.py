@@ -3,6 +3,9 @@
 import numpy as np
 import pytest
 
+# Full paper-protocol runs; excluded from the PR-gating `make test-fast`.
+pytestmark = pytest.mark.slow
+
 from repro import SelfPacedEnsembleClassifier, clone
 from repro.datasets import load_dataset, make_checkerboard
 from repro.ensemble import AdaBoostClassifier, GradientBoostingClassifier
