@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast coverage bench-smoke lint
+.PHONY: test test-fast coverage bench-smoke bench-fastpath lint
 
 # Tier-1 suite (the ROADMAP verify command). Runs everything, including
 # tests marked `slow`.
@@ -21,11 +21,19 @@ test-fast:
 coverage:
 	$(PYTHON) tools/coverage_run.py
 
-# Fast end-to-end run of the perf benchmarks; writes BENCH_parallel.json
-# and BENCH_streaming.json at the repo root (uploaded as CI artifacts).
+# Fast end-to-end run of the perf benchmarks; writes BENCH_parallel.json,
+# BENCH_streaming.json, and BENCH_fastpath.json at the repo root (uploaded
+# as CI artifacts). The fastpath smoke asserts a conservative >=1.2x
+# speedup floor (REPRO_FASTPATH_MIN_SPEEDUP) so shared runners don't flake.
 bench-smoke:
 	REPRO_SCALE=0.25 $(PYTHON) benchmarks/bench_parallel_scaling.py
 	REPRO_SCALE=0.25 $(PYTHON) benchmarks/bench_streaming_memory.py
+	REPRO_SCALE=0.25 $(PYTHON) benchmarks/bench_fastpath.py
+
+# Full-scale fastpath speedup benchmark (fit / score / predict, legacy vs
+# packed + shared-binning paths, bit-identity asserted on every pair).
+bench-fastpath:
+	$(PYTHON) benchmarks/bench_fastpath.py
 
 # No third-party linters in the toolchain: byte-compile everything so
 # syntax/undefined-future errors fail fast.

@@ -1,0 +1,223 @@
+"""Fastpath speedups: SPE fit, majority scoring, and ensemble predict_proba.
+
+Times the two hot paths the fastpath subsystem targets on the checkerboard
+benchmark at the paper's "highly imbalanced" shape (IR = 100):
+
+* **SPE end-to-end fit** — legacy (fastpath kernels disabled, per-member
+  binning) vs fastpath (packed/code-table scoring + ``shared_binning``).
+* **Ensemble ``predict_proba``** — the chunked per-tree path vs the packed
+  path, in bulk (one big batch) and serving style (512-row batches), for
+  both a default-config model (packed traversal kernel) and a
+  shared-binning model (compiled code-table).
+
+Every timed pair is also checked for the fastpath equivalence contract:
+the packed path must be *bit-identical* to the per-tree path on the same
+model, and the fastpath-scored SPE fit must be bit-identical to the
+legacy-scored fit at the same configuration. Speedup floors are asserted
+(``REPRO_FASTPATH_MIN_SPEEDUP``, default 1.2 — conservative so shared CI
+runners don't flake; the committed full-scale run shows the real margins).
+
+Writes ``BENCH_fastpath.json`` at the repo root. ``REPRO_SCALE`` scales the
+dataset; runs standalone or under pytest like every other bench.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from conftest import bench_scale, save_result
+
+from repro.core import SelfPacedEnsembleClassifier
+from repro.datasets import make_checkerboard
+from repro.fastpath import fastpath_disabled
+from repro.parallel import ensemble_predict_proba
+from repro.tree import DecisionTreeClassifier
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+ARTIFACT = REPO_ROOT / "BENCH_fastpath.json"
+MIN_SPEEDUP = float(os.environ.get("REPRO_FASTPATH_MIN_SPEEDUP", "1.2"))
+SERVE_BATCH = 512
+N_ESTIMATORS = 10
+
+
+def _best_of(fn, repeats):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def _serve(estimators, X, classes, packed):
+    out = []
+    for lo in range(0, X.shape[0], SERVE_BATCH):
+        out.append(
+            ensemble_predict_proba(
+                estimators, X[lo : lo + SERVE_BATCH], classes, packed=packed
+            )
+        )
+    return np.vstack(out)
+
+
+def run_fastpath_bench(scale: float) -> dict:
+    n_min = max(60, int(500 * scale))
+    n_maj = max(600, int(50000 * scale))
+    repeats = 3
+    X, y = make_checkerboard(n_min, n_maj, random_state=0)
+    X_test, _ = make_checkerboard(n_min, n_maj, random_state=1000)
+    base = DecisionTreeClassifier(max_depth=8, random_state=0)
+    classes = np.array([0, 1])
+
+    def build(shared):
+        return SelfPacedEnsembleClassifier(
+            estimator=base,
+            n_estimators=N_ESTIMATORS,
+            shared_binning=shared,
+            random_state=0,
+        )
+
+    results = {}
+
+    # --- SPE end-to-end fit -------------------------------------------- #
+    def fit_legacy():
+        with fastpath_disabled():
+            return build(shared=False).fit(X, y)
+
+    model_legacy, t_fit_legacy = _best_of(fit_legacy, repeats)
+    model_fast, t_fit_fast = _best_of(lambda: build(shared=True).fit(X, y), repeats)
+    results["fit"] = {
+        "legacy_seconds": round(t_fit_legacy, 4),
+        "fastpath_seconds": round(t_fit_fast, 4),
+        "speedup": round(t_fit_legacy / t_fit_fast, 2),
+    }
+
+    # Scoring-path equivalence: same config, fastpath on vs off must give
+    # bit-identical ensembles (same hardness → same draws → same trees).
+    with fastpath_disabled():
+        ref = build(shared=True).fit(X, y).predict_proba(X_test)
+    check = model_fast.predict_proba(X_test)
+    with fastpath_disabled():
+        check_legacy_eval = model_fast.predict_proba(X_test)
+    assert np.array_equal(ref, check_legacy_eval), "scoring fastpath diverged"
+    assert np.array_equal(check, check_legacy_eval), "packed predict diverged"
+
+    # --- predict_proba: packed traversal (default-config model) --------- #
+    trees = model_legacy.estimators_
+    proba_fast, t_bulk_fast = _best_of(
+        lambda: ensemble_predict_proba(trees, X_test, classes), repeats
+    )
+    proba_legacy, t_bulk_legacy = _best_of(
+        lambda: ensemble_predict_proba(trees, X_test, classes, packed="never"),
+        repeats,
+    )
+    assert np.array_equal(proba_fast, proba_legacy), "packed traversal diverged"
+    _, t_serve_fast = _best_of(lambda: _serve(trees, X_test, classes, "auto"), repeats)
+    _, t_serve_legacy = _best_of(
+        lambda: _serve(trees, X_test, classes, "never"), repeats
+    )
+    results["predict_packed"] = {
+        "bulk_legacy_seconds": round(t_bulk_legacy, 4),
+        "bulk_fastpath_seconds": round(t_bulk_fast, 4),
+        "bulk_speedup": round(t_bulk_legacy / t_bulk_fast, 2),
+        "serve_batch": SERVE_BATCH,
+        "serve_speedup": round(t_serve_legacy / t_serve_fast, 2),
+    }
+
+    # --- predict_proba: compiled code table (shared-binning model) ------ #
+    strees = model_fast.estimators_
+    lut_fast, t_lut_fast = _best_of(
+        lambda: ensemble_predict_proba(strees, X_test, classes), repeats
+    )
+    lut_legacy, t_lut_legacy = _best_of(
+        lambda: ensemble_predict_proba(strees, X_test, classes, packed="never"),
+        repeats,
+    )
+    assert np.array_equal(lut_fast, lut_legacy), "code-table predict diverged"
+    _, t_slut_fast = _best_of(lambda: _serve(strees, X_test, classes, "auto"), repeats)
+    _, t_slut_legacy = _best_of(
+        lambda: _serve(strees, X_test, classes, "never"), repeats
+    )
+    results["predict_codetable"] = {
+        "bulk_legacy_seconds": round(t_lut_legacy, 4),
+        "bulk_fastpath_seconds": round(t_lut_fast, 4),
+        "bulk_speedup": round(t_lut_legacy / t_lut_fast, 2),
+        "serve_batch": SERVE_BATCH,
+        "serve_speedup": round(t_slut_legacy / t_slut_fast, 2),
+    }
+
+    headline_predict = results["predict_codetable"]["bulk_speedup"]
+    report = {
+        "benchmark": "fastpath",
+        "dataset": {
+            "name": "checkerboard",
+            "n_minority": n_min,
+            "n_majority": n_maj,
+            "n_features": int(X.shape[1]),
+            "imbalance_ratio": round(n_maj / n_min, 1),
+        },
+        "config": {
+            "n_estimators": N_ESTIMATORS,
+            "max_depth": 8,
+            "min_speedup_asserted": MIN_SPEEDUP,
+        },
+        "cpu_count": os.cpu_count(),
+        "results": results,
+        "headline": {
+            "spe_fit_speedup": results["fit"]["speedup"],
+            "predict_proba_speedup": headline_predict,
+            "bit_identical": True,
+        },
+    }
+
+    assert results["fit"]["speedup"] >= MIN_SPEEDUP, (
+        f"SPE fit speedup {results['fit']['speedup']} < floor {MIN_SPEEDUP}"
+    )
+    assert headline_predict >= MIN_SPEEDUP, (
+        f"predict_proba speedup {headline_predict} < floor {MIN_SPEEDUP}"
+    )
+    return report
+
+
+def _render(report: dict) -> str:
+    ds = report["dataset"]
+    r = report["results"]
+    lines = [
+        "Fastpath speedups (checkerboard "
+        f"|P|={ds['n_minority']}, |N|={ds['n_majority']}, IR={ds['imbalance_ratio']}, "
+        f"{report['config']['n_estimators']} trees, depth 8) — all paths bit-identical",
+        f"{'path':<28} {'legacy_s':>10} {'fast_s':>10} {'speedup':>8}",
+        f"{'SPE fit (shared_binning)':<28} {r['fit']['legacy_seconds']:>10.4f} "
+        f"{r['fit']['fastpath_seconds']:>10.4f} {r['fit']['speedup']:>7.2f}x",
+        f"{'predict bulk (packed)':<28} {r['predict_packed']['bulk_legacy_seconds']:>10.4f} "
+        f"{r['predict_packed']['bulk_fastpath_seconds']:>10.4f} "
+        f"{r['predict_packed']['bulk_speedup']:>7.2f}x",
+        f"{'predict bulk (code table)':<28} {r['predict_codetable']['bulk_legacy_seconds']:>10.4f} "
+        f"{r['predict_codetable']['bulk_fastpath_seconds']:>10.4f} "
+        f"{r['predict_codetable']['bulk_speedup']:>7.2f}x",
+        f"{'serve x512 (packed)':<28} {'':>10} {'':>10} "
+        f"{r['predict_packed']['serve_speedup']:>7.2f}x",
+        f"{'serve x512 (code table)':<28} {'':>10} {'':>10} "
+        f"{r['predict_codetable']['serve_speedup']:>7.2f}x",
+    ]
+    return "\n".join(lines)
+
+
+def run_and_save() -> dict:
+    report = run_fastpath_bench(bench_scale())
+    ARTIFACT.write_text(json.dumps(report, indent=2) + "\n")
+    save_result("fastpath", _render(report))
+    print(f"wrote {ARTIFACT}")
+    return report
+
+
+def test_fastpath_bench(run_once):
+    run_once(run_and_save)
+
+
+if __name__ == "__main__":
+    run_and_save()

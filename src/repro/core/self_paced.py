@@ -28,6 +28,14 @@ import numpy as np
 
 from ..base import BaseEstimator, ClassifierMixin
 from ..ensemble.bagging import make_member_model
+from ..fastpath import (
+    BinnedSubset,
+    CodeTable,
+    PackedForest,
+    ScoringMatrix,
+    fastpath_enabled,
+    shared_bin_context_for,
+)
 from ..parallel import ensemble_predict_proba, fit_ensemble_member
 from ..utils.validation import (
     check_array,
@@ -87,19 +95,28 @@ _SCHEDULES = {"tan": tan_self_paced_factor, "linear": linear_self_paced_factor}
 def _majority_union_minority_sample(
     index: int,
     rng: np.random.RandomState,
-    X_sub_maj: np.ndarray,
+    X_sub_maj,
     y_unused,
-    X_min: np.ndarray,
+    X_min,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Engine ``sample_fn`` for one SPE member: shuffled sampled-majority ∪
-    all-minority training set (labels rebuilt as 0/1)."""
+    all-minority training set (labels rebuilt as 0/1).
+
+    With ``shared_binning`` both inputs are :class:`BinnedSubset` views of
+    the same :class:`~repro.fastpath.SharedBinContext`; concatenation and
+    shuffling then stay pure index arithmetic (no feature rows copied), and
+    the RNG consumption is identical to the array path.
+    """
     y_train = np.concatenate(
         [
             np.zeros(len(X_sub_maj), dtype=int),
             np.ones(len(X_min), dtype=int),
         ]
     )
-    X_train = np.vstack([X_sub_maj, X_min])
+    if isinstance(X_sub_maj, BinnedSubset):
+        X_train = X_sub_maj.concat(X_min)
+    else:
+        X_train = np.vstack([X_sub_maj, X_min])
     perm = rng.permutation(len(y_train))
     return X_train[perm], y_train[perm]
 
@@ -116,6 +133,13 @@ def self_paced_under_sample(
     Returns ``(selected_indices, bins)``; exposed as a standalone function so
     the Fig 3 bench (bin population / contribution under different α) can
     drive it directly.
+
+    Bin membership is gathered with one stable argsort over the assignments
+    instead of a per-bin ``np.flatnonzero`` scan (O(n log n) total instead
+    of O(k·n)). A stable sort keeps equal keys in ascending original order,
+    so each bin's member array — and therefore every ``rng.choice`` draw —
+    is bit-identical to the per-bin-scan formulation (pinned by
+    ``tests/test_fastpath_units.py``).
     """
     bins = cut_hardness_bins(hardness, k_bins)
     if bins.degenerate:
@@ -123,9 +147,11 @@ def self_paced_under_sample(
         return rng.choice(hardness.size, size=n, replace=False), bins
     weights = self_paced_bin_weights(bins, alpha)
     counts = allocate_bin_samples(weights, bins.populations, n_samples)
+    order = np.argsort(bins.assignments, kind="stable")
+    starts = np.searchsorted(bins.assignments[order], np.arange(bins.k + 1))
     chosen: List[np.ndarray] = []
     for b in np.flatnonzero(counts > 0):
-        members = np.flatnonzero(bins.assignments == b)
+        members = order[starts[b] : starts[b + 1]]
         chosen.append(rng.choice(members, size=int(counts[b]), replace=False))
     if not chosen:
         n = min(n_samples, hardness.size)
@@ -143,24 +169,89 @@ class InMemoryMajorityAccess:
     (:class:`repro.streaming.StreamingSelfPacedEnsembleClassifier`) can swap
     in block-streaming implementations while sharing the loop — and with it
     the RNG consumption order that makes the two paths bit-identical.
+
+    Scoring fast path: the majority matrix is fixed across all iterations,
+    so on the first tree-model score it is rank-coded exactly once into a
+    :class:`~repro.fastpath.ScoringMatrix` (smallest unsigned dtype that
+    fits each feature's cardinality — ``uint8`` up to 256 distinct values)
+    and every subsequent score runs the packed kernel over the small integer
+    codes. Threshold→code-cut mapping makes the routing exactly the raw
+    float comparisons, so the returned probabilities are bit-identical to
+    the legacy ``proba_fn`` path (gated by the fastpath equivalence suite);
+    non-tree models, or ``REPRO_FASTPATH=0``, fall back to ``proba_fn``.
+
+    With ``bin_context`` set (``shared_binning=True``), the gather methods
+    hand out :class:`BinnedSubset` views so member trees fit directly on the
+    shared pre-binned codes.
     """
 
-    def __init__(self, X: np.ndarray, maj_idx: np.ndarray, proba_fn: Callable):
+    def __init__(
+        self,
+        X: np.ndarray,
+        maj_idx: np.ndarray,
+        proba_fn: Callable,
+        bin_context=None,
+    ):
         self._X = X
+        self._maj_idx = maj_idx
         self._X_maj = X[maj_idx]
         self._proba_fn = proba_fn
+        self._context = bin_context
+        self._scoring: Optional[ScoringMatrix] = None
+        self._fine_codes_maj: Optional[np.ndarray] = None
 
     def take_global(self, indices: np.ndarray) -> np.ndarray:
         """Rows by global dataset index (the cold-start draw)."""
+        if self._context is not None:
+            return self._context.view(indices)
         return self._X[indices]
 
     def take(self, local_indices: np.ndarray) -> np.ndarray:
         """Rows by majority-local index (the self-paced subsets)."""
+        if self._context is not None:
+            return self._context.view(self._maj_idx[local_indices])
         return self._X_maj[local_indices]
 
     def score(self, model) -> np.ndarray:
         """Positive-class probability of ``model`` on every majority row."""
+        if fastpath_enabled():
+            forest = PackedForest.from_estimators([model], np.array([0, 1]))
+            if forest is not None and forest.n_features == self._X_maj.shape[1]:
+                scored = self._score_shared_member(model, forest)
+                if scored is not None:
+                    return scored
+                if self._scoring is None:
+                    self._scoring = ScoringMatrix(self._X_maj)
+                return self._scoring.score(forest)[:, 1]
         return self._proba_fn(model, self._X_maj)
+
+    def _score_shared_member(self, model, forest) -> Optional[np.ndarray]:
+        """Decision-table scoring for a member fitted against this fit's
+        shared bin context: compile the member's (small) per-cell table,
+        then score all majority rows with d LUT gathers over the cached
+        fine codes — no tree traversal over rows at all."""
+        if (
+            self._context is None
+            or getattr(model, "_shared_bin_context", None) is not self._context
+        ):
+            return None
+        member_binner = getattr(model, "_member_binner", None)
+        if member_binner is None:
+            return None
+        table = CodeTable.maybe_build(forest, member_binner)
+        if table is None:
+            return None
+        if self._fine_codes_maj is None:
+            self._fine_codes_maj = self._context.codes[self._maj_idx]
+        remap = getattr(model, "_member_remap", None)
+        fine = self._fine_codes_maj
+        cells = np.zeros(len(fine), dtype=np.int64)
+        for j in range(fine.shape[1]):
+            if remap is None:
+                cells += table.strides[j] * fine[:, j].astype(np.int64)
+            else:
+                cells += (remap[j] * table.strides[j])[fine[:, j]]
+        return table.table[cells, 1]
 
 
 class SelfPacedEnsembleClassifier(BaseEstimator, ClassifierMixin):
@@ -203,7 +294,25 @@ class SelfPacedEnsembleClassifier(BaseEstimator, ClassifierMixin):
         Rows per scoring task; default
         :data:`repro.parallel.DEFAULT_CHUNK_SIZE`. Any value yields the
         same probabilities.
+    shared_binning : bool, default False
+        Bin the training matrix once (:class:`repro.fastpath.SharedBinContext`)
+        and fit every member tree on row-subset views of the cached integer
+        codes instead of re-running ``FeatureBinner.fit`` per member.
+        Requires a tree base estimator. Bin edges are then computed over the
+        full matrix rather than each member's subset, so the fitted ensemble
+        is statistically equivalent but *not* bit-identical to the default
+        path (which is why this is opt-in). RNG consumption is unchanged:
+        the same rows are drawn for every member in both modes.
     random_state : int / RandomState, optional
+
+    Notes
+    -----
+    Two further fastpath knobs act on SPE without changing any result:
+    the packed-forest kernel behind ``predict_proba`` and the rank-coded
+    majority scoring inside ``fit`` are bit-identical to the legacy
+    per-tree loops and are on by default — set ``REPRO_FASTPATH=0`` (or use
+    :func:`repro.fastpath.fastpath_disabled`) to fall back, e.g. for A/B
+    timing (``benchmarks/bench_fastpath.py``).
 
     Attributes
     ----------
@@ -234,6 +343,7 @@ class SelfPacedEnsembleClassifier(BaseEstimator, ClassifierMixin):
         n_jobs: Optional[int] = None,
         backend: str = "thread",
         chunk_size: Optional[int] = None,
+        shared_binning: bool = False,
         random_state=None,
     ):
         self.estimator = estimator
@@ -246,6 +356,7 @@ class SelfPacedEnsembleClassifier(BaseEstimator, ClassifierMixin):
         self.n_jobs = n_jobs
         self.backend = backend
         self.chunk_size = chunk_size
+        self.shared_binning = shared_binning
         self.random_state = random_state
 
     # ------------------------------------------------------------------ #
@@ -295,8 +406,16 @@ class SelfPacedEnsembleClassifier(BaseEstimator, ClassifierMixin):
         min_idx = np.flatnonzero(y == 1)
         if len(min_idx) == 0 or len(maj_idx) == 0:
             raise ValueError("SPE requires both classes present (0=majority, 1=minority)")
-        majority = InMemoryMajorityAccess(X, maj_idx, self._proba_pos)
-        self._fit_loop(majority, X[min_idx], maj_idx, rng, eval_set)
+        context = (
+            shared_bin_context_for(self.estimator, X, y=y)
+            if self.shared_binning
+            else None
+        )
+        majority = InMemoryMajorityAccess(
+            X, maj_idx, self._proba_pos, bin_context=context
+        )
+        X_min = context.view(min_idx) if context is not None else X[min_idx]
+        self._fit_loop(majority, X_min, maj_idx, rng, eval_set)
         self.n_features_in_ = X.shape[1]
         return self
 

@@ -1,0 +1,307 @@
+"""Packed-forest inference kernel.
+
+``PackedForest`` flattens every fitted :class:`repro.tree.Tree` of an
+ensemble into one set of contiguous node arrays
+
+::
+
+    feature   int64  (n_nodes,)   split feature, -1 for leaves
+    threshold float64(n_nodes,)   raw-value split threshold (x < t goes left)
+    left      int64  (n_nodes,)   left-child node id; right child is left+1
+    value     float64(n_nodes, C) leaf class distribution, already scattered
+                                  into the ensemble's full class space
+    roots     int64  (n_trees,)   node id of each tree's root
+
+Nodes are renumbered level-by-level at pack time so each internal node's
+children sit at consecutive ids: one traversal step is a single child
+gather plus a boolean add (``left[cur] + (x >= t)``) instead of two gathers
+and a select. All index arrays are int64 — numpy silently *copies* narrower
+index arrays to ``intp`` on every fancy-indexing call, which erases any
+cache win from smaller dtypes.
+
+Evaluation is level-synchronous with active-lane compaction and picks its
+shape by size: small batches fuse all trees into one ``(tree, row)`` lane
+vector (python-call overhead is paid per *level*, the serving-latency
+regime), large batches walk tree-segmented lanes (row-sorted gathers, the
+bulk-throughput regime).
+
+Bit-identity: routing uses the same ``x < threshold`` comparisons as
+:meth:`repro.tree.Tree.apply` (NaN falls right in both), leaf lookup is
+arithmetic-free, and :meth:`PackedForest.proba_from_leaves` replays the
+legacy accumulation order of :func:`repro.parallel.ensemble_predict_proba`
+exactly — trees summed sequentially inside fixed blocks of
+:data:`ESTIMATOR_BLOCK`, block partials reduced in block order, one final
+division — so the probabilities match the per-tree path bit for bit
+(gated by ``tests/test_fastpath_equivalence.py``).
+
+``ScoringMatrix`` is the fixed-matrix companion for the SPE fit loop: the
+majority matrix is rank-coded per feature exactly once (smallest unsigned
+integer dtype that fits the per-feature cardinality — ``uint8`` up to 256
+distinct values), and any tree threshold ``t`` is mapped to the exact code
+cut ``#{values < t}``, so repeated per-iteration scoring never touches the
+float64 matrix again yet routes every row identically.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..tree._tree import Tree
+
+__all__ = ["ESTIMATOR_BLOCK", "PackedForest", "ScoringMatrix", "trees_of"]
+
+#: Estimators per accumulation block. Must match the legacy chunked engine
+#: (:mod:`repro.parallel.inference` imports it from here) so the two paths
+#: share one floating-point reduction order.
+ESTIMATOR_BLOCK = 8
+
+#: Below this many (tree, row) lanes the fused all-trees kernel wins (lane
+#: state cache-resident, python overhead paid once per level); above it the
+#: tree-segmented kernel wins (sequential row gathers).
+_FUSED_LANES = 1 << 15
+
+#: Row chunk of the segmented kernel — bounds lane-state memory at huge n.
+_SEGMENT_ROWS = 1 << 20
+
+_LEAF = -1
+
+
+def trees_of(estimators: Sequence) -> Optional[List[Tree]]:
+    """The fitted :class:`Tree` of every estimator, or ``None`` if any
+    member is not a single-tree classifier (the packed fast path then
+    falls back to the generic per-estimator loop)."""
+    trees = []
+    for est in estimators:
+        tree = getattr(est, "tree_", None)
+        if not isinstance(tree, Tree):
+            return None
+        trees.append(tree)
+    return trees
+
+
+def _level_order_adjacent(tree: Tree):
+    """Breadth-first node order with sibling-adjacent children.
+
+    Returns ``(order, new_id)`` — new→old and old→new id maps. Built one
+    level at a time with vectorised interleaving, so the python cost is
+    O(depth), not O(nodes).
+    """
+    n = tree.node_count
+    order = np.empty(n, dtype=np.int64)
+    new_id = np.empty(n, dtype=np.int64)
+    level = np.zeros(1, dtype=np.int64)  # old ids of the current level
+    filled = 0
+    while level.size:
+        order[filled : filled + level.size] = level
+        new_id[level] = np.arange(filled, filled + level.size)
+        filled += level.size
+        internal = level[tree.feature[level] != _LEAF]
+        nxt = np.empty(2 * internal.size, dtype=np.int64)
+        nxt[0::2] = tree.children_left[internal]
+        nxt[1::2] = tree.children_right[internal]
+        level = nxt
+    return order, new_id
+
+
+class PackedForest:
+    """Contiguous node-array representation of a fitted tree ensemble."""
+
+    def __init__(
+        self,
+        feature: np.ndarray,
+        threshold: np.ndarray,
+        left: np.ndarray,
+        value: np.ndarray,
+        roots: np.ndarray,
+        n_features: int,
+    ):
+        self.feature = feature
+        self.threshold = threshold
+        self.left = left
+        self.value = value
+        self.roots = roots
+        self.n_features = n_features
+
+    @property
+    def n_trees(self) -> int:
+        return len(self.roots)
+
+    @property
+    def n_classes(self) -> int:
+        return self.value.shape[1]
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_trees(
+        cls,
+        trees: Sequence[Tree],
+        column_maps: Sequence[Sequence[int]],
+        n_classes: int,
+        n_features: int,
+    ) -> "PackedForest":
+        """Pack fitted trees; ``column_maps[t]`` scatters tree ``t``'s local
+        class columns into the ensemble's full class space (a tree fitted on
+        a single-class subset contributes one column, the rest stay zero)."""
+        if not trees:
+            raise ValueError("PackedForest requires at least one tree")
+        counts = [t.node_count for t in trees]
+        offsets = np.concatenate([[0], np.cumsum(counts)[:-1]]).astype(np.int64)
+        total = int(sum(counts))
+        feature = np.empty(total, dtype=np.int64)
+        threshold = np.empty(total, dtype=np.float64)
+        left = np.full(total, _LEAF, dtype=np.int64)
+        value = np.zeros((total, n_classes), dtype=np.float64)
+        for t, (tree, off) in enumerate(zip(trees, offsets)):
+            order, new_id = _level_order_adjacent(tree)
+            hi = off + tree.node_count
+            feature[off:hi] = tree.feature[order]
+            threshold[off:hi] = tree.threshold[order]
+            internal = tree.feature[order] != _LEAF
+            left[off:hi][internal] = new_id[tree.children_left[order][internal]] + off
+            cols = np.asarray(column_maps[t], dtype=np.int64)
+            value[off:hi, cols] = tree.value[order]
+        return cls(feature, threshold, left, value, roots=offsets,
+                   n_features=n_features)
+
+    @classmethod
+    def from_estimators(cls, estimators: Sequence, classes: np.ndarray):
+        """Pack fitted tree classifiers, or return ``None`` when the
+        ensemble is not packable (non-tree member, unknown class, or
+        inconsistent feature counts — the caller then uses the legacy
+        path, which also owns the error reporting for those cases)."""
+        trees = trees_of(estimators)
+        if trees is None:
+            return None
+        class_pos = {c: i for i, c in enumerate(np.asarray(classes).tolist())}
+        column_maps = []
+        n_features = getattr(estimators[0], "n_features_in_", None)
+        for est in estimators:
+            if getattr(est, "n_features_in_", None) != n_features:
+                return None
+            try:
+                column_maps.append([class_pos[c] for c in est.classes_.tolist()])
+            except (KeyError, AttributeError):
+                return None
+        if n_features is None:
+            return None
+        return cls.from_trees(trees, column_maps, len(class_pos), int(n_features))
+
+    # ------------------------------------------------------------------ #
+    def _route(self, matrix: np.ndarray, keys: np.ndarray) -> np.ndarray:
+        """Leaf node id of every row in every tree: ``(n_trees, n)`` int64.
+
+        A lane goes left exactly when ``matrix[row, feature] < keys[node]``
+        (``keys`` = thresholds for raw floats, code cuts for coded rows).
+        """
+        n = matrix.shape[0]
+        feature, left, roots = self.feature, self.left, self.roots
+        if self.n_trees * n <= _FUSED_LANES:
+            # Fused: one lane vector over all trees, python cost per level.
+            node = np.repeat(roots, n)
+            rows = np.tile(np.arange(n, dtype=np.int64), self.n_trees)
+            active = np.flatnonzero(feature[node] != _LEAF)
+            while active.size:
+                cur = node[active]
+                go_left = matrix[rows[active], feature[cur]] < keys[cur]
+                nxt = left[cur] + ~go_left
+                node[active] = nxt
+                active = active[feature[nxt] != _LEAF]
+            return node.reshape(self.n_trees, n)
+        # Segmented: one tree at a time over row chunks — row indices stay
+        # sorted, so the per-level gathers stream through the matrix.
+        out = np.empty((self.n_trees, n), dtype=np.int64)
+        for t in range(self.n_trees):
+            root = roots[t]
+            for lo in range(0, n, _SEGMENT_ROWS):
+                hi = min(lo + _SEGMENT_ROWS, n)
+                chunk = matrix[lo:hi]
+                node = np.full(hi - lo, root, dtype=np.int64)
+                if feature[root] != _LEAF:
+                    active = np.arange(hi - lo, dtype=np.int64)
+                    while active.size:
+                        cur = node[active]
+                        go_left = chunk[active, feature[cur]] < keys[cur]
+                        nxt = left[cur] + ~go_left
+                        node[active] = nxt
+                        active = active[feature[nxt] != _LEAF]
+                out[t, lo:hi] = node
+        return out
+
+    def apply(self, X: np.ndarray) -> np.ndarray:
+        """Leaf node id (packed space) of every row in every tree; routing
+        decisions are the exact comparisons of :meth:`Tree.apply`."""
+        X = np.ascontiguousarray(X, dtype=np.float64)
+        return self._route(X, self.threshold)
+
+    def apply_codes(self, codes: np.ndarray, cuts: np.ndarray) -> np.ndarray:
+        """Leaf ids over a pre-coded matrix: lane goes left when
+        ``codes[row, feature] < cuts[node]``."""
+        return self._route(codes, cuts)
+
+    # ------------------------------------------------------------------ #
+    def proba_from_leaves(self, leaves: np.ndarray) -> np.ndarray:
+        """Average class distribution, replaying the legacy reduction order:
+        sequential in-block sums, then block partials in block order, then
+        one division by the tree count."""
+        n = leaves.shape[1]
+        partials = []
+        for blk_start in range(0, self.n_trees, ESTIMATOR_BLOCK):
+            part = np.zeros((n, self.n_classes))
+            for t in range(blk_start, min(blk_start + ESTIMATOR_BLOCK, self.n_trees)):
+                part += self.value[leaves[t]]
+            partials.append(part)
+        total = partials[0]
+        for extra in partials[1:]:
+            total = total + extra
+        return total / self.n_trees
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        return self.proba_from_leaves(self.apply(X))
+
+
+class ScoringMatrix:
+    """A fixed matrix pre-coded for exact, repeated tree scoring.
+
+    Each feature column is replaced by the rank of its value among the
+    column's sorted distinct values. For any threshold ``t``,
+    ``x < t  ⇔  rank(x) < #{distinct values < t}``, so routing through the
+    integer codes is *exactly* the raw-float comparison — for arbitrary
+    trees, not just trees fitted on this matrix. The per-feature distinct
+    values are kept to map thresholds at scoring time (O(tree nodes), not
+    O(rows)).
+    """
+
+    def __init__(self, X: np.ndarray):
+        X = np.ascontiguousarray(X, dtype=np.float64)
+        self.n_rows, self.n_features = X.shape
+        self._uniques = tuple(np.unique(X[:, j]) for j in range(self.n_features))
+        max_card = max((u.size for u in self._uniques), default=1)
+        if max_card <= np.iinfo(np.uint8).max + 1:
+            dtype: type = np.uint8
+        elif max_card <= np.iinfo(np.uint16).max + 1:
+            dtype = np.uint16
+        else:
+            dtype = np.int64
+        codes = np.empty((self.n_rows, self.n_features), dtype=dtype)
+        for j, uniques in enumerate(self._uniques):
+            codes[:, j] = np.searchsorted(uniques, X[:, j]).astype(dtype)
+        self.codes = codes
+
+    def threshold_cuts(self, forest: PackedForest) -> np.ndarray:
+        """Per-node code cut ``#{distinct values < threshold}`` (0 at leaves)."""
+        cuts = np.zeros(len(forest.feature), dtype=np.int64)
+        internal = forest.feature != _LEAF
+        for j in np.unique(forest.feature[internal]):
+            sel = forest.feature == j
+            cuts[sel] = np.searchsorted(
+                self._uniques[j], forest.threshold[sel], side="left"
+            )
+        return cuts
+
+    def score(self, forest: PackedForest) -> np.ndarray:
+        """Averaged class probabilities of the packed ensemble on this
+        matrix, bit-identical to evaluating the raw floats."""
+        leaves = forest.apply_codes(self.codes, self.threshold_cuts(forest))
+        return forest.proba_from_leaves(leaves)

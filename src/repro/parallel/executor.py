@@ -64,18 +64,31 @@ def parallel_map(
     *,
     backend: str = "serial",
     n_jobs: Optional[int] = None,
+    initializer: Optional[Callable] = None,
+    initargs: Sequence = (),
 ) -> List:
     """Apply ``fn`` to every payload in ``tasks``; results in task order.
 
     Falls back to the serial loop whenever parallelism cannot pay off
     (one worker, one task, or the serial backend) so callers can pass
     ``n_jobs`` straight through without special-casing.
+
+    ``initializer(*initargs)`` runs once per worker before any task (and
+    once in the calling thread on the serial path). This is how a caller
+    ships shared state — e.g. a block of estimators — to ``"process"``
+    workers *once per worker* instead of re-pickling it into every task
+    payload; thread/serial workers share the caller's memory, so the same
+    registration is effectively free there.
     """
     _check_backend(backend)
     tasks = list(tasks)
     workers = min(resolve_n_jobs(n_jobs), max(len(tasks), 1))
     if backend == "serial" or workers <= 1 or len(tasks) <= 1:
+        if initializer is not None:
+            initializer(*initargs)
         return [fn(task) for task in tasks]
     pool_cls = ThreadPoolExecutor if backend == "thread" else ProcessPoolExecutor
-    with pool_cls(max_workers=workers) as pool:
+    with pool_cls(
+        max_workers=workers, initializer=initializer, initargs=tuple(initargs)
+    ) as pool:
         return list(pool.map(fn, tasks))

@@ -1,20 +1,41 @@
-"""Chunked, batched ensemble inference.
+"""Chunked, batched ensemble inference with a packed-forest fast path.
 
-``ensemble_predict_proba`` replaces the old one-shot averaging loop with a
-fixed task grid: rows are cut into cache-friendly chunks and estimators
-into fixed-size blocks, each (chunk, block) cell computes a partial
-probability sum, and cells are reduced in grid order. Because the grid and
-the reduction order depend only on the inputs and ``chunk_size`` — never on
-``n_jobs`` or the backend — the result is bit-identical whether the cells
-run serially, on a thread pool, or across processes.
+``ensemble_predict_proba`` has two internally equivalent execution paths:
+
+* **Packed fast path** (default for all-tree ensembles): the fitted trees
+  are flattened into one :class:`repro.fastpath.PackedForest` and every
+  tree × every row is evaluated in a single vectorised level-synchronous
+  pass — no per-tree ``predict_proba`` calls, no per-chunk re-validation.
+  The packed kernel replays this module's exact accumulation order
+  (sequential sums inside fixed :data:`ESTIMATOR_BLOCK`-sized blocks, block
+  partials reduced in block order, one final division), so its output is
+  bit-identical to the chunked path.
+
+* **Chunked fallback** (non-tree members, mixed ensembles, or
+  ``REPRO_FASTPATH=0``): rows are cut into cache-friendly chunks and
+  estimators into fixed-size blocks, each (chunk, block) cell computes a
+  partial probability sum, and cells are reduced in grid order. The grid
+  and the reduction order depend only on the inputs and ``chunk_size`` —
+  never on ``n_jobs`` or the backend — so the result is bit-identical
+  whether the cells run serially, on a thread pool, or across processes.
+  Estimator blocks are shipped to workers **once per worker** via a keyed
+  registry installed by the pool initializer; task payloads carry only
+  ``(key, block id, row chunk)``, so the ``"process"`` backend no longer
+  re-pickles the same estimators for every row chunk while a worker still
+  never holds more than one chunk of the matrix.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+import itertools
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..fastpath.codetable import cached_packed_ensemble
+from ..fastpath.config import fastpath_enabled
+from ..fastpath.packed import ESTIMATOR_BLOCK
 from .executor import parallel_map
 
 __all__ = ["DEFAULT_CHUNK_SIZE", "ESTIMATOR_BLOCK", "ensemble_predict_proba"]
@@ -24,9 +45,16 @@ __all__ = ["DEFAULT_CHUNK_SIZE", "ESTIMATOR_BLOCK", "ensemble_predict_proba"]
 #: of float64 features stays cache-resident.
 DEFAULT_CHUNK_SIZE = 8192
 
-#: Estimators per block. Fixed (never derived from ``n_jobs``) so the
-#: partial-sum reduction order is a pure function of the ensemble size.
-ESTIMATOR_BLOCK = 8
+#: Per-process registry of shared scoring payloads, keyed per call. The
+#: caller installs a payload through the pool initializer (one pickle per
+#: worker process; a no-op share for thread/serial workers) and removes its
+#: own key afterwards; worker-process copies die with the pool.
+_SHARED_PAYLOADS: Dict[Tuple[int, int], tuple] = {}
+_payload_counter = itertools.count()
+
+
+def _install_payload(key, payload) -> None:
+    _SHARED_PAYLOADS[key] = payload
 
 
 def _row_spans(n_rows: int, chunk_size: int) -> List[Tuple[int, int]]:
@@ -34,12 +62,45 @@ def _row_spans(n_rows: int, chunk_size: int) -> List[Tuple[int, int]]:
 
 
 def _partial_proba(task) -> np.ndarray:
-    """Sum of class-aligned probabilities for one (row chunk, block) cell."""
-    estimators, column_maps, X_chunk, n_classes = task
+    """Sum of class-aligned probabilities for one (row chunk, block) cell.
+
+    Rows travel in the task payload (one chunk at a time, exactly like the
+    historical grid, so a worker never holds more than a chunk of the
+    matrix); the estimator blocks come from the per-worker registry."""
+    key, block_id, X_chunk = task
+    est_blocks, map_blocks, n_classes = _SHARED_PAYLOADS[key]
     out = np.zeros((X_chunk.shape[0], n_classes))
-    for est, cols in zip(estimators, column_maps):
+    for est, cols in zip(est_blocks[block_id], map_blocks[block_id]):
         out[:, cols] += est.predict_proba(X_chunk)
     return out
+
+
+def _packed_proba(
+    estimators: Sequence, X: np.ndarray, classes: np.ndarray
+) -> Optional[np.ndarray]:
+    """Packed-forest evaluation, or ``None`` when the ensemble is not
+    packable (any non-tree member, unknown classes, feature-count mismatch)
+    — the chunked path then owns both the computation and error reporting.
+
+    The packed layout (and, for shared-binner ensembles with a small code
+    grid, the compiled per-cell table) is cached per ensemble, so repeated
+    serving calls pay only the kernel.
+
+    Non-finite rows are declined up front: the chunked path rejects them
+    through each member's ``check_array`` (NaN would otherwise silently
+    route right), and the two paths must disagree on nothing — not even
+    error behaviour."""
+    if not np.isfinite(X).all():
+        return None
+    entry = cached_packed_ensemble(estimators, classes)
+    if entry is None:
+        return None
+    forest, table = entry
+    if forest.n_features != X.shape[1]:
+        return None
+    if table is not None:
+        return table.predict_proba(X)
+    return forest.predict_proba(X)
 
 
 def ensemble_predict_proba(
@@ -50,6 +111,7 @@ def ensemble_predict_proba(
     n_jobs: Optional[int] = None,
     backend: str = "thread",
     chunk_size: Optional[int] = None,
+    packed: str = "auto",
 ) -> np.ndarray:
     """Average ``predict_proba`` over fitted estimators, aligning classes.
 
@@ -64,13 +126,20 @@ def ensemble_predict_proba(
     classes : the ensemble's full class vector; output columns follow it.
     n_jobs : worker count (``None``/1 serial, ``-1`` all CPUs).
     backend : ``"serial"`` / ``"thread"`` / ``"process"``; with ``"process"``
-        the estimators and row chunks are pickled to the workers.
-    chunk_size : rows per task (default :data:`DEFAULT_CHUNK_SIZE`). The
-        result is independent of the chosen value.
+        each estimator block is shipped to every worker once (via the pool
+        initializer) instead of being re-pickled per row chunk; rows still
+        travel one chunk per task.
+    chunk_size : rows per task on the chunked path (default
+        :data:`DEFAULT_CHUNK_SIZE`). The result is independent of the value.
+    packed : ``"auto"`` (packed kernel for all-tree ensembles when the
+        fastpath is enabled, chunked otherwise) or ``"never"`` (always the
+        chunked path). Both paths are bit-identical.
     """
     estimators = list(estimators)
     if not estimators:
         raise ValueError("ensemble_predict_proba requires at least one estimator")
+    if packed not in ("auto", "never"):
+        raise ValueError(f"packed must be 'auto' or 'never', got {packed!r}")
     X = np.asarray(X, dtype=float)
     classes = np.asarray(classes)
     if chunk_size is None:
@@ -78,25 +147,45 @@ def ensemble_predict_proba(
     if chunk_size < 1:
         raise ValueError("chunk_size must be >= 1")
 
+    if packed == "auto" and fastpath_enabled():
+        proba = _packed_proba(estimators, X, classes)
+        if proba is not None:
+            return proba
+
     class_pos = {c: i for i, c in enumerate(classes.tolist())}
     column_maps = [
         [class_pos[c] for c in est.classes_.tolist()] for est in estimators
     ]
-    blocks = [
+    block_slices = [
         slice(b, min(b + ESTIMATOR_BLOCK, len(estimators)))
         for b in range(0, len(estimators), ESTIMATOR_BLOCK)
     ]
+    est_blocks = tuple(estimators[blk] for blk in block_slices)
+    map_blocks = tuple(column_maps[blk] for blk in block_slices)
     spans = _row_spans(X.shape[0], chunk_size)
+    key = (os.getpid(), next(_payload_counter))
+    payload = (est_blocks, map_blocks, len(classes))
     tasks = [
-        (estimators[blk], column_maps[blk], X[lo:hi], len(classes))
+        (key, block_id, X[lo:hi])
         for lo, hi in spans
-        for blk in blocks
+        for block_id in range(len(block_slices))
     ]
-    partials = parallel_map(_partial_proba, tasks, backend=backend, n_jobs=n_jobs)
+    try:
+        partials = parallel_map(
+            _partial_proba,
+            tasks,
+            backend=backend,
+            n_jobs=n_jobs,
+            initializer=_install_payload,
+            initargs=(key, payload),
+        )
+    finally:
+        _SHARED_PAYLOADS.pop(key, None)
 
     proba = np.empty((X.shape[0], len(classes)))
+    n_blocks = len(block_slices)
     for c, (lo, hi) in enumerate(spans):
-        cell = partials[c * len(blocks) : (c + 1) * len(blocks)]
+        cell = partials[c * n_blocks : (c + 1) * n_blocks]
         total = cell[0]
         for extra in cell[1:]:  # fixed block order → deterministic rounding
             total = total + extra

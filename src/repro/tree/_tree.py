@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -97,21 +97,39 @@ class _Growing:
         return len(self.feature) - 1
 
 
-def _class_histograms(
+def _stacked_class_histograms(
     codes: np.ndarray,
     y: np.ndarray,
     w: np.ndarray,
     n_bins: int,
     n_classes: int,
+    uniform_weight: bool,
 ):
-    """Weighted and unweighted per-bin per-class histograms via bincount."""
-    combined = codes.astype(np.int64) * n_classes + y
-    weighted = np.bincount(combined, weights=w, minlength=n_bins * n_classes)
-    counts = np.bincount(combined, minlength=n_bins * n_classes)
-    return (
-        weighted.reshape(n_bins, n_classes),
-        counts.reshape(n_bins, n_classes),
-    )
+    """Weighted and unweighted (features, bins, classes) histograms.
+
+    One ``bincount`` covers every candidate feature at once: entry
+    ``(k, b, c)`` accumulates the rows whose code on feature ``k`` is ``b``
+    and whose class is ``c``. Rows are visited in ascending order per
+    (feature, bin, class) cell — the same float accumulation order as a
+    per-feature ``bincount`` — so the histograms are bit-identical to the
+    historical per-feature pass. With uniform weights the weighted histogram
+    *is* the integer count histogram (sums of 1.0 are exact), so only one
+    ``bincount`` runs.
+    """
+    m, n_features = codes.shape
+    stride = n_bins * n_classes
+    idx = codes.astype(np.int64) * n_classes
+    idx += y[:, None]
+    idx += np.arange(n_features, dtype=np.int64) * stride
+    idx = idx.ravel()
+    total = n_features * stride
+    counts = np.bincount(idx, minlength=total)
+    if uniform_weight:
+        weighted = counts.astype(np.float64)
+    else:
+        weighted = np.bincount(idx, weights=np.repeat(w, n_features), minlength=total)
+    shape = (n_features, n_bins, n_classes)
+    return weighted.reshape(shape), counts.reshape(shape)
 
 
 def build_tree(
@@ -129,14 +147,63 @@ def build_tree(
     max_features: Optional[int] = None,
     random_state=None,
 ) -> Tree:
-    """Grow a tree depth-first on pre-binned data.
+    """Grow a tree on pre-binned data.
 
-    ``max_features`` (when set) samples that many candidate features per node
-    without replacement — the randomisation Random Forest relies on.
+    ``max_features`` (when set below the feature count) samples that many
+    candidate features per node without replacement — the randomisation
+    Random Forest relies on — and grows depth-first, consuming the RNG in
+    stack order. Without feature subsampling there is no per-node
+    randomness, and the tree is grown level-synchronously instead: one
+    histogram ``bincount`` and one vectorised gain evaluation per *level*
+    covering every frontier node at once, then renumbered to the exact
+    depth-first node ids the stack builder would have produced. Both
+    builders emit bit-identical trees (pinned by ``tests/test_fastpath_units.py``).
+
+    One carve-out keeps that guarantee exact: entropy-family node impurity
+    compacts to the nonzero class probabilities before summing, and
+    numpy's pairwise reduction only matches that grouping bitwise for
+    vectors of at most 8 entries — so entropy/gain-ratio trees with more
+    than 8 classes stay on the depth-first builder.
     """
-    rng = check_random_state(random_state)
     n_features = X_binned.shape[1]
     max_depth = np.inf if max_depth is None else max_depth
+    # Sums of unit weights are exact, so the weighted histogram equals the
+    # count histogram bit for bit and one bincount per node can be skipped.
+    uniform_weight = bool(np.all(sample_weight == 1.0))
+    n_bins_all = np.asarray(binner.n_bins_, dtype=np.int64)
+    args = (
+        X_binned, y_encoded, sample_weight, binner, n_classes, criterion,
+        max_depth, min_samples_split, min_samples_leaf,
+        min_impurity_decrease, uniform_weight, n_bins_all,
+    )
+    subsampling = max_features is not None and max_features < n_features
+    if subsampling or (criterion != "gini" and n_classes > 8):
+        return _grow_depth_first(*args, max_features=max_features,
+                                 random_state=random_state)
+    return _grow_level_synchronous(*args)
+
+
+def _grow_depth_first(
+    X_binned: np.ndarray,
+    y_encoded: np.ndarray,
+    sample_weight: np.ndarray,
+    binner: FeatureBinner,
+    n_classes: int,
+    criterion: str,
+    max_depth,
+    min_samples_split: int,
+    min_samples_leaf: int,
+    min_impurity_decrease: float,
+    uniform_weight: bool,
+    n_bins_all: np.ndarray,
+    *,
+    max_features: Optional[int],
+    random_state,
+) -> Tree:
+    """Stack-based builder (the reference semantics; used when per-node
+    feature subsampling needs the documented RNG consumption order)."""
+    rng = check_random_state(random_state)
+    n_features = X_binned.shape[1]
     grow = _Growing()
     stack: List[_NodeRecord] = [
         _NodeRecord(np.arange(X_binned.shape[0]), 0, _LEAF, False)
@@ -146,9 +213,13 @@ def build_tree(
         rec = stack.pop()
         idx = rec.indices
         y_node = y_encoded[idx]
-        w_node = sample_weight[idx]
-        class_w = np.bincount(y_node, weights=w_node, minlength=n_classes)
-        total_w = class_w.sum()
+        if uniform_weight:
+            w_node = None  # histograms come from integer counts alone
+            class_w = np.bincount(y_node, minlength=n_classes).astype(np.float64)
+        else:
+            w_node = sample_weight[idx]
+            class_w = np.bincount(y_node, weights=w_node, minlength=n_classes)
+        total_w = np.add.reduce(class_w)
         imp = node_impurity(class_w, criterion)
         dist = class_w / total_w if total_w > 0 else np.full(n_classes, 1.0 / n_classes)
         node_id = grow.add(dist, len(idx), imp)
@@ -170,33 +241,39 @@ def build_tree(
         else:
             features = np.arange(n_features)
 
-        best_gain = -np.inf
-        best_feature = _LEAF
-        best_code = -1
+        # Vectorised split search: one stacked histogram and one gain
+        # evaluation cover every candidate feature. ``n_bins`` is padded to
+        # the widest candidate feature; a feature's phantom bins hold no
+        # samples, so their candidates put everything left (empty right
+        # side) and split_gain masks them to -inf — exactly the candidates
+        # the per-feature loop never generated. Flat row-major argmax over
+        # (feature-in-draw-order, code) reproduces the loop's tie-breaking:
+        # earliest drawn feature, then lowest code, strictly-greater gains.
         codes_node = X_binned[idx]
-        for j in features:
-            n_bins = int(binner.n_bins_[j])
-            if n_bins < 2:
-                continue
-            weighted, counts = _class_histograms(
-                codes_node[:, j], y_node, w_node, n_bins, n_classes
-            )
-            cum_w = np.cumsum(weighted, axis=0)[:-1]
-            cum_c = np.cumsum(counts.sum(axis=1))[:-1]
-            left_w = cum_w
-            right_w = class_w[None, :] - cum_w
-            gains = split_gain(left_w, right_w, imp, criterion)
-            n_left = cum_c
-            n_right = len(idx) - cum_c
-            gains[(n_left < min_samples_leaf) | (n_right < min_samples_leaf)] = -np.inf
-            best_local = int(np.argmax(gains))
-            if gains[best_local] > best_gain:
-                best_gain = gains[best_local]
-                best_feature = int(j)
-                best_code = best_local
-
-        if best_feature == _LEAF or best_gain <= min_impurity_decrease + 1e-12:
+        n_bins = int(n_bins_all[features].max()) if len(features) else 0
+        if n_bins < 2:
             continue
+        weighted, counts = _stacked_class_histograms(
+            codes_node[:, features], y_node, w_node, n_bins, n_classes,
+            uniform_weight,
+        )
+        left_w = weighted.cumsum(axis=1)[:, :-1, :]
+        right_w = class_w[None, None, :] - left_w
+        gains = split_gain(
+            left_w.reshape(-1, n_classes),
+            right_w.reshape(-1, n_classes),
+            imp,
+            criterion,
+        )
+        n_left = np.add.reduce(counts, axis=2).cumsum(axis=1)[:, :-1].ravel()
+        n_right = len(idx) - n_left
+        gains[(n_left < min_samples_leaf) | (n_right < min_samples_leaf)] = -np.inf
+        best_flat = int(gains.argmax())
+        best_gain = gains[best_flat]
+        if not (best_gain > -np.inf) or best_gain <= min_impurity_decrease + 1e-12:
+            continue
+        best_feature = int(features[best_flat // (n_bins - 1)])
+        best_code = best_flat % (n_bins - 1)
 
         grow.feature[node_id] = best_feature
         grow.threshold[node_id] = binner.threshold_value(best_feature, best_code)
@@ -213,5 +290,219 @@ def build_tree(
         value=np.asarray(grow.value, dtype=np.float64),
         n_node_samples=np.asarray(grow.n_samples, dtype=np.int64),
         impurity=np.asarray(grow.impurity, dtype=np.float64),
+        n_classes=n_classes,
+    )
+
+
+def _node_impurity_rows(
+    class_w: np.ndarray, total_w: np.ndarray, criterion: str
+) -> np.ndarray:
+    """Row-wise :func:`node_impurity` — identical per-row float ops."""
+    safe = np.where(total_w > 0, total_w, 1.0)
+    p = class_w / safe[:, None]
+    if criterion == "gini":
+        imp = 1.0 - np.add.reduce(p * p, axis=1)
+    else:
+        # log2 of the *actual* probability (node_impurity does not clamp);
+        # zero entries contribute exact 0.0 terms, which cannot change any
+        # pairwise partial sum.
+        logp = np.where(p > 0, np.log2(np.where(p > 0, p, 1.0)), 0.0)
+        imp = -np.add.reduce(p * logp, axis=1)
+    imp[total_w <= 0] = 0.0
+    return imp
+
+
+def _grow_level_synchronous(
+    X_binned: np.ndarray,
+    y_encoded: np.ndarray,
+    sample_weight: np.ndarray,
+    binner: FeatureBinner,
+    n_classes: int,
+    criterion: str,
+    max_depth,
+    min_samples_split: int,
+    min_samples_leaf: int,
+    min_impurity_decrease: float,
+    uniform_weight: bool,
+    n_bins_all: np.ndarray,
+) -> Tree:
+    """Grow all frontier nodes of a level together, then renumber to the
+    depth-first ids of the stack builder.
+
+    Per level, one ``bincount`` over ``(node, feature, bin, class)`` builds
+    every node's split histograms at once and one :func:`split_gain` call
+    scores every candidate of every node, so python/numpy dispatch cost is
+    paid per level instead of per node. Bit-identity with the stack
+    builder: rows keep ascending order inside each node (never re-sorted),
+    so histogram cells accumulate identical float sequences; the gain
+    formulas are evaluated row-wise (same elementwise ops); the per-node
+    row-major argmax reproduces the earliest-feature/lowest-code
+    tie-breaking; and the final preorder renumbering yields the same node
+    ids the depth-first stack would have assigned.
+    """
+    n_rows, n_features = X_binned.shape
+    C = n_classes
+    F = n_features
+    B = int(n_bins_all.max()) if F else 0
+    feat_c: List[int] = []
+    thr_c: List[float] = []
+    left_c: List[int] = []
+    right_c: List[int] = []
+    val_c: List[np.ndarray] = []
+    ns_c: List[int] = []
+    imp_c: List[float] = []
+
+    rows = np.arange(n_rows)
+    slots = np.zeros(n_rows, dtype=np.int64)
+    n_slots = 1
+    level_parents: List[Tuple[int, bool]] = [(_LEAF, False)]
+    depth = 0
+    feat_range = np.arange(F, dtype=np.int64)
+
+    while n_slots:
+        S = n_slots
+        y_lvl = y_encoded[rows]
+        comb = slots * C + y_lvl
+        counts_cls = np.bincount(comb, minlength=S * C).reshape(S, C)
+        if uniform_weight:
+            class_w = counts_cls.astype(np.float64)
+        else:
+            class_w = np.bincount(
+                comb, weights=sample_weight[rows], minlength=S * C
+            ).reshape(S, C)
+        m_slot = np.add.reduce(counts_cls, axis=1)
+        total_w = np.add.reduce(class_w, axis=1)
+        imp = _node_impurity_rows(class_w, total_w, criterion)
+        dist = class_w / np.where(total_w > 0, total_w, 1.0)[:, None]
+        dist[total_w <= 0] = 1.0 / C
+
+        base_id = len(feat_c)
+        for s in range(S):
+            feat_c.append(_LEAF)
+            thr_c.append(0.0)
+            left_c.append(_LEAF)
+            right_c.append(_LEAF)
+            val_c.append(dist[s])
+            ns_c.append(int(m_slot[s]))
+            imp_c.append(float(imp[s]))
+            parent, is_left = level_parents[s]
+            if parent != _LEAF:
+                if is_left:
+                    left_c[parent] = base_id + s
+                else:
+                    right_c[parent] = base_id + s
+
+        if depth >= max_depth or B < 2:
+            break
+        can_split = (m_slot >= min_samples_split) & (imp > 1e-12)
+        eligible = np.flatnonzero(can_split)
+        if eligible.size == 0:
+            break
+
+        keep = can_split[slots]
+        r = rows[keep]
+        s_old = slots[keep]
+        remap = np.full(S, _LEAF, dtype=np.int64)
+        remap[eligible] = np.arange(eligible.size)
+        s_e = remap[s_old]
+        E = eligible.size
+        # One histogram over every (node, feature, bin, class) cell.
+        idx = (s_e[:, None] * F + feat_range) * B
+        idx += X_binned[r]
+        idx *= C
+        idx += y_lvl[keep][:, None]
+        idx = idx.ravel()
+        total_cells = E * F * B * C
+        counts = np.bincount(idx, minlength=total_cells)
+        if uniform_weight:
+            weighted = counts.astype(np.float64)
+        else:
+            weighted = np.bincount(
+                idx, weights=np.repeat(sample_weight[r], F),
+                minlength=total_cells,
+            )
+        shape = (E, F, B, C)
+        weighted = weighted.reshape(shape)
+        counts = counts.reshape(shape)
+        left_w = weighted.cumsum(axis=2)[:, :, :-1, :]
+        right_w = class_w[eligible][:, None, None, :] - left_w
+        gains = split_gain(
+            left_w.reshape(-1, C),
+            right_w.reshape(-1, C),
+            np.repeat(imp[eligible], F * (B - 1)),
+            criterion,
+        )
+        gains = gains.reshape(E, F * (B - 1))
+        n_left = np.add.reduce(counts, axis=3).cumsum(axis=2)[:, :, :-1]
+        n_left = n_left.reshape(E, F * (B - 1))
+        n_right = m_slot[eligible][:, None] - n_left
+        gains[(n_left < min_samples_leaf) | (n_right < min_samples_leaf)] = -np.inf
+        best_flat = gains.argmax(axis=1)
+        best_gain = gains[np.arange(E), best_flat]
+        ok = best_gain > min_impurity_decrease + 1e-12
+
+        split_slots = eligible[ok]
+        if split_slots.size == 0:
+            break
+        best_feature = best_flat[ok] // (B - 1)
+        best_code = best_flat[ok] % (B - 1)
+        bfeat_of = np.zeros(S, dtype=np.int64)
+        bcode_of = np.zeros(S, dtype=np.int64)
+        bfeat_of[split_slots] = best_feature
+        bcode_of[split_slots] = best_code
+        next_parents: List[Tuple[int, bool]] = []
+        for k in range(split_slots.size):
+            node = base_id + int(split_slots[k])
+            feat_c[node] = int(best_feature[k])
+            thr_c[node] = binner.threshold_value(
+                int(best_feature[k]), int(best_code[k])
+            )
+            next_parents.append((node, True))
+            next_parents.append((node, False))
+
+        splits = np.zeros(S, dtype=bool)
+        splits[split_slots] = True
+        keep2 = splits[s_old]
+        rows = r[keep2]
+        s_old2 = s_old[keep2]
+        pair = np.full(S, _LEAF, dtype=np.int64)
+        pair[split_slots] = np.arange(split_slots.size)
+        go_left = X_binned[rows, bfeat_of[s_old2]] <= bcode_of[s_old2]
+        slots = 2 * pair[s_old2] + ~go_left
+        level_parents = next_parents
+        n_slots = 2 * split_slots.size
+        depth += 1
+
+    # Renumber construction (level) order to the stack builder's
+    # depth-first preorder: node, left subtree, right subtree.
+    n = len(feat_c)
+    feat_arr = np.asarray(feat_c, dtype=np.int64)
+    left_arr = np.asarray(left_c, dtype=np.int64)
+    right_arr = np.asarray(right_c, dtype=np.int64)
+    order = np.empty(n, dtype=np.int64)
+    new_id = np.empty(n, dtype=np.int64)
+    stack = [0]
+    pos = 0
+    while stack:
+        nid = stack.pop()
+        order[pos] = nid
+        new_id[nid] = pos
+        pos += 1
+        if feat_arr[nid] != _LEAF:
+            stack.append(int(right_arr[nid]))
+            stack.append(int(left_arr[nid]))
+    internal = feat_arr[order] != _LEAF
+    children_left = np.full(n, _LEAF, dtype=np.int64)
+    children_right = np.full(n, _LEAF, dtype=np.int64)
+    children_left[internal] = new_id[left_arr[order][internal]]
+    children_right[internal] = new_id[right_arr[order][internal]]
+    return Tree(
+        feature=feat_arr[order],
+        threshold=np.asarray(thr_c, dtype=np.float64)[order],
+        children_left=children_left,
+        children_right=children_right,
+        value=np.asarray(val_c, dtype=np.float64)[order],
+        n_node_samples=np.asarray(ns_c, dtype=np.int64)[order],
+        impurity=np.asarray(imp_c, dtype=np.float64)[order],
         n_classes=n_classes,
     )

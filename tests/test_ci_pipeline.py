@@ -78,7 +78,7 @@ class TestWorkflowFile:
         }
         assert {"lint", "test-fast", "test", "coverage", "bench-smoke"} <= invoked
 
-    def test_bench_job_uploads_both_artifacts(self, workflow):
+    def test_bench_job_uploads_all_artifacts(self, workflow):
         uploads = [
             step
             for step in workflow["jobs"]["bench-smoke"]["steps"]
@@ -88,6 +88,11 @@ class TestWorkflowFile:
         paths = uploads[0]["with"]["path"]
         assert "BENCH_parallel.json" in paths
         assert "BENCH_streaming.json" in paths
+        assert "BENCH_fastpath.json" in paths
+
+    def test_bench_smoke_runs_fastpath_bench(self, makefile_text):
+        smoke = makefile_text.split("bench-smoke:")[1].split("\n\n")[0]
+        assert "bench_fastpath.py" in smoke
 
     def test_coverage_job_is_informational(self, workflow):
         assert workflow["jobs"]["coverage"].get("continue-on-error") is True

@@ -1,0 +1,379 @@
+"""Unit pins for the fastpath building blocks and the satellite
+optimisations: vectorised bin gathering, keyed inference payloads, binner
+caching, the level-synchronous tree builder, and the packed kernel."""
+
+import numpy as np
+import pytest
+
+from repro.core.binning import cut_hardness_bins, allocate_bin_samples, self_paced_bin_weights
+from repro.core.self_paced import self_paced_under_sample
+from repro.fastpath import (
+    BinnedSubset,
+    PackedForest,
+    ScoringMatrix,
+    SharedBinContext,
+    fastpath_disabled,
+    fastpath_enabled,
+    set_fastpath,
+)
+from repro.parallel import ensemble_predict_proba
+from repro.parallel.executor import parallel_map
+from repro.parallel.inference import _SHARED_PAYLOADS
+from repro.tree import DecisionTreeClassifier, FeatureBinner
+from repro.tree._tree import _grow_depth_first, build_tree
+
+
+# --------------------------------------------------------------------- #
+def _reference_under_sample(hardness, k_bins, alpha, n_samples, rng):
+    """The historical per-bin np.flatnonzero formulation (pre-argsort)."""
+    bins = cut_hardness_bins(hardness, k_bins)
+    if bins.degenerate:
+        n = min(n_samples, hardness.size)
+        return rng.choice(hardness.size, size=n, replace=False), bins
+    weights = self_paced_bin_weights(bins, alpha)
+    counts = allocate_bin_samples(weights, bins.populations, n_samples)
+    chosen = []
+    for b in np.flatnonzero(counts > 0):
+        members = np.flatnonzero(bins.assignments == b)
+        chosen.append(rng.choice(members, size=int(counts[b]), replace=False))
+    if not chosen:
+        n = min(n_samples, hardness.size)
+        return rng.choice(hardness.size, size=n, replace=False), bins
+    return np.concatenate(chosen), bins
+
+
+class TestVectorisedUnderSample:
+    @pytest.mark.parametrize("alpha", [0.0, 0.3, 5.0, 1e16])
+    @pytest.mark.parametrize("seed", [0, 7, 123])
+    def test_bit_identical_to_per_bin_scan(self, alpha, seed):
+        rng = np.random.RandomState(seed)
+        hardness = rng.rand(5000)
+        got, _ = self_paced_under_sample(
+            hardness, 20, alpha, 400, np.random.RandomState(seed)
+        )
+        want, _ = _reference_under_sample(
+            hardness, 20, alpha, 400, np.random.RandomState(seed)
+        )
+        assert np.array_equal(got, want)
+
+    def test_degenerate_hardness(self):
+        got, bins = self_paced_under_sample(
+            np.full(100, 0.5), 10, 1.0, 30, np.random.RandomState(0)
+        )
+        assert bins.degenerate and len(got) == 30
+
+    def test_sparse_bins(self):
+        """Hardness concentrated in few bins: empty-bin slices must be
+        skipped exactly like the flatnonzero scan skipped them."""
+        rng = np.random.RandomState(1)
+        hardness = np.concatenate([np.zeros(500), np.ones(5)])
+        got, _ = self_paced_under_sample(hardness, 50, 0.0, 50, np.random.RandomState(2))
+        want, _ = _reference_under_sample(hardness, 50, 0.0, 50, np.random.RandomState(2))
+        assert np.array_equal(got, want)
+
+
+# --------------------------------------------------------------------- #
+class TestFeatureBinnerCaching:
+    def test_edges_cached_as_tuple(self, rng):
+        binner = FeatureBinner(max_bins=8).fit(rng.randn(100, 3))
+        assert isinstance(binner.edges_, tuple)
+        assert len(binner.edges_) == 3
+
+    def test_transform_skips_validation_on_float_arrays(self, rng):
+        X = rng.randn(50, 2)
+        binner = FeatureBinner(max_bins=8).fit(X)
+        codes = binner.transform(X)
+        # list input still goes through check_array conversion
+        assert np.array_equal(binner.transform(X.tolist()), codes)
+        # feature-count validation is preserved on the fast path
+        with pytest.raises(ValueError, match="features"):
+            binner.transform(rng.randn(10, 5))
+
+    def test_threshold_semantics_unchanged(self, rng):
+        X = rng.randn(200, 1)
+        binner = FeatureBinner(max_bins=6).fit(X)
+        codes = binner.transform(X).ravel()
+        for c in range(int(binner.n_bins_[0]) - 1):
+            thr = binner.threshold_value(0, c)
+            assert np.array_equal(codes <= c, X.ravel() < thr)
+
+
+# --------------------------------------------------------------------- #
+class TestLevelSynchronousBuilder:
+    @pytest.mark.parametrize("criterion", ["gini", "entropy", "gain_ratio"])
+    @pytest.mark.parametrize("weighted", [False, True])
+    def test_bit_identical_to_depth_first(self, criterion, weighted):
+        rng = np.random.RandomState(0)
+        X = rng.randn(300, 4)
+        y = rng.randint(0, 3, 300)
+        w = rng.rand(300) if weighted else np.ones(300)
+        binner = FeatureBinner(max_bins=16).fit(X)
+        Xb = binner.transform(X)
+        kwargs = dict(n_classes=3, criterion=criterion, max_depth=6,
+                      min_samples_split=4, min_samples_leaf=2,
+                      min_impurity_decrease=0.0)
+        level = build_tree(Xb, y, w, binner, **kwargs)
+        depth_first = _grow_depth_first(
+            Xb, y, w, binner, 3, criterion, 6, 4, 2, 0.0,
+            bool(np.all(w == 1.0)), np.asarray(binner.n_bins_),
+            max_features=None, random_state=None,
+        )
+        for attr in ("feature", "threshold", "children_left", "children_right",
+                     "value", "n_node_samples", "impurity"):
+            assert np.array_equal(getattr(level, attr), getattr(depth_first, attr)), attr
+
+    def test_many_class_gini_still_levelwise_identical(self):
+        """Gini impurity has no nonzero-compaction, so the level builder
+        stays exact at any class count; entropy beyond 8 classes routes to
+        the depth-first builder instead (pairwise-sum grouping)."""
+        rng = np.random.RandomState(2)
+        X = rng.randn(400, 3)
+        y = rng.randint(0, 12, 400)
+        w = np.ones(400)
+        binner = FeatureBinner(max_bins=16).fit(X)
+        Xb = binner.transform(X)
+        level = build_tree(Xb, y, w, binner, n_classes=12, max_depth=5)
+        depth_first = _grow_depth_first(
+            Xb, y, w, binner, 12, "gini", 5, 2, 1, 0.0, True,
+            np.asarray(binner.n_bins_), max_features=None, random_state=None,
+        )
+        assert np.array_equal(level.value, depth_first.value)
+        assert np.array_equal(level.impurity, depth_first.impurity)
+
+    def test_max_features_uses_depth_first_rng_order(self):
+        """Feature-subsampled trees must keep the documented stack-order
+        RNG consumption (regression pin for the forest path)."""
+        rng = np.random.RandomState(0)
+        X = rng.randn(200, 6)
+        y = (X[:, 0] + X[:, 3] > 0).astype(int)
+        a = DecisionTreeClassifier(max_features=2, random_state=5).fit(X, y)
+        b = DecisionTreeClassifier(max_features=2, random_state=5).fit(X, y)
+        assert np.array_equal(a.tree_.feature, b.tree_.feature)
+        assert np.array_equal(a.tree_.threshold, b.tree_.threshold)
+
+
+# --------------------------------------------------------------------- #
+class TestSharedBinContext:
+    def test_codes_use_smallest_dtype(self, rng):
+        context = SharedBinContext(rng.randn(500, 2), max_bins=64)
+        assert context.codes.dtype == np.uint8
+
+    def test_views_slice_without_rebinning(self, rng):
+        X = rng.randn(100, 3)
+        context = SharedBinContext(X, max_bins=16)
+        view = context.view(np.array([5, 1, 7]))
+        assert len(view) == 3 and view.shape == (3, 3)
+        assert np.array_equal(view.binned_codes(), context.codes[[5, 1, 7]])
+        # fancy indexing returns a sub-view; __array__ materialises floats
+        sub = view[np.array([2, 0])]
+        assert isinstance(sub, BinnedSubset)
+        assert np.array_equal(np.asarray(sub), X[[7, 5]])
+
+    def test_concat_requires_same_context(self, rng):
+        X = rng.randn(20, 2)
+        a = SharedBinContext(X).view(np.arange(5))
+        b = SharedBinContext(X).view(np.arange(5))
+        with pytest.raises(ValueError):
+            a.concat(b)
+
+    def test_tree_fit_on_view_without_requantization(self, rng):
+        """Context resolution == tree max_bins: the tree trains directly on
+        the shared codes and equals build_tree on them."""
+        X = rng.randn(300, 2)
+        y = (X[:, 0] > 0).astype(int)
+        context = SharedBinContext(X, max_bins=32)
+        tree = DecisionTreeClassifier(max_depth=4, max_bins=32).fit(
+            context.all_rows(), y
+        )
+        reference = build_tree(
+            context.codes, y, np.ones(len(y)), context.binner,
+            n_classes=2, max_depth=4,
+        )
+        assert np.array_equal(tree.tree_.feature, reference.feature)
+        assert np.array_equal(tree.tree_.threshold, reference.threshold)
+        assert tree._shared_bin_context is context
+        assert tree._member_remap is None
+
+    def test_tree_fit_on_fine_view_requantizes_onto_shared_edges(self, rng):
+        """Fine context: the member derives its own cuts, and every fitted
+        threshold is exactly one of the shared fine edges."""
+        X = rng.randn(400, 2)
+        y = (X[:, 0] * X[:, 1] > 0).astype(int)
+        context = SharedBinContext(X, max_bins=255)
+        tree = DecisionTreeClassifier(max_depth=5, max_bins=16).fit(
+            context.all_rows(), y
+        )
+        assert tree._member_remap is not None
+        assert int(tree._member_binner.n_bins_.max()) <= 16
+        internal = tree.tree_.feature >= 0
+        for f, thr in zip(tree.tree_.feature[internal], tree.tree_.threshold[internal]):
+            assert thr in context.binner.edges_[f]
+        # requantized member codes agree with the member binner's transform
+        member_codes = tree._member_remap[
+            np.arange(2)[None, :], context.codes
+        ]
+        assert np.array_equal(member_codes, tree._member_binner.transform(X))
+
+    def test_balanced_fit_rows(self):
+        from repro.fastpath.bincontext import balanced_fit_rows
+
+        y = np.array([0] * 90 + [1] * 10)
+        rows = balanced_fit_rows(y)
+        assert len(rows) == 20
+        assert (y[rows] == 1).sum() == 10
+        assert balanced_fit_rows(np.array([1, 1, 0])) is None
+
+    def test_pickle_drops_matrix_keeps_binner(self, rng):
+        import pickle
+
+        X = rng.randn(50, 2)
+        context = SharedBinContext(X, max_bins=8)
+        restored = pickle.loads(pickle.dumps(context))
+        assert restored.codes is None and restored.X is None
+        assert np.array_equal(
+            restored.binner.transform(X), context.binner.transform(X)
+        )
+        with pytest.raises(ValueError, match="unpickled"):
+            restored.view(np.arange(3))
+
+
+# --------------------------------------------------------------------- #
+class TestPackedKernel:
+    def test_apply_matches_tree_apply(self, rng):
+        X = rng.randn(400, 3)
+        y = (X[:, 0] * X[:, 1] > 0).astype(int)
+        trees = [DecisionTreeClassifier(max_depth=d, random_state=d).fit(X, y)
+                 for d in (1, 4, 8)]
+        forest = PackedForest.from_estimators(trees, np.array([0, 1]))
+        leaves = forest.apply(X)
+        for t, est in enumerate(trees):
+            # node ids are renumbered at pack time; the routed leaf values
+            # must agree with the per-tree evaluation exactly
+            assert np.array_equal(forest.value[leaves[t]], est.predict_proba(X))
+
+    def test_fused_and_segmented_agree(self, rng):
+        """Small batches take the fused kernel, large the segmented one —
+        force both over the same rows and compare."""
+        import repro.fastpath.packed as packed_mod
+
+        X = rng.randn(2000, 2)
+        y = (X[:, 0] > 0).astype(int)
+        trees = [DecisionTreeClassifier(max_depth=6, random_state=s).fit(X, y)
+                 for s in range(4)]
+        forest = PackedForest.from_estimators(trees, np.array([0, 1]))
+        original = packed_mod._FUSED_LANES
+        try:
+            packed_mod._FUSED_LANES = 1 << 30
+            fused = forest.apply(X)
+            packed_mod._FUSED_LANES = 0
+            segmented = forest.apply(X)
+        finally:
+            packed_mod._FUSED_LANES = original
+        assert np.array_equal(fused, segmented)
+
+    def test_scoring_matrix_dtype_ladder(self, rng):
+        low_card = np.repeat(np.arange(4.0), 25).reshape(-1, 1)
+        assert ScoringMatrix(low_card).codes.dtype == np.uint8
+        high_card = rng.randn(60000, 1)
+        assert ScoringMatrix(high_card).codes.dtype == np.uint16
+
+
+# --------------------------------------------------------------------- #
+class TestInferencePayloads:
+    def test_payload_registry_cleaned_up(self, rng):
+        X = rng.randn(300, 2)
+        y = (X[:, 0] > 0).astype(int)
+        trees = [DecisionTreeClassifier(max_depth=2, random_state=s).fit(X, y)
+                 for s in range(3)]
+        for backend in ("serial", "thread", "process"):
+            ensemble_predict_proba(
+                trees, X, np.array([0, 1]), packed="never",
+                backend=backend, n_jobs=2, chunk_size=64,
+            )
+            assert not _SHARED_PAYLOADS, backend
+
+    def test_process_backend_tasks_carry_no_estimators(self, rng):
+        """Task payloads carry only (key, block id, row chunk) — estimators
+        travel once per worker through the pool initializer, and a worker
+        never receives more than one chunk of the matrix per task."""
+        import pickle
+
+        from repro.parallel import inference
+
+        X = rng.randn(500, 2)
+        y = (X[:, 0] > 0).astype(int)
+        trees = [DecisionTreeClassifier(max_depth=3, random_state=s).fit(X, y)
+                 for s in range(9)]
+        seen = []
+        original = inference.parallel_map
+
+        def spy(fn, tasks, **kwargs):
+            seen.append((list(tasks), kwargs))
+            return original(fn, tasks, **kwargs)
+
+        inference.parallel_map = spy
+        try:
+            ensemble_predict_proba(
+                trees, X, np.array([0, 1]), packed="never", chunk_size=100
+            )
+        finally:
+            inference.parallel_map = original
+        tasks, kwargs = seen[0]
+        assert len(tasks) == 5 * 2  # 5 row spans x 2 estimator blocks
+        chunk_bytes = 100 * 2 * 8
+        for task in tasks:
+            assert len(pickle.dumps(task)) < chunk_bytes + 500  # no estimators
+        assert kwargs["initializer"] is not None
+
+    def test_executor_initializer_runs_on_serial_path(self):
+        state = {}
+        parallel_map(
+            lambda t: state["k"] + t, [1, 2], backend="serial",
+            initializer=lambda v: state.__setitem__("k", v), initargs=(10,),
+        )
+
+    def test_packed_path_rejects_non_finite_like_chunked(self, rng):
+        """The packed path must not silently accept rows the chunked path
+        rejects — NaN input raises the same validation error on both."""
+        from repro.exceptions import DataValidationError
+
+        X = rng.randn(50, 2)
+        y = (X[:, 0] > 0).astype(int)
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        X_bad = X.copy()
+        X_bad[3, 1] = np.nan
+        for packed in ("auto", "never"):
+            with pytest.raises(DataValidationError):
+                ensemble_predict_proba(
+                    [tree], X_bad, np.array([0, 1]), packed=packed
+                )
+
+    def test_pack_cache_entries_die_with_the_ensemble(self, rng):
+        """The weak-keyed pack cache must not keep estimators alive."""
+        import gc
+        import weakref
+
+        X = rng.randn(60, 2)
+        y = (X[:, 0] > 0).astype(int)
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        ensemble_predict_proba([tree], X, np.array([0, 1]))
+        ref = weakref.ref(tree)
+        del tree
+        gc.collect()
+        assert ref() is None
+
+
+# --------------------------------------------------------------------- #
+class TestConfigSwitch:
+    def test_env_and_override(self, monkeypatch):
+        assert fastpath_enabled()
+        with fastpath_disabled():
+            assert not fastpath_enabled()
+        assert fastpath_enabled()
+        monkeypatch.setenv("REPRO_FASTPATH", "0")
+        assert not fastpath_enabled()
+        set_fastpath(True)
+        try:
+            assert fastpath_enabled()
+        finally:
+            set_fastpath(None)
