@@ -1,0 +1,176 @@
+"""Serving path: cold artifact load latency + warm micro-batch latency.
+
+Measures the production loop the persistence + serving subsystem exists
+for — train once, save, then serve heavy traffic:
+
+* **cold load** — ``load_model`` + ``ModelServer`` construction (which
+  eagerly builds the packed kernel / code table), i.e. the time from
+  "process starts" to "first request can be served warm";
+* **warm micro-batch latency** — p50/p99 per-request latency through the
+  server's batching queue at request sizes 1 / 64 / 512, for both a
+  default-config SPE (packed-forest kernel) and a shared-binning SPE
+  (compiled code table).
+
+Correctness is asserted on every configuration: the loaded server's
+probabilities must be *bit-identical* to the in-process model's. No
+latency floor is asserted (shared CI runners flake); the numbers are
+recorded in ``BENCH_serving.json`` for trend tracking.
+
+``REPRO_SCALE`` scales the dataset; runs standalone or under pytest like
+every other bench.
+"""
+
+import json
+import os
+import pathlib
+import tempfile
+import time
+
+import numpy as np
+
+from conftest import bench_scale, save_result
+
+from repro.core import SelfPacedEnsembleClassifier
+from repro.datasets import make_checkerboard
+from repro.persistence import load_model, save_model
+from repro.serving import ModelServer
+from repro.tree import DecisionTreeClassifier
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+ARTIFACT = REPO_ROOT / "BENCH_serving.json"
+BATCH_SIZES = (1, 64, 512)
+N_ESTIMATORS = 10
+COLD_REPEATS = 5
+
+
+def _percentiles(latencies_ms):
+    arr = np.asarray(latencies_ms)
+    return {
+        "p50_ms": round(float(np.percentile(arr, 50)), 4),
+        "p99_ms": round(float(np.percentile(arr, 99)), 4),
+    }
+
+
+def _bench_variant(name, clf, X_serve, tmp_dir, requests_per_batch):
+    path = os.path.join(tmp_dir, f"{name}.npz")
+    save_model(clf, path)
+    artifact_kb = round(os.path.getsize(path) / 1024, 1)
+
+    cold = []
+    for _ in range(COLD_REPEATS):
+        start = time.perf_counter()
+        server = ModelServer(load_model(path))
+        cold.append((time.perf_counter() - start) * 1e3)
+        server.close()
+    server = ModelServer(load_model(path))
+    assert server.packed_, f"{name}: artifact did not load into a packed kernel"
+
+    batches = {}
+    for batch in BATCH_SIZES:
+        n_requests = requests_per_batch[batch]
+        rows = [
+            X_serve[(i * batch) % (len(X_serve) - batch) :][:batch]
+            for i in range(n_requests)
+        ]
+        # bit-identity of the served path vs the in-process model
+        assert np.array_equal(server.predict_proba(rows[0]), clf.predict_proba(rows[0]))
+        latencies = []
+        for chunk in rows:
+            start = time.perf_counter()
+            server.predict_proba(chunk)
+            latencies.append((time.perf_counter() - start) * 1e3)
+        batches[str(batch)] = {"n_requests": n_requests, **_percentiles(latencies)}
+    server.close()
+    return {
+        "artifact_kb": artifact_kb,
+        "cold_load_ms": _percentiles(cold) | {"repeats": COLD_REPEATS},
+        "warm_batches": batches,
+        "code_table": True if name == "spe_codetable" else False,
+    }
+
+
+def run_serving_bench(scale: float) -> dict:
+    n_min = max(60, int(500 * scale))
+    n_maj = max(600, int(50000 * scale))
+    X, y = make_checkerboard(n_min, n_maj, random_state=0)
+    X_serve, _ = make_checkerboard(n_min, n_maj, random_state=1000)
+    base = DecisionTreeClassifier(max_depth=8, random_state=0)
+    requests_per_batch = {1: max(50, int(200 * scale)), 64: 50, 512: 20}
+
+    results = {}
+    with tempfile.TemporaryDirectory() as tmp_dir:
+        spe = SelfPacedEnsembleClassifier(
+            estimator=base, n_estimators=N_ESTIMATORS, random_state=0
+        ).fit(X, y)
+        results["spe_packed"] = _bench_variant(
+            "spe_packed", spe, X_serve, tmp_dir, requests_per_batch
+        )
+        spe_shared = SelfPacedEnsembleClassifier(
+            estimator=base,
+            n_estimators=N_ESTIMATORS,
+            shared_binning=True,
+            random_state=0,
+        ).fit(X, y)
+        results["spe_codetable"] = _bench_variant(
+            "spe_codetable", spe_shared, X_serve, tmp_dir, requests_per_batch
+        )
+
+    return {
+        "benchmark": "serving",
+        "dataset": {
+            "name": "checkerboard",
+            "n_minority": n_min,
+            "n_majority": n_maj,
+            "n_features": int(X.shape[1]),
+            "imbalance_ratio": round(n_maj / n_min, 1),
+        },
+        "config": {
+            "n_estimators": N_ESTIMATORS,
+            "max_depth": 8,
+            "batch_sizes": list(BATCH_SIZES),
+        },
+        "cpu_count": os.cpu_count(),
+        "results": results,
+        "headline": {
+            "cold_load_p50_ms": results["spe_codetable"]["cold_load_ms"]["p50_ms"],
+            "batch1_p50_ms": results["spe_codetable"]["warm_batches"]["1"]["p50_ms"],
+            "bit_identical": True,
+        },
+    }
+
+
+def _render(report: dict) -> str:
+    ds = report["dataset"]
+    lines = [
+        "Serving latency (checkerboard "
+        f"|P|={ds['n_minority']}, |N|={ds['n_majority']}, IR={ds['imbalance_ratio']}, "
+        f"{report['config']['n_estimators']} trees) — served == in-process, bit-identical",
+        f"{'variant':<16} {'cold p50':>10} {'b=1 p50/p99':>16} {'b=64 p50/p99':>16} "
+        f"{'b=512 p50/p99':>16}",
+    ]
+    for name, res in report["results"].items():
+        batches = res["warm_batches"]
+        lines.append(
+            f"{name:<16} {res['cold_load_ms']['p50_ms']:>8.2f}ms "
+            + " ".join(
+                f"{batches[str(b)]['p50_ms']:>7.3f}/{batches[str(b)]['p99_ms']:<7.3f}"
+                for b in (1, 64, 512)
+            )
+        )
+    return "\n".join(lines)
+
+
+def run_and_save() -> dict:
+    report = run_serving_bench(bench_scale())
+    ARTIFACT.write_text(json.dumps(report, indent=2) + "\n")
+    save_result("serving", _render(report))
+    print(f"wrote {ARTIFACT}")
+    return report
+
+
+def test_serving_bench(run_once):
+    run_once(run_and_save)
+
+
+if __name__ == "__main__":
+    run_and_save()

@@ -20,12 +20,16 @@ Quickstart
 from .base import BaseEstimator, ClassifierMixin, clone, is_classifier
 from .core import SelfPacedEnsembleClassifier
 from .streaming import StreamingSelfPacedEnsembleClassifier
+from .persistence import load_model, save_model
+from .serving import ModelServer
 from .exceptions import (
     ConvergenceWarning,
     DataValidationError,
     NotEnoughSamplesError,
     NotFittedError,
+    PersistenceError,
     ReproError,
+    ServerOverloadedError,
 )
 
 __version__ = "1.0.0"
@@ -37,10 +41,15 @@ __all__ = [
     "is_classifier",
     "SelfPacedEnsembleClassifier",
     "StreamingSelfPacedEnsembleClassifier",
+    "load_model",
+    "save_model",
+    "ModelServer",
     "ConvergenceWarning",
     "DataValidationError",
     "NotEnoughSamplesError",
     "NotFittedError",
+    "PersistenceError",
     "ReproError",
+    "ServerOverloadedError",
     "__version__",
 ]

@@ -38,11 +38,12 @@ from ..fastpath import (
 )
 from ..parallel import ensemble_predict_proba, fit_ensemble_member
 from ..utils.validation import (
+    BinaryLabelEncoderMixin,
     check_array,
-    check_binary_labels,
     check_is_fitted,
     check_random_state,
     check_X_y,
+    encode_binary_labels,
 )
 from .binning import (
     HardnessBins,
@@ -254,7 +255,9 @@ class InMemoryMajorityAccess:
         return table.table[cells, 1]
 
 
-class SelfPacedEnsembleClassifier(BaseEstimator, ClassifierMixin):
+class SelfPacedEnsembleClassifier(
+    BaseEstimator, ClassifierMixin, BinaryLabelEncoderMixin
+):
     """Self-paced Ensemble (SPE) for highly imbalanced binary classification.
 
     Parameters
@@ -316,10 +319,17 @@ class SelfPacedEnsembleClassifier(BaseEstimator, ClassifierMixin):
 
     Attributes
     ----------
-    estimators_ : fitted base models.
+    estimators_ : fitted base models (trained on the internal 0/1 encoding).
+    classes_ : sorted array of the two original labels; ``predict`` returns
+        values from it and ``predict_proba`` columns follow its order.
+        Arbitrary binary label alphabets ({-1, 1}, strings, ...) are
+        accepted: ``fit`` maps the rarer label (tie → the second sorted
+        label) to the internal minority code 1.
+    minority_class_ / majority_class_ : the original labels assigned to the
+        internal minority (1) / majority (0) codes.
     n_training_samples_ : total training samples over all base fits.
     train_curve_ : per-iteration eval AUCPRC (only with ``fit(..., eval_set)``).
-    bin_history_ : list of ``(alpha, majority_bins, subset_bins)`` tuples
+    bin_history_ : list of 3-tuples ``(alpha, majority_bins, subset_bins)``
         (only with ``record_bins=True``) — the Fig 3 data.
 
     Examples
@@ -372,15 +382,19 @@ class SelfPacedEnsembleClassifier(BaseEstimator, ClassifierMixin):
             ) from None
 
     def _proba_pos(self, model, X: np.ndarray) -> np.ndarray:
-        """Positive-class probability, robust to single-class base fits.
+        """Minority-class probability, robust to single-class base fits.
 
-        Scored through the chunked inference engine so large majority sets
-        stream in cache-friendly blocks, split across ``n_jobs`` workers.
+        Base models are always trained on the internal 0/1 encoding
+        (0 = majority, 1 = minority) regardless of the original label
+        alphabet, so the class vector here is the internal one — column 1 is
+        the minority probability whatever ``classes_`` holds. Scored through
+        the chunked inference engine so large majority sets stream in
+        cache-friendly blocks, split across ``n_jobs`` workers.
         """
         return ensemble_predict_proba(
             [model],
             X,
-            np.array([0, 1]),
+            np.array([0, 1]),  # the internal encoding, not classes_
             n_jobs=self.n_jobs,
             backend=self.backend,
             chunk_size=self.chunk_size,
@@ -399,9 +413,9 @@ class SelfPacedEnsembleClassifier(BaseEstimator, ClassifierMixin):
         if self.k_bins < 1:
             raise ValueError("k_bins must be >= 1")
         X, y = check_X_y(X, y)
-        y = check_binary_labels(y)
+        classes, y, minority_idx = encode_binary_labels(y)
+        self._set_label_encoding(classes, minority_idx)
         rng = check_random_state(self.random_state)
-        self.classes_ = np.unique(y)
         maj_idx = np.flatnonzero(y == 0)
         min_idx = np.flatnonzero(y == 1)
         if len(min_idx) == 0 or len(maj_idx) == 0:
@@ -440,11 +454,16 @@ class SelfPacedEnsembleClassifier(BaseEstimator, ClassifierMixin):
 
         self.estimators_: List = []
         self.n_training_samples_ = 0
-        self.bin_history_: List[Tuple[float, HardnessBins]] = []
+        # One entry per recorded iteration: (alpha, majority_bins, subset_bins)
+        # — the bins over the full majority hardness and over the selected
+        # subset's hardness (shape pinned by tests/test_core_self_paced.py).
+        self.bin_history_: List[Tuple[float, HardnessBins, HardnessBins]] = []
         self.train_curve_: List[float] = []
         if eval_set is not None:
             X_eval = check_array(np.asarray(eval_set[0], dtype=float))
-            y_eval = np.asarray(eval_set[1])
+            # Eval labels arrive in the original alphabet; AUCPRC needs the
+            # internal 0/1 codes.
+            y_eval = self._encode_labels(np.asarray(eval_set[1]))
             proba_eval = np.zeros(X_eval.shape[0])
 
         sample_fn = partial(_majority_union_minority_sample, X_min=X_min)
@@ -505,15 +524,38 @@ class SelfPacedEnsembleClassifier(BaseEstimator, ClassifierMixin):
     def predict_proba(self, X) -> np.ndarray:
         check_is_fitted(self, ["estimators_"])
         X = check_array(X)
-        return ensemble_predict_proba(
+        internal = ensemble_predict_proba(
             self._voting_estimators(),
             X,
-            self.classes_,
+            np.array([0, 1]),  # members are fitted on the internal encoding
             n_jobs=self.n_jobs,
             backend=self.backend,
             chunk_size=self.chunk_size,
         )
+        return self._decode_proba(internal)
 
     def predict(self, X) -> np.ndarray:
         proba = self.predict_proba(X)
         return self.classes_[np.argmax(proba, axis=1)]
+
+    # ------------------------------------------------------------------ #
+    def __serving_ensemble__(self):
+        """(voting members, member class vector) for serving-time warm-up —
+        the exact pair ``predict_proba`` feeds to the packed-forest cache."""
+        check_is_fitted(self, ["estimators_"])
+        return self._voting_estimators(), np.array([0, 1])
+
+    def __getstate_arrays__(self):
+        """Pickle-free fitted-state export (see :mod:`repro.persistence`)."""
+        check_is_fitted(self, ["estimators_"])
+        from ..persistence.state import export_ensemble_state
+
+        meta, arrays, children = export_ensemble_state(self)
+        meta["n_training_samples"] = int(getattr(self, "n_training_samples_", 0))
+        return meta, arrays, children
+
+    def __setstate_arrays__(self, meta, arrays, children) -> None:
+        from ..persistence.state import restore_ensemble_state
+
+        restore_ensemble_state(self, meta, arrays, children)
+        self.n_training_samples_ = int(meta.get("n_training_samples", 0))

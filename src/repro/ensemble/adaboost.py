@@ -180,3 +180,20 @@ class AdaBoostClassifier(BaseEstimator, ClassifierMixin):
     def predict(self, X) -> np.ndarray:
         scores = self.decision_scores(X)
         return self.classes_[np.argmax(scores, axis=1)]
+
+    # ------------------------------------------------------------------ #
+    def __getstate_arrays__(self):
+        """Pickle-free fitted-state export (see :mod:`repro.persistence`)."""
+        check_is_fitted(self, ["estimators_"])
+        meta = {"n_features_in": int(self.n_features_in_)}
+        arrays = {
+            "classes": np.asarray(self.classes_),
+            "estimator_weights": np.asarray(self.estimator_weights_, dtype=np.float64),
+        }
+        return meta, arrays, {"estimators": list(self.estimators_)}
+
+    def __setstate_arrays__(self, meta, arrays, children) -> None:
+        self.classes_ = np.asarray(arrays["classes"])
+        self.estimator_weights_ = [float(w) for w in arrays["estimator_weights"]]
+        self.estimators_ = list(children["estimators"])
+        self.n_features_in_ = int(meta["n_features_in"])

@@ -148,3 +148,25 @@ class BaggingClassifier(BaseEstimator, ClassifierMixin):
     def predict(self, X) -> np.ndarray:
         proba = self.predict_proba(X)
         return self.classes_[np.argmax(proba, axis=1)]
+
+    # ------------------------------------------------------------------ #
+    def __serving_ensemble__(self):
+        """(voting members, member class vector) for serving-time warm-up.
+
+        Bagging is label-generic already: members are fitted on the raw
+        labels, so the serving class vector is ``classes_`` itself.
+        """
+        check_is_fitted(self, ["estimators_"])
+        return self.estimators_, self.classes_
+
+    def __getstate_arrays__(self):
+        """Pickle-free fitted-state export (see :mod:`repro.persistence`)."""
+        check_is_fitted(self, ["estimators_"])
+        from ..persistence.state import export_ensemble_state
+
+        return export_ensemble_state(self)
+
+    def __setstate_arrays__(self, meta, arrays, children) -> None:
+        from ..persistence.state import restore_ensemble_state
+
+        restore_ensemble_state(self, meta, arrays, children)

@@ -17,5 +17,16 @@ class NotEnoughSamplesError(ReproError, ValueError):
     """Raised when a sampler or estimator needs more samples than provided."""
 
 
+class PersistenceError(ReproError, ValueError):
+    """Raised when a model artifact cannot be written or read: unsupported
+    estimator or hyper-parameter, unknown/newer schema version, or a
+    corrupted file (checksum, dtype, or shape mismatch)."""
+
+
+class ServerOverloadedError(ReproError, RuntimeError):
+    """Raised when a :class:`repro.serving.ModelServer` request queue is at
+    capacity; callers should back off and retry."""
+
+
 class ConvergenceWarning(UserWarning):
     """Emitted when an iterative solver stops before converging."""

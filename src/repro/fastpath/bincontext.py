@@ -130,6 +130,23 @@ class SharedBinContext:
         state["codes"] = None
         return state
 
+    # ------------------------------------------------------------------ #
+    def __getstate_arrays__(self):
+        """Pickle-free export (see :mod:`repro.persistence`): like pickle,
+        only the fine binner and its resolution survive — the training
+        matrix and code cache are fit-time state. The restored context still
+        lets inference compile code tables (that needs only the edges)."""
+        return {"max_bins": int(self.max_bins)}, {}, {"binner": self.binner}
+
+    @classmethod
+    def __from_state_arrays__(cls, meta, arrays, children) -> "SharedBinContext":
+        context = cls.__new__(cls)
+        context.X = None
+        context.codes = None
+        context.max_bins = int(meta["max_bins"])
+        context.binner = children["binner"]
+        return context
+
 
 class BinnedSubset:
     """Lazy row-subset of a :class:`SharedBinContext`.

@@ -53,10 +53,12 @@ class BalanceCascadeClassifier(BaseImbalanceEnsemble):
         self.random_state = random_state
 
     def _ensemble_pos_proba(self, X) -> np.ndarray:
+        # Members train on the internal 0/1 codes whatever the original
+        # label alphabet, so column 1 is always the minority probability.
         return ensemble_predict_proba(
             self.estimators_,
             X,
-            self.classes_,
+            np.array([0, 1]),
             n_jobs=self.n_jobs,
             backend=self.backend,
         )[:, 1]
@@ -94,7 +96,11 @@ class BalanceCascadeClassifier(BaseImbalanceEnsemble):
 
                 proba = self._ensemble_pos_proba(np.asarray(eval_set[0], dtype=float))
                 self.train_curve_.append(
-                    float(average_precision_score(np.asarray(eval_set[1]), proba))
+                    float(
+                        average_precision_score(
+                            self._encode_labels(eval_set[1]), proba
+                        )
+                    )
                 )
 
             if i == T - 1 or len(maj_pool) <= n_min:

@@ -27,11 +27,12 @@ from ..base import BaseEstimator, ClassifierMixin, clone
 from ..ensemble.bagging import make_member_model
 from ..parallel import ensemble_predict_proba, fit_ensemble_parallel
 from ..utils.validation import (
+    BinaryLabelEncoderMixin,
     check_array,
-    check_binary_labels,
     check_is_fitted,
     check_random_state,
     check_X_y,
+    encode_binary_labels,
 )
 
 __all__ = [
@@ -116,7 +117,7 @@ def fit_resampled_ensemble(
     )
 
 
-class BaseImbalanceEnsemble(BaseEstimator, ClassifierMixin):
+class BaseImbalanceEnsemble(BaseEstimator, ClassifierMixin, BinaryLabelEncoderMixin):
     """Common fit plumbing: validation, base-model creation, averaging."""
 
     #: subclasses set these in __init__
@@ -131,11 +132,14 @@ class BaseImbalanceEnsemble(BaseEstimator, ClassifierMixin):
         return make_member_model(rng, self.estimator)
 
     def _validate(self, X, y):
+        """Validate inputs and map arbitrary binary labels to the internal
+        0/1 encoding (minority by frequency → 1); every member model trains
+        on the internal codes, ``predict``/``predict_proba`` decode back."""
         if self.n_estimators < 1:
             raise ValueError("n_estimators must be >= 1")
         X, y = check_X_y(X, y)
-        y = check_binary_labels(y)
-        self.classes_ = np.unique(y)
+        classes, y, minority_idx = encode_binary_labels(y)
+        self._set_label_encoding(classes, minority_idx)
         self.n_features_in_ = X.shape[1]
         return X, y, check_random_state(self.random_state)
 
@@ -143,21 +147,40 @@ class BaseImbalanceEnsemble(BaseEstimator, ClassifierMixin):
         """Source counterpart of :meth:`_validate` for ``fit_source``.
 
         Scans the source once (unless a scan is supplied) and derives the
-        same fitted metadata as the in-memory path. Returns
-        ``(scan, rng)``.
+        same fitted metadata as the in-memory path. Arbitrary binary label
+        alphabets are handled like the in-memory path: a cheap label-only
+        pass determines the encoding, and the index scan runs over an
+        internally encoded view of the source — member training labels come
+        from ``scan.y``, so the fitted members always see 0/1 codes. A
+        *supplied* scan must already carry internal labels (it came from
+        :func:`~repro.streaming.class_index_scan`, which enforces that).
+        Returns ``(scan, rng)``.
         """
-        from ..streaming.sources import class_index_scan
+        from ..streaming.sources import (
+            class_index_scan,
+            encoded_label_source,
+            label_value_scan,
+        )
 
         if self.n_estimators < 1:
             raise ValueError("n_estimators must be >= 1")
         if scan is None:
-            scan = class_index_scan(source, collect_indices=True)
-        elif scan.y is None or scan.maj_idx is None:
-            raise ValueError(
-                "fit_source needs a scan built with collect_indices=True "
-                "(the supplied one carries class counts only)"
+            classes, _, minority_idx = label_value_scan(source)
+            self._set_label_encoding(classes, minority_idx)
+            scan = class_index_scan(
+                encoded_label_source(source, classes, minority_idx),
+                collect_indices=True,
             )
-        self.classes_ = np.unique(scan.y)
+        else:
+            if scan.y is None or scan.maj_idx is None:
+                raise ValueError(
+                    "fit_source needs a scan built with collect_indices=True "
+                    "(the supplied one carries class counts only)"
+                )
+            classes = np.unique(scan.y)
+            self._set_label_encoding(
+                classes, 1 if classes.size == 2 else None
+            )
         self.n_features_in_ = scan.n_features
         return scan, check_random_state(self.random_state)
 
@@ -175,17 +198,39 @@ class BaseImbalanceEnsemble(BaseEstimator, ClassifierMixin):
     def predict_proba(self, X) -> np.ndarray:
         check_is_fitted(self, ["estimators_"])
         X = check_array(X)
-        return ensemble_predict_proba(
+        internal = ensemble_predict_proba(
             self.estimators_,
             X,
-            self.classes_,
+            np.array([0, 1]),  # members are fitted on the internal encoding
             n_jobs=self.n_jobs,
             backend=self.backend,
         )
+        return self._decode_proba(internal)
 
     def predict(self, X) -> np.ndarray:
         proba = self.predict_proba(X)
         return self.classes_[np.argmax(proba, axis=1)]
+
+    # ------------------------------------------------------------------ #
+    def __serving_ensemble__(self):
+        """(voting members, member class vector) for serving-time warm-up."""
+        check_is_fitted(self, ["estimators_"])
+        return self.estimators_, np.array([0, 1])
+
+    def __getstate_arrays__(self):
+        """Pickle-free fitted-state export (see :mod:`repro.persistence`)."""
+        check_is_fitted(self, ["estimators_"])
+        from ..persistence.state import export_ensemble_state
+
+        meta, arrays, children = export_ensemble_state(self)
+        meta["n_training_samples"] = int(getattr(self, "n_training_samples_", 0))
+        return meta, arrays, children
+
+    def __setstate_arrays__(self, meta, arrays, children) -> None:
+        from ..persistence.state import restore_ensemble_state
+
+        restore_ensemble_state(self, meta, arrays, children)
+        self.n_training_samples_ = int(meta.get("n_training_samples", 0))
 
 
 class ResampleEnsembleClassifier(BaseImbalanceEnsemble):

@@ -98,16 +98,21 @@ class SMOTEBoostClassifier(BaseImbalanceEnsemble):
             w /= w.sum()
         return self
 
+    #: Serving warm-up opt-out: predict_proba is an alpha-weighted vote
+    #: over member *predictions*, never the packed probability kernel, so
+    #: pre-packing the member trees would build an unused forest.
+    __serving_ensemble__ = None
+
     def predict_proba(self, X) -> np.ndarray:
         check_is_fitted(self, ["estimators_"])
         X = check_array(X)
         votes = np.zeros((X.shape[0], 2))
         for model, alpha in zip(self.estimators_, self.estimator_weights_):
-            pred = model.predict(X).astype(int)
+            pred = model.predict(X).astype(int)  # internal 0/1 codes
             votes[np.arange(X.shape[0]), pred] += alpha
         totals = votes.sum(axis=1, keepdims=True)
         totals[totals <= 0] = 1.0
-        return votes / totals
+        return self._decode_proba(votes / totals)
 
     def predict(self, X) -> np.ndarray:
         proba = self.predict_proba(X)

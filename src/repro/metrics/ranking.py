@@ -54,6 +54,16 @@ def precision_recall_curve(y_true, y_score):
 
     Returns ``(precision, recall, thresholds)``, ending with the conventional
     ``(1, 0)`` anchor point, recall decreasing along the arrays.
+
+    Length contract (sklearn-style, pinned by
+    ``tests/test_metrics_ranking.py``): ``precision`` and ``recall`` have
+    one entry **more** than ``thresholds`` — the final ``(1, 0)`` anchor has
+    no threshold. For ``i < len(thresholds)``, ``precision[i]`` /
+    ``recall[i]`` are the metrics when classifying positive at
+    ``score >= thresholds[i]``; ``thresholds`` is sorted ascending, so index
+    0 is the lowest (highest-recall) operating point. Serving-threshold
+    tuning (:func:`repro.serving.threshold_for_precision`) relies on this
+    alignment.
     """
     y_true, y_score = _check_ranking_inputs(y_true, y_score)
     n_pos = int(y_true.sum())

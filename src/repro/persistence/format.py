@@ -1,0 +1,291 @@
+"""Versioned, pickle-free ``.npz`` model artifacts.
+
+An artifact is a single numpy ``.npz`` archive:
+
+* ``__header__`` — a UTF-8 JSON document stored as a ``uint8`` array. It
+  carries the format magic, the integer ``schema_version``, a per-array
+  SHA-256 checksum table, and the ``root`` node — a recursive description
+  of the saved estimator: class name, JSON-encoded hyper-parameters, scalar
+  fitted metadata, the attribute → archive-key map for its arrays, and its
+  child objects (member models, binners, the shared bin context).
+* ``a0 .. aN`` — one ``.npy`` member per fitted array (tree node arrays,
+  class vectors, binner edges, ...), exactly the bytes of the live model.
+
+Nothing in the file is ever unpickled: :func:`load_model` reads with
+``allow_pickle=False``, instantiates classes only from the explicit
+registry below, and restores state through each class's
+``__setstate_arrays__`` hook. Checksums are verified before any state is
+rebuilt, so a truncated or bit-flipped artifact fails with a clear
+:class:`~repro.exceptions.PersistenceError` instead of a corrupt model.
+
+Round-trip guarantee (gated by ``tests/test_persistence.py``): for every
+supported ensemble, ``load_model(save_model(clf, path))`` predicts
+**bit-identically** to ``clf`` — the arrays are byte-preserved and every
+inference path (chunked, packed forest, compiled code table; any backend)
+is deterministic in them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import itertools
+import json
+import os
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from ..base import BaseEstimator
+from ..exceptions import PersistenceError
+
+__all__ = ["SCHEMA_VERSION", "load_model", "save_model"]
+
+#: Format magic written into every artifact header.
+MAGIC = "repro-model"
+
+#: Current (and oldest readable) artifact schema version. Bump on any
+#: incompatible layout change; readers reject versions they do not know.
+SCHEMA_VERSION = 1
+
+#: Class name → defining module. Only these classes are ever instantiated
+#: by :func:`load_model`; the class is imported lazily and verified to be
+#: the exact type that was saved (no subclass smuggling).
+_REGISTRY: Dict[str, str] = {
+    "SelfPacedEnsembleClassifier": "repro.core.self_paced",
+    "StreamingSelfPacedEnsembleClassifier": "repro.streaming.self_paced",
+    "RandomForestClassifier": "repro.ensemble.forest",
+    "BaggingClassifier": "repro.ensemble.bagging",
+    "UnderBaggingClassifier": "repro.imbalance_ensemble.under_bagging",
+    "EasyEnsembleClassifier": "repro.imbalance_ensemble.easy_ensemble",
+    "AdaBoostClassifier": "repro.ensemble.adaboost",
+    "DecisionTreeClassifier": "repro.tree.decision_tree",
+    "C45Classifier": "repro.tree.decision_tree",
+    "FeatureBinner": "repro.tree._binning",
+    "SharedBinContext": "repro.fastpath.bincontext",
+}
+
+
+def _registry_class(name: str):
+    module_path = _REGISTRY.get(name)
+    if module_path is None:
+        raise PersistenceError(
+            f"{name} is not a persistable class; supported classes: "
+            f"{sorted(_REGISTRY)}"
+        )
+    return getattr(importlib.import_module(module_path), name)
+
+
+def _digest(arr: np.ndarray) -> str:
+    """SHA-256 over dtype, shape, and raw bytes of an array."""
+    h = hashlib.sha256()
+    h.update(arr.dtype.str.encode())
+    h.update(repr(tuple(arr.shape)).encode())
+    h.update(np.ascontiguousarray(arr).tobytes())
+    return h.hexdigest()
+
+
+# --------------------------------------------------------------------- #
+# hyper-parameter encoding
+# --------------------------------------------------------------------- #
+def _encode_value(name: str, value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, (list, tuple)):
+        return {
+            "__seq__": [_encode_value(name, v) for v in value],
+            "tuple": isinstance(value, tuple),
+        }
+    if isinstance(value, BaseEstimator):
+        cls_name = type(value).__name__
+        if cls_name not in _REGISTRY:
+            raise PersistenceError(
+                f"hyper-parameter {name!r} holds a {cls_name}, which is not "
+                "a persistable estimator class"
+            )
+        return {
+            "__estimator__": cls_name,
+            "params": _encode_params(value.get_params(deep=False)),
+        }
+    if isinstance(value, (np.random.RandomState, np.random.Generator)):
+        # A live RNG cannot round-trip through JSON; inference never uses
+        # it, so it is dropped (the loaded model would refit differently).
+        return {"__dropped__": "random_state"}
+    raise PersistenceError(
+        f"hyper-parameter {name}={value!r} is not serialisable — callables "
+        "and custom objects cannot be written to a model artifact"
+    )
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        if "__seq__" in value:
+            seq = [_decode_value(v) for v in value["__seq__"]]
+            return tuple(seq) if value.get("tuple") else seq
+        if "__estimator__" in value:
+            cls = _registry_class(value["__estimator__"])
+            return cls(**_decode_params(value["params"]))
+        if "__dropped__" in value:
+            return None
+    return value
+
+
+def _encode_params(params: Dict[str, Any]) -> Dict[str, Any]:
+    return {k: _encode_value(k, v) for k, v in params.items()}
+
+
+def _decode_params(params: Dict[str, Any]) -> Dict[str, Any]:
+    return {k: _decode_value(v) for k, v in params.items()}
+
+
+# --------------------------------------------------------------------- #
+# save
+# --------------------------------------------------------------------- #
+def _export(root) -> Tuple[Dict, Dict[str, np.ndarray]]:
+    arrays: Dict[str, np.ndarray] = {}
+    counter = itertools.count()
+
+    def visit(obj) -> Dict:
+        cls = type(obj)
+        registered = _registry_class(cls.__name__)
+        if registered is not cls:
+            raise PersistenceError(
+                f"cannot save {cls.__name__}: it shadows the registered "
+                f"class of the same name"
+            )
+        hook = getattr(obj, "__getstate_arrays__", None)
+        if hook is None:
+            raise PersistenceError(
+                f"{cls.__name__} does not implement __getstate_arrays__"
+            )
+        meta, obj_arrays, children = hook()
+        node: Dict = {
+            "class": cls.__name__,
+            "meta": meta,
+            "arrays": {},
+            "children": {},
+        }
+        if isinstance(obj, BaseEstimator):
+            node["params"] = _encode_params(obj.get_params(deep=False))
+        for attr, arr in obj_arrays.items():
+            arr = np.asarray(arr)
+            if arr.dtype == object:
+                raise PersistenceError(
+                    f"{cls.__name__}.{attr} is an object array; artifacts "
+                    "hold only plain numeric/string dtypes"
+                )
+            key = f"a{next(counter)}"
+            arrays[key] = arr
+            node["arrays"][attr] = key
+        for child_name, child in children.items():
+            if isinstance(child, (list, tuple)):
+                node["children"][child_name] = [visit(c) for c in child]
+            else:
+                node["children"][child_name] = visit(child)
+        return node
+
+    return visit(root), arrays
+
+
+def save_model(model, path) -> str:
+    """Write a fitted model to a versioned, pickle-free ``.npz`` artifact.
+
+    Supports every ensemble in the library (SPE, random forest, bagging,
+    UnderBagging, EasyEnsemble, streaming SPE) plus their member models;
+    raises :class:`~repro.exceptions.PersistenceError` for unsupported
+    classes or hyper-parameters and
+    :class:`~repro.exceptions.NotFittedError` for unfitted models. Returns
+    the path written.
+    """
+    root, arrays = _export(model)
+    header = {
+        "format": MAGIC,
+        "schema_version": SCHEMA_VERSION,
+        "checksums": {key: _digest(arr) for key, arr in arrays.items()},
+        "root": root,
+    }
+    header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+    payload = dict(arrays)
+    payload["__header__"] = np.frombuffer(header_bytes, dtype=np.uint8)
+    path = os.fspath(path)
+    # savez appends ".npz" to *paths* but writes file objects verbatim.
+    with open(path, "wb") as handle:
+        np.savez(handle, **payload)
+    return path
+
+
+# --------------------------------------------------------------------- #
+# load
+# --------------------------------------------------------------------- #
+def _restore(node: Dict, data) -> Any:
+    cls = _registry_class(node["class"])
+    arrays = {}
+    for attr, key in node["arrays"].items():
+        if key not in data:  # referenced but absent from the checksum table
+            raise PersistenceError(
+                f"corrupted artifact — header references unverified array "
+                f"{key!r} ({node['class']}.{attr})"
+            )
+        arrays[attr] = data[key]
+    children: Dict = {}
+    for child_name, child in node["children"].items():
+        if isinstance(child, list):
+            children[child_name] = [_restore(c, data) for c in child]
+        else:
+            children[child_name] = _restore(child, data)
+    if "params" in node:
+        obj = cls(**_decode_params(node["params"]))
+        obj.__setstate_arrays__(node["meta"], arrays, children)
+        return obj
+    return cls.__from_state_arrays__(node["meta"], arrays, children)
+
+
+def load_model(path):
+    """Load a model artifact written by :func:`save_model`.
+
+    Verifies the format magic, the schema version (artifacts from a newer
+    schema are rejected with a clear error rather than misread), and the
+    SHA-256 checksum of every array *before* any state is reconstructed.
+    The returned estimator predicts bit-identically to the one saved.
+    """
+    path = os.fspath(path)
+    try:
+        data = np.load(path, allow_pickle=False)
+    except (OSError, ValueError) as exc:
+        raise PersistenceError(f"{path}: not a readable model artifact ({exc})") from exc
+    with data:
+        if "__header__" not in data:
+            raise PersistenceError(f"{path}: missing artifact header")
+        try:
+            header = json.loads(bytes(bytearray(data["__header__"])).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise PersistenceError(f"{path}: corrupted artifact header") from exc
+        if header.get("format") != MAGIC:
+            raise PersistenceError(f"{path}: not a {MAGIC} artifact")
+        version = header.get("schema_version")
+        if not isinstance(version, int) or not 1 <= version <= SCHEMA_VERSION:
+            raise PersistenceError(
+                f"{path}: unsupported schema version {version!r}; this build "
+                f"reads versions 1..{SCHEMA_VERSION}"
+            )
+        checksums = header.get("checksums", {})
+        loaded: Dict[str, np.ndarray] = {}
+        for key, digest in checksums.items():
+            if key not in data:
+                raise PersistenceError(
+                    f"{path}: corrupted artifact — array {key!r} is missing"
+                )
+            arr = data[key]
+            if _digest(arr) != digest:
+                raise PersistenceError(
+                    f"{path}: corrupted artifact — checksum mismatch on "
+                    f"array {key!r}"
+                )
+            loaded[key] = arr
+        if "root" not in header:
+            raise PersistenceError(f"{path}: artifact header has no root node")
+        return _restore(header["root"], loaded)

@@ -1,0 +1,92 @@
+"""Shared fitted-state export/import helpers for estimator hooks.
+
+Every persistable class implements the two-method protocol
+
+* ``__getstate_arrays__() -> (meta, arrays, children)`` — JSON-safe scalar
+  metadata, named numpy arrays, and nested persistable objects (a single
+  object or a list per child slot);
+* ``__setstate_arrays__(meta, arrays, children)`` — restore the fitted
+  state onto a parameter-initialised instance (or, for non-estimator
+  helpers, the classmethod ``__from_state_arrays__``).
+
+The six ensemble classifiers share one shape — ``classes_`` + label
+encoding + member list + (optionally) the one :class:`SharedBinContext`
+all tree members were fitted against — so their hooks delegate to the two
+functions here. The shared context is exported exactly once at the
+ensemble level and re-attached to every tree member on restore, preserving
+the *same-instance* invariant the code-table compiler keys on.
+
+This module is import-light on purpose (numpy only): estimator modules
+import it lazily from inside their hooks, so persistence never creates an
+import cycle with the estimator layers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "common_shared_context",
+    "export_ensemble_state",
+    "restore_ensemble_state",
+]
+
+
+def common_shared_context(members: Sequence):
+    """The one ``SharedBinContext`` every member was fitted against, or
+    ``None`` (mirrors the identity check of the code-table compiler)."""
+    if not members:
+        return None
+    context = getattr(members[0], "_shared_bin_context", None)
+    if context is None:
+        return None
+    for member in members[1:]:
+        if getattr(member, "_shared_bin_context", None) is not context:
+            return None
+    return context
+
+
+def export_ensemble_state(est) -> Tuple[Dict, Dict, Dict]:
+    """(meta, arrays, children) for a fitted ensemble classifier.
+
+    Covers the prediction-relevant state every ensemble shares:
+    ``classes_``, the internal minority mapping (when the ensemble is
+    label-encoded), ``n_features_in_``, the member models, and the shared
+    bin context (exported once). Fit-time diagnostics (``train_curve_``,
+    ``bin_history_``) are deliberately not persisted.
+    """
+    classes = np.asarray(est.classes_)
+    meta: Dict = {"n_features_in": int(est.n_features_in_)}
+    minority = getattr(est, "minority_class_", None)
+    if minority is not None:
+        meta["minority_class_index"] = int(
+            np.flatnonzero(classes == minority)[0]
+        )
+    members = list(est.estimators_)
+    children: Dict = {"estimators": members}
+    context = common_shared_context(members)
+    if context is not None:
+        children["shared_bin_context"] = context
+    return meta, {"classes": classes}, children
+
+
+def restore_ensemble_state(est, meta: Dict, arrays: Dict, children: Dict) -> None:
+    """Inverse of :func:`export_ensemble_state` (mutates ``est``)."""
+    est.classes_ = np.asarray(arrays["classes"])
+    minority_idx: Optional[int] = meta.get("minority_class_index")
+    if minority_idx is not None:
+        est.minority_class_ = est.classes_[minority_idx]
+        est.majority_class_ = est.classes_[1 - minority_idx]
+    elif hasattr(type(est), "_encode_labels"):
+        # Label-encoded ensemble saved from a degenerate single-class fit.
+        est.minority_class_ = None
+        est.majority_class_ = est.classes_[0]
+    est.estimators_ = list(children["estimators"])
+    est.n_features_in_ = int(meta["n_features_in"])
+    context = children.get("shared_bin_context")
+    if context is not None:
+        for member in est.estimators_:
+            if hasattr(member, "tree_"):
+                member._shared_bin_context = context

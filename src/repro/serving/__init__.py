@@ -1,0 +1,13 @@
+"""Model serving: load artifacts into warm kernels, micro-batch requests.
+
+:class:`ModelServer` loads a :mod:`repro.persistence` artifact (or wraps a
+live fitted ensemble) with the packed inference kernel pre-built, serves
+``predict_proba`` over a bounded micro-batching queue, and classifies with
+a tunable decision threshold instead of the hard-coded argmax.
+:func:`threshold_for_precision` derives that threshold from a validation
+PR curve. See ``DESIGN.md`` → "Serving".
+"""
+
+from .server import ModelServer, threshold_for_precision
+
+__all__ = ["ModelServer", "threshold_for_precision"]

@@ -1,0 +1,289 @@
+"""Model serving: warm artifact loading, micro-batching, thresholding.
+
+:class:`ModelServer` turns a fitted (or persisted) ensemble into a serving
+endpoint:
+
+* **Warm loading** — given an artifact path, the model is restored through
+  :func:`repro.persistence.load_model` and its packed inference kernel
+  (:class:`~repro.fastpath.PackedForest`, plus the compiled
+  :class:`~repro.fastpath.CodeTable` for shared-binner ensembles) is built
+  *at construction*, through the model's ``__serving_ensemble__`` hook —
+  the very ``(estimators, classes)`` pair ``predict_proba`` feeds to the
+  pack cache — so the first request pays only the kernel, never a re-pack.
+* **Micro-batching** — requests submitted through :meth:`submit` enter a
+  *bounded* queue (overflow raises
+  :class:`~repro.exceptions.ServerOverloadedError` instead of growing
+  without limit) and a single worker thread drains up to ``max_batch`` rows
+  per kernel call: concurrent small requests coalesce into one batched
+  ``predict_proba``, the serving pattern the packed kernels are fastest at.
+  Results come back through futures; batching never changes a result
+  because the batch rows are scored by one deterministic kernel call and
+  split back per request.
+* **Thresholding** — :meth:`predict` classifies by comparing the positive
+  (minority) class probability against the tunable :attr:`threshold`
+  instead of the estimators' hard-coded 0.5 argmax; on heavily imbalanced
+  traffic the operating point is a product decision, not a constant.
+  :func:`threshold_for_precision` picks the threshold from a validation
+  set's PR curve.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ServerOverloadedError
+from ..fastpath import fastpath_enabled
+from ..fastpath.codetable import cached_packed_ensemble
+from ..metrics.ranking import precision_recall_curve
+from ..utils.validation import check_is_fitted
+
+__all__ = ["ModelServer", "threshold_for_precision"]
+
+_STOP = object()
+
+
+def threshold_for_precision(y_true, y_score, min_precision: float) -> float:
+    """Lowest decision threshold whose precision meets ``min_precision``.
+
+    Relies on the documented length contract of
+    :func:`repro.metrics.precision_recall_curve`: ``precision[i]`` is the
+    precision when classifying positive at score ``>= thresholds[i]`` for
+    every ``i < len(thresholds)`` (the final ``(1, 0)`` anchor has no
+    threshold). Scanning from index 0 — the lowest threshold, hence the
+    highest recall — the first point meeting the precision target is the
+    highest-recall operating point that meets it.
+    """
+    precision, _, thresholds = precision_recall_curve(y_true, y_score)
+    ok = np.flatnonzero(precision[: len(thresholds)] >= min_precision)
+    if ok.size == 0:
+        raise ValueError(
+            f"no threshold reaches precision {min_precision}; max achievable "
+            f"is {float(precision[:-1].max())}"
+        )
+    return float(thresholds[ok[0]])
+
+
+class ModelServer:
+    """Serve a fitted ensemble (or a persisted artifact) over micro-batches.
+
+    Parameters
+    ----------
+    model : fitted classifier, or str / path
+        A path is loaded through :func:`repro.persistence.load_model`.
+    threshold : float in [0, 1], default 0.5
+        Decision threshold on the positive-class probability used by
+        :meth:`predict`; writable at runtime (``server.threshold = t``).
+    max_batch : int, default 256
+        Maximum rows coalesced into one kernel call by the batching worker.
+    max_pending : int, default 4096
+        Bound on queued requests; :meth:`submit` raises
+        :class:`~repro.exceptions.ServerOverloadedError` beyond it.
+
+    Attributes
+    ----------
+    packed_ : bool — the model was packed into a warm ``PackedForest``.
+    code_table_ : bool — a compiled ``CodeTable`` additionally serves it.
+    n_requests_ / n_batches_ : served-traffic counters (micro-batching
+        efficiency = requests per batch).
+
+    Examples
+    --------
+    >>> from repro.serving import ModelServer
+    >>> server = ModelServer(clf, threshold=0.3)          # doctest: +SKIP
+    >>> proba = server.predict_proba(X_batch)             # doctest: +SKIP
+    >>> labels = server.predict(X_batch)                  # doctest: +SKIP
+    >>> server.close()                                    # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        model,
+        *,
+        threshold: float = 0.5,
+        max_batch: int = 256,
+        max_pending: int = 4096,
+    ):
+        if isinstance(model, (str, bytes)) or hasattr(model, "__fspath__"):
+            from ..persistence import load_model
+
+            model = load_model(model)
+        check_is_fitted(model)
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self.model = model
+        self.max_batch = int(max_batch)
+        self.threshold = threshold
+        self._queue: "queue.Queue" = queue.Queue(maxsize=int(max_pending))
+        self._worker: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        self._closed = False
+        self.n_requests_ = 0
+        self.n_batches_ = 0
+        self._classes = np.asarray(getattr(model, "classes_", np.array([0, 1])))
+        self._positive_idx = self._resolve_positive_idx()
+        self.packed_ = False
+        self.code_table_ = False
+        self._warm()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def threshold(self) -> float:
+        """Decision threshold on the positive-class probability."""
+        return self._threshold
+
+    @threshold.setter
+    def threshold(self, value: float) -> None:
+        value = float(value)
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {value}")
+        self._threshold = value
+
+    @property
+    def positive_class(self):
+        """The label :meth:`predict` emits when the thresholded probability
+        clears :attr:`threshold` (the minority class when known)."""
+        return self._classes[self._positive_idx]
+
+    def _resolve_positive_idx(self) -> int:
+        minority = getattr(self.model, "minority_class_", None)
+        if minority is not None:
+            return int(np.flatnonzero(self._classes == minority)[0])
+        # Label-generic ensembles (forest/bagging): by the library's
+        # convention the higher-sorted label is the positive one.
+        return len(self._classes) - 1
+
+    def _warm(self) -> None:
+        """Build the packed kernel now so the first request never re-packs.
+
+        Uses the model's ``__serving_ensemble__`` hook to warm the exact
+        cache entry ``predict_proba`` will hit; models without the hook (or
+        with non-packable members) serve through their normal path.
+        """
+        hook = getattr(self.model, "__serving_ensemble__", None)
+        if hook is None or not fastpath_enabled():
+            return
+        estimators, classes = hook()
+        entry = cached_packed_ensemble(list(estimators), classes)
+        if entry is not None:
+            self.packed_ = True
+            self.code_table_ = entry[1] is not None
+
+    # ------------------------------------------------------------------ #
+    def submit(self, rows) -> Future:
+        """Queue rows for scoring; the future resolves to their
+        ``predict_proba`` matrix (columns follow ``model.classes_``)."""
+        rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+        future: Future = Future()
+        # Enqueue under the lock: close() also holds it while setting
+        # _closed and enqueuing the stop sentinel, so a request can never
+        # slip in after the sentinel (its future would otherwise hang).
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("ModelServer is closed")
+            if self._worker is None:
+                self._worker = threading.Thread(
+                    target=self._serve_loop, name="repro-model-server", daemon=True
+                )
+                self._worker.start()
+            try:
+                self._queue.put_nowait((rows, future))
+            except queue.Full:
+                raise ServerOverloadedError(
+                    f"request queue is full ({self._queue.maxsize} pending); "
+                    "back off and retry"
+                ) from None
+        return future
+
+    def _serve_loop(self) -> None:
+        carry = None  # dequeued request deferred to the next batch
+        while True:
+            if carry is not None:
+                item, carry = carry, None
+            else:
+                item = self._queue.get()
+            if item is _STOP:
+                return
+            batch: List[Tuple[np.ndarray, Future]] = [item]
+            total = len(item[0])
+            # Coalesce whatever is already queued, up to max_batch rows
+            # per kernel call (a single larger request is the only case
+            # that exceeds the bound — it is always served alone).
+            while total < self.max_batch:
+                try:
+                    nxt = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if nxt is _STOP:
+                    self._queue.put(nxt)  # re-deliver the sentinel
+                    break
+                if total + len(nxt[0]) > self.max_batch:
+                    carry = nxt  # would overflow the bound: next batch
+                    break
+                batch.append(nxt)
+                total += len(nxt[0])
+            rows = (
+                batch[0][0]
+                if len(batch) == 1
+                else np.vstack([r for r, _ in batch])
+            )
+            try:
+                proba = self.model.predict_proba(rows)
+            except BaseException as exc:  # propagate per request
+                for _, future in batch:
+                    future.set_exception(exc)
+                continue
+            self.n_batches_ += 1
+            self.n_requests_ += len(batch)
+            offset = 0
+            for req_rows, future in batch:
+                future.set_result(proba[offset : offset + len(req_rows)])
+                offset += len(req_rows)
+
+    # ------------------------------------------------------------------ #
+    def predict_proba(self, rows) -> np.ndarray:
+        """Synchronous scoring through the batching queue."""
+        return self.submit(rows).result()
+
+    def predict(self, rows) -> np.ndarray:
+        """Thresholded classification (not the estimators' argmax).
+
+        Binary models emit :attr:`positive_class` where its probability is
+        ``>= threshold``; multi-class models fall back to argmax (a single
+        threshold is not meaningful there).
+        """
+        proba = self.predict_proba(rows)
+        if len(self._classes) != 2:
+            return self._classes[np.argmax(proba, axis=1)]
+        positive = proba[:, self._positive_idx] >= self._threshold
+        return self._classes[
+            np.where(positive, self._positive_idx, 1 - self._positive_idx)
+        ]
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Stop the batching worker; pending requests are still served."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            worker = self._worker
+            if worker is not None:
+                # Under the lock: no submit can enqueue after the sentinel.
+                # The worker drains without taking the lock, so a full
+                # queue always makes progress for the blocking put.
+                self._queue.put(_STOP)
+        if worker is not None:
+            worker.join()
+
+    def __enter__(self) -> "ModelServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -31,8 +31,11 @@ from .sources import (
     ClassIndexScan,
     CSVSource,
     DataSource,
+    EncodedLabelSource,
     NPYSource,
     class_index_scan,
+    encoded_label_source,
+    label_value_scan,
     save_csv,
 )
 
@@ -42,11 +45,14 @@ __all__ = [
     "CSVSource",
     "ClassIndexScan",
     "DataSource",
+    "EncodedLabelSource",
     "NPYSource",
     "StreamingBinStats",
     "StreamingSelfPacedEnsembleClassifier",
     "class_index_scan",
+    "encoded_label_source",
     "fit_balanced_source_ensemble",
+    "label_value_scan",
     "save_csv",
     "source_balanced_subset_sample",
     "streaming_self_paced_under_sample",

@@ -40,7 +40,14 @@ from ..ensemble.bagging import make_member_model
 from ..parallel import ensemble_predict_proba, fit_ensemble_member
 from ..utils.validation import check_array, check_random_state
 from .reservoir import BinReservoir, streaming_self_paced_under_sample
-from .sources import ArraySource, ClassIndexScan, DataSource, class_index_scan
+from .sources import (
+    ArraySource,
+    ClassIndexScan,
+    DataSource,
+    class_index_scan,
+    encoded_label_source,
+    label_value_scan,
+)
 
 __all__ = ["StreamingSelfPacedEnsembleClassifier"]
 
@@ -177,18 +184,24 @@ class StreamingSelfPacedEnsembleClassifier(SelfPacedEnsembleClassifier):
         else:
             source = ArraySource(X, y)
         rng = check_random_state(self.random_state)
+        # Label alphabet first (one cheap label-only pass): arbitrary binary
+        # labels are mapped to the internal {0, 1} encoding exactly like the
+        # in-memory classifier (minority by frequency, tie → second sorted
+        # label), so the bit-identity guarantee of exact mode survives any
+        # relabelling. The training loop below only ever sees internal codes.
+        classes, _, minority_idx = label_value_scan(source)
+        self._set_label_encoding(classes, minority_idx)
+        source = encoded_label_source(source, self.classes_, minority_idx)
         if self.mode == "exact":
             scan = class_index_scan(
                 source, collect_indices=True, collect_minority=True
             )
-            self.classes_ = np.unique(scan.y)
             majority = _StreamingMajorityAccess(source, scan, self._proba_pos)
             self._fit_loop(majority, scan.X_min, scan.maj_idx, rng, eval_set)
         else:
             scan = class_index_scan(
                 source, collect_indices=False, collect_minority=True
             )
-            self.classes_ = np.array([0, 1])
             self._fit_reservoir(source, scan, rng, eval_set)
         self.n_features_in_ = scan.n_features
         return self
@@ -235,7 +248,7 @@ class StreamingSelfPacedEnsembleClassifier(SelfPacedEnsembleClassifier):
         self.train_curve_ = []
         if eval_set is not None:
             X_eval = check_array(np.asarray(eval_set[0], dtype=float))
-            y_eval = np.asarray(eval_set[1])
+            y_eval = self._encode_labels(np.asarray(eval_set[1]))
 
         sample_fn = partial(_majority_union_minority_sample, X_min=X_min)
         make_model = partial(make_member_model, estimator=self.estimator)

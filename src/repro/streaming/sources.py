@@ -40,8 +40,11 @@ __all__ = [
     "CSVSource",
     "ClassIndexScan",
     "DataSource",
+    "EncodedLabelSource",
     "NPYSource",
     "class_index_scan",
+    "encoded_label_source",
+    "label_value_scan",
     "save_csv",
 ]
 
@@ -92,6 +95,17 @@ class DataSource(abc.ABC):
         ``(<= block_size, n_features)`` and ``y_block`` the matching labels,
         covering every row exactly once, in dataset order."""
 
+    def iter_labels(self) -> Iterator[np.ndarray]:
+        """Yield only the label blocks, in dataset order.
+
+        Generic implementation drops the feature blocks of
+        :meth:`iter_blocks`; sources that can read labels without touching
+        features (in-memory arrays, memory-mapped files) override this so
+        label-only passes — e.g. :func:`label_value_scan` — stay cheap.
+        """
+        for _, y_block in self.iter_blocks():
+            yield y_block
+
     def take(self, indices) -> np.ndarray:
         """Feature rows for the given global indices, in the given order.
 
@@ -131,18 +145,34 @@ class ArraySource(DataSource):
     Validates once at construction (same checks as the in-memory ``fit``
     paths), then yields zero-copy views. Feeding one to a streaming trainer
     reproduces the corresponding in-memory trainer bit-for-bit.
+
+    Labels may use any binary alphabet (at most two distinct values —
+    {-1, 1}, strings, ...); numeric labels are validated against silent
+    truncation like the file sources. Consumers that need the internal
+    {0, 1} encoding get it from :func:`label_value_scan` +
+    :func:`encoded_label_source` (the streaming SPE does this itself), or
+    reject other alphabets at scan time.
     """
 
     def __init__(self, X, y, block_size: Optional[int] = None):
         super().__init__(block_size)
         X, y = check_X_y(X, y)
+        if np.unique(y).size > 2:
+            raise DataValidationError(
+                f"ArraySource labels must be binary, found {np.unique(y).size} "
+                "distinct values."
+            )
         self.X = X
-        self.y = check_binary_labels(y)
+        self.y = _integral_labels(y, "ArraySource") if y.dtype.kind in "fiub" else y
 
     def iter_blocks(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
         for lo in range(0, len(self.y), self.block_size):
             hi = lo + self.block_size
             yield self.X[lo:hi], self.y[lo:hi]
+
+    def iter_labels(self) -> Iterator[np.ndarray]:
+        for lo in range(0, len(self.y), self.block_size):
+            yield self.y[lo : lo + self.block_size]
 
     def take(self, indices) -> np.ndarray:
         return self.X[np.asarray(indices, dtype=np.intp)]
@@ -181,6 +211,14 @@ class NPYSource(DataSource):
                 np.asarray(X[lo:hi], dtype=np.float64),
                 _integral_labels(y[lo:hi], self.y_path),
             )
+
+    def iter_labels(self) -> Iterator[np.ndarray]:
+        # Label-only pass: maps just the label file, never touches features.
+        y = np.load(self.y_path, mmap_mode="r")
+        if y.ndim != 1:
+            raise DataValidationError(f"{self.y_path}: labels must be 1D")
+        for lo in range(0, len(y), self.block_size):
+            yield _integral_labels(y[lo : lo + self.block_size], self.y_path)
 
     def take(self, indices) -> np.ndarray:
         X, _ = self._open()
@@ -262,6 +300,85 @@ def save_csv(path, X: np.ndarray, y: np.ndarray, delimiter: str = ",") -> None:
         for row, label in zip(X, y):
             cells = [format(v, ".17g") for v in row] + [str(int(label))]
             handle.write(delimiter.join(cells) + "\n")
+
+
+def label_value_scan(source: DataSource):
+    """One label-only pass: ``(classes, counts, minority_idx)``.
+
+    The streaming counterpart of
+    :func:`repro.utils.validation.encode_binary_labels`: ``classes`` is the
+    sorted array of distinct labels, ``counts`` their populations, and
+    ``minority_idx`` the minority label's position (by frequency; tie → the
+    second sorted label; ``None`` for a degenerate single-label source drawn
+    from {0, 1}). Uses :meth:`DataSource.iter_labels`, so array and ``.npy``
+    sources never touch their feature blocks.
+    """
+    values: dict = {}
+    for y_block in source.iter_labels():
+        block_classes, block_counts = np.unique(np.asarray(y_block), return_counts=True)
+        for cls, cnt in zip(block_classes.tolist(), block_counts.tolist()):
+            values[cls] = values.get(cls, 0) + int(cnt)
+        if len(values) > 2:
+            raise DataValidationError(
+                f"Expected binary labels, found {len(values)} classes: "
+                f"{sorted(values)!r}."
+            )
+    if not values:
+        raise DataValidationError("source yielded no rows")
+    classes = np.array(sorted(values))
+    counts = np.array([values[c] for c in classes.tolist()], dtype=np.int64)
+    if classes.size == 1:
+        if classes[0] in (0, 1):
+            return classes, counts, None
+        raise DataValidationError(
+            f"Expected two classes, found only {classes[0]!r}; cannot assign "
+            "majority/minority roles to a single arbitrary label."
+        )
+    return classes, counts, 0 if counts[0] < counts[1] else 1
+
+
+class EncodedLabelSource(DataSource):
+    """View of a source with labels mapped to the internal {0, 1} encoding.
+
+    Feature blocks and ``take`` pass straight through; every label block is
+    rewritten so the given minority label reads 1 and the other label 0.
+    Lets the whole streaming training stack — written against the internal
+    encoding — consume sources with arbitrary binary label alphabets.
+    """
+
+    def __init__(self, source: DataSource, minority_label):
+        super().__init__(source.block_size)
+        self.source = source
+        self.minority_label = minority_label
+
+    def _encode(self, y_block) -> np.ndarray:
+        return (np.asarray(y_block) == self.minority_label).astype(int)
+
+    def iter_blocks(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        for X_block, y_block in self.source.iter_blocks():
+            yield X_block, self._encode(y_block)
+
+    def iter_labels(self) -> Iterator[np.ndarray]:
+        for y_block in self.source.iter_labels():
+            yield self._encode(y_block)
+
+    def take(self, indices) -> np.ndarray:
+        return self.source.take(indices)
+
+
+def encoded_label_source(source: DataSource, classes, minority_idx) -> DataSource:
+    """Source view carrying internal {0, 1} labels.
+
+    Returns ``source`` itself when the alphabet already *is* the internal
+    encoding (classes ``[0, 1]`` with 1 the minority, or a degenerate
+    single-{0, 1}-label source), otherwise an :class:`EncodedLabelSource`.
+    """
+    classes = np.asarray(classes)
+    if minority_idx is None:
+        return source
+    if classes.size == 2 and classes[0] == 0 and classes[1] == 1 and minority_idx == 1:
+        return source
+    return EncodedLabelSource(source, classes[minority_idx])
 
 
 @dataclass

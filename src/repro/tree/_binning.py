@@ -75,3 +75,24 @@ class FeatureBinner:
     def threshold_value(self, feature: int, code: int) -> float:
         """Raw-value threshold for splitting after bin ``code`` (test x < t)."""
         return float(self.edges_[feature][code])
+
+    # ------------------------------------------------------------------ #
+    def __getstate_arrays__(self):
+        """Pickle-free fitted-state export (see :mod:`repro.persistence`):
+        one ragged edge array per feature plus the bin counts."""
+        meta = {"max_bins": int(self.max_bins), "n_features": int(self.n_features_)}
+        arrays = {"n_bins": self.n_bins_}
+        for j, edges in enumerate(self.edges_):
+            arrays[f"edges_{j}"] = edges
+        return meta, arrays, {}
+
+    @classmethod
+    def __from_state_arrays__(cls, meta, arrays, children) -> "FeatureBinner":
+        binner = cls(max_bins=meta["max_bins"])
+        binner.n_features_ = int(meta["n_features"])
+        binner.n_bins_ = np.asarray(arrays["n_bins"], dtype=np.int64)
+        binner.edges_ = tuple(
+            np.asarray(arrays[f"edges_{j}"], dtype=np.float64)
+            for j in range(binner.n_features_)
+        )
+        return binner

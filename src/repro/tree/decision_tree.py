@@ -151,6 +151,46 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
         check_is_fitted(self, ["tree_"])
         return self.tree_.apply(check_array(X))
 
+    # ------------------------------------------------------------------ #
+    def __getstate_arrays__(self):
+        """Pickle-free fitted-state export (see :mod:`repro.persistence`).
+
+        Exports the flat node arrays of ``tree_`` plus ``classes_``. The
+        shared bin context (when this tree was fitted through one) is owned
+        and exported by the *ensemble* — a member never serialises it.
+        """
+        check_is_fitted(self, ["tree_"])
+        tree = self.tree_
+        meta = {
+            "n_features_in": int(self.n_features_in_),
+            "tree_n_classes": int(tree.n_classes),
+        }
+        arrays = {
+            "classes": np.asarray(self.classes_),
+            "tree_feature": tree.feature,
+            "tree_threshold": tree.threshold,
+            "tree_children_left": tree.children_left,
+            "tree_children_right": tree.children_right,
+            "tree_value": tree.value,
+            "tree_n_node_samples": tree.n_node_samples,
+            "tree_impurity": tree.impurity,
+        }
+        return meta, arrays, {}
+
+    def __setstate_arrays__(self, meta, arrays, children) -> None:
+        self.classes_ = np.asarray(arrays["classes"])
+        self.tree_ = Tree(
+            feature=np.asarray(arrays["tree_feature"], dtype=np.int64),
+            threshold=np.asarray(arrays["tree_threshold"], dtype=np.float64),
+            children_left=np.asarray(arrays["tree_children_left"], dtype=np.int64),
+            children_right=np.asarray(arrays["tree_children_right"], dtype=np.int64),
+            value=np.asarray(arrays["tree_value"], dtype=np.float64),
+            n_node_samples=np.asarray(arrays["tree_n_node_samples"], dtype=np.int64),
+            impurity=np.asarray(arrays["tree_impurity"], dtype=np.float64),
+            n_classes=int(meta["tree_n_classes"]),
+        )
+        self.n_features_in_ = int(meta["n_features_in"])
+
     @property
     def feature_importances_(self) -> np.ndarray:
         """Impurity-decrease importances, normalised to sum to one."""

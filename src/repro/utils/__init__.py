@@ -10,6 +10,7 @@ from .arrays import (
 )
 from .timing import Timer, timed_call
 from .validation import (
+    binary_column_order,
     check_array,
     check_binary_labels,
     check_is_fitted,
@@ -17,12 +18,17 @@ from .validation import (
     check_sample_weight,
     check_X_y,
     column_or_1d,
+    decode_binary_proba,
+    encode_binary_labels,
     unique_labels,
 )
 
 __all__ = [
+    "binary_column_order",
     "check_array",
     "check_binary_labels",
+    "decode_binary_proba",
+    "encode_binary_labels",
     "check_is_fitted",
     "check_random_state",
     "check_sample_weight",

@@ -18,6 +18,10 @@ __all__ = [
     "column_or_1d",
     "unique_labels",
     "check_binary_labels",
+    "encode_binary_labels",
+    "binary_column_order",
+    "decode_binary_proba",
+    "BinaryLabelEncoderMixin",
 ]
 
 
@@ -155,7 +159,15 @@ def unique_labels(*ys: Iterable) -> np.ndarray:
 
 
 def check_binary_labels(y) -> np.ndarray:
-    """Validate that ``y`` contains exactly the two classes {0, 1}."""
+    """Validate that ``y`` is already in the *internal* {0, 1} encoding.
+
+    This is the internal-encoding check: every ensemble in the library
+    trains its base models on 0 = majority / 1 = minority codes. User-facing
+    ``fit`` methods accept arbitrary binary labels and map them through
+    :func:`encode_binary_labels` first; paths that *require* the internal
+    codes (streaming block scans, samplers, hand-rolled pipelines) validate
+    with this function.
+    """
     y = column_or_1d(y)
     labels = np.unique(y)
     if labels.size > 2:
@@ -168,3 +180,92 @@ def check_binary_labels(y) -> np.ndarray:
             "minority class as 1 and the majority class as 0."
         )
     return y.astype(int)
+
+
+def encode_binary_labels(y) -> Tuple[np.ndarray, np.ndarray, Optional[int]]:
+    """Map arbitrary binary labels onto the internal {0, 1} encoding.
+
+    Returns ``(classes, y_internal, minority_idx)`` where ``classes`` is the
+    sorted array of distinct labels (the fitted ``classes_``), ``y_internal``
+    encodes the *minority* class (by frequency; tie → the second sorted
+    label) as 1 and the majority as 0, and ``minority_idx`` is the minority
+    label's position in ``classes``.
+
+    For the library's historical encoding — ``{0, 1}`` with 1 the rarer
+    class — the internal labels equal the input bit for bit, so existing
+    pipelines are unaffected. A single-label ``y`` drawn from {0, 1} passes
+    through unchanged with ``minority_idx=None`` (the degenerate case each
+    ensemble rejects or handles itself); a single label outside {0, 1} is
+    rejected because majority/minority cannot be assigned.
+    """
+    y = column_or_1d(y)
+    classes, y_idx, counts = np.unique(y, return_inverse=True, return_counts=True)
+    if classes.size > 2:
+        raise DataValidationError(
+            f"Expected binary labels, found {classes.size} classes: {classes!r}."
+        )
+    if classes.size == 1:
+        if classes[0] in (0, 1):
+            return classes, y.astype(int), None
+        raise DataValidationError(
+            f"Expected two classes, found only {classes[0]!r}; cannot assign "
+            "majority/minority roles to a single arbitrary label."
+        )
+    minority_idx = 0 if counts[0] < counts[1] else 1
+    return classes, (y_idx == minority_idx).astype(int), minority_idx
+
+
+def binary_column_order(classes, minority_class) -> np.ndarray:
+    """Column permutation mapping internal ``[P(majority), P(minority)]``
+    probabilities onto ``classes_`` order (the public ``predict_proba``
+    contract: column ``j`` is the probability of ``classes_[j]``)."""
+    classes = np.asarray(classes)
+    if classes.shape[0] == 2 and classes[0] == minority_class:
+        return np.array([1, 0])
+    return np.array([0, 1])
+
+
+def decode_binary_proba(internal, classes, minority_class) -> np.ndarray:
+    """Internal 2-column probabilities → columns in ``classes_`` order.
+
+    Handles the degenerate single-class fit ({0} or {1} passthrough, see
+    :func:`encode_binary_labels`): the output then has one column — the
+    internal column of that lone label — matching the historical contract
+    that ``predict_proba`` has ``len(classes_)`` columns.
+    """
+    classes = np.asarray(classes)
+    if classes.shape[0] == 1:
+        return internal[:, [int(classes[0])]]
+    return internal[:, binary_column_order(classes, minority_class)]
+
+
+class BinaryLabelEncoderMixin:
+    """Fit-time label-encoding bookkeeping shared by every label-encoded
+    classifier (SPE, streaming SPE, the imbalance-ensemble family).
+
+    One implementation keeps the three users from drifting apart: the
+    mapping recorded by :meth:`_set_label_encoding` (typically from
+    :func:`encode_binary_labels` / ``label_value_scan``) drives eval-label
+    encoding and ``predict_proba`` column decoding identically everywhere.
+    """
+
+    def _set_label_encoding(self, classes: np.ndarray, minority_idx) -> None:
+        """Record the fitted label alphabet and its internal 0/1 mapping."""
+        self.classes_ = np.asarray(classes)
+        if minority_idx is not None:
+            self.minority_class_ = self.classes_[minority_idx]
+            self.majority_class_ = self.classes_[1 - minority_idx]
+        else:
+            self.minority_class_ = None
+            self.majority_class_ = self.classes_[0]
+
+    def _encode_labels(self, y) -> np.ndarray:
+        """Original-alphabet labels → internal 0/1 codes via the fitted map."""
+        y = np.asarray(y)
+        if getattr(self, "minority_class_", None) is None:
+            return y.astype(int)
+        return (y == self.minority_class_).astype(int)
+
+    def _decode_proba(self, internal: np.ndarray) -> np.ndarray:
+        """Internal ``[P(majority), P(minority)]`` columns → ``classes_`` order."""
+        return decode_binary_proba(internal, self.classes_, self.minority_class_)

@@ -89,10 +89,15 @@ class TestWorkflowFile:
         assert "BENCH_parallel.json" in paths
         assert "BENCH_streaming.json" in paths
         assert "BENCH_fastpath.json" in paths
+        assert "BENCH_serving.json" in paths
 
     def test_bench_smoke_runs_fastpath_bench(self, makefile_text):
         smoke = makefile_text.split("bench-smoke:")[1].split("\n\n")[0]
         assert "bench_fastpath.py" in smoke
+
+    def test_bench_smoke_runs_serving_bench(self, makefile_text):
+        smoke = makefile_text.split("bench-smoke:")[1].split("\n\n")[0]
+        assert "bench_serving.py" in smoke
 
     def test_coverage_job_is_informational(self, workflow):
         assert workflow["jobs"]["coverage"].get("continue-on-error") is True

@@ -20,6 +20,17 @@ class TestReadmeSnippets:
         # The quickstart defines a fitted SPE and prints its scores.
         assert "spe" in namespace
 
+    def test_save_load_serve_block_runs(self):
+        """Execute the README's persistence/serving example verbatim: save
+        a model, reload it bit-identically, and serve through ModelServer."""
+        readme = (REPO_ROOT / "README.md").read_text()
+        blocks = re.findall(r"```python\n(.*?)```", readme, flags=re.DOTALL)
+        serve_blocks = [b for b in blocks if "save_model" in b and "ModelServer" in b]
+        assert serve_blocks, "README must contain a save -> load -> serve block"
+        namespace = {}
+        exec(compile(serve_blocks[0], "<README serving>", "exec"), namespace)
+        assert "server" in namespace and "labels" in namespace
+
     def test_readme_mentions_all_deliverable_paths(self):
         readme = (REPO_ROOT / "README.md").read_text()
         for path in ("DESIGN.md", "EXPERIMENTS.md", "benchmarks/", "examples/"):

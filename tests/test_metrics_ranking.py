@@ -32,6 +32,37 @@ class TestPrecisionRecallCurve:
         with pytest.raises(DataValidationError):
             precision_recall_curve([0, 1], [0.5])
 
+    @given(
+        st.lists(st.sampled_from([0, 1]), min_size=2, max_size=60).filter(
+            lambda labels: 1 in labels
+        ),
+        st.integers(0, 2**31 - 1),
+    )
+    def test_thresholds_one_shorter_than_precision_recall(self, labels, seed):
+        """The documented sklearn-style length contract: the final (1, 0)
+        anchor has no threshold, so ``len(thresholds) == len(precision) - 1
+        == len(recall) - 1``. Serving-threshold tuning indexes the curve by
+        threshold position and relies on this alignment."""
+        scores = np.random.RandomState(seed).rand(len(labels))
+        precision, recall, thresholds = precision_recall_curve(labels, scores)
+        assert len(precision) == len(recall) == len(thresholds) + 1
+        assert precision[-1] == 1.0 and recall[-1] == 0.0
+        # thresholds ascend (index 0 = highest-recall operating point) and
+        # each one is an observed score
+        assert np.all(np.diff(thresholds) >= 0)
+        assert np.isin(thresholds, scores).all()
+
+    def test_threshold_alignment_with_metrics(self):
+        """precision[i]/recall[i] are the metrics of classifying positive at
+        score >= thresholds[i] — spot-checked exhaustively on a small case."""
+        y = np.array([0, 1, 0, 1, 1, 0, 0, 0])
+        s = np.array([0.1, 0.9, 0.3, 0.8, 0.55, 0.5, 0.2, 0.4])
+        precision, recall, thresholds = precision_recall_curve(y, s)
+        for i, t in enumerate(thresholds):
+            pred = s >= t
+            assert precision[i] == pytest.approx((y[pred] == 1).mean())
+            assert recall[i] == pytest.approx(y[pred].sum() / y.sum())
+
 
 class TestAveragePrecision:
     def test_perfect_is_one(self):

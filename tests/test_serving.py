@@ -1,0 +1,252 @@
+"""ModelServer: warm artifact loading, micro-batching, thresholding.
+
+Pins the serving contracts of the persistence issue: an artifact loads
+straight into a warm packed kernel (no re-pack on the first request),
+micro-batched scoring is exactly the direct ``predict_proba``, the request
+queue is bounded (overflow raises, never grows silently), and ``predict``
+classifies by the tunable threshold instead of the estimators' argmax.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import SelfPacedEnsembleClassifier
+from repro.datasets import make_checkerboard
+from repro.exceptions import ServerOverloadedError
+from repro.fastpath.codetable import cached_packed_ensemble
+from repro.metrics import precision_recall_curve
+from repro.persistence import save_model
+from repro.serving import ModelServer, threshold_for_precision
+
+
+@pytest.fixture(scope="module")
+def data():
+    X, y = make_checkerboard(n_minority=50, n_majority=500, random_state=0)
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def fitted(data):
+    X, y = data
+    return SelfPacedEnsembleClassifier(n_estimators=4, random_state=0).fit(X, y)
+
+
+@pytest.fixture(scope="module")
+def artifact(fitted, tmp_path_factory):
+    path = tmp_path_factory.mktemp("serving") / "model.npz"
+    save_model(fitted, path)
+    return path
+
+
+class TestWarmLoading:
+    def test_loads_artifact_into_warm_pack(self, artifact, data):
+        X, _ = data
+        with ModelServer(artifact) as server:
+            assert server.packed_  # kernel built at construction
+            estimators, classes = server.model.__serving_ensemble__()
+            before = cached_packed_ensemble(list(estimators), classes)
+            assert before is not None
+            server.predict_proba(X[:8])  # first request
+            after = cached_packed_ensemble(list(estimators), classes)
+            assert before[0] is after[0], "first request re-packed the forest"
+
+    def test_shared_binning_artifact_gets_code_table(self, data, tmp_path):
+        X, y = data
+        clf = SelfPacedEnsembleClassifier(
+            n_estimators=4, shared_binning=True, random_state=0
+        ).fit(X, y)
+        path = tmp_path / "shared.npz"
+        save_model(clf, path)
+        with ModelServer(path) as server:
+            assert server.packed_ and server.code_table_
+            assert np.array_equal(
+                server.predict_proba(X[:32]), clf.predict_proba(X[:32])
+            )
+
+    def test_wraps_live_model_too(self, fitted, data):
+        X, _ = data
+        with ModelServer(fitted) as server:
+            assert np.array_equal(
+                server.predict_proba(X[:16]), fitted.predict_proba(X[:16])
+            )
+
+    def test_unfitted_model_rejected(self):
+        from repro.exceptions import NotFittedError
+
+        with pytest.raises(NotFittedError):
+            ModelServer(SelfPacedEnsembleClassifier())
+
+
+class TestMicroBatching:
+    def test_concurrent_singletons_equal_direct_scoring(self, artifact, data):
+        X, _ = data
+        with ModelServer(artifact, max_batch=64) as server:
+            futures = [server.submit(X[i : i + 1]) for i in range(100)]
+            got = np.vstack([f.result(timeout=30) for f in futures])
+            assert np.array_equal(got, server.model.predict_proba(X[:100]))
+            assert server.n_requests_ == 100
+            # queued singletons must have coalesced into far fewer kernel calls
+            assert server.n_batches_ <= server.n_requests_
+
+    def test_mixed_sizes_split_back_correctly(self, artifact, data):
+        X, _ = data
+        with ModelServer(artifact) as server:
+            sizes = [1, 7, 32, 3, 64, 1]
+            futures, offset = [], 0
+            for size in sizes:
+                futures.append(server.submit(X[offset : offset + size]))
+                offset += size
+            direct = server.model.predict_proba(X[:offset])
+            offset = 0
+            for size, future in zip(sizes, futures):
+                assert np.array_equal(
+                    future.result(timeout=30), direct[offset : offset + size]
+                )
+                offset += size
+
+    def test_bounded_queue_overflow_raises(self, data):
+        X, _ = data
+
+        class SlowModel:
+            """Fitted-looking stub whose predict_proba blocks on demand."""
+
+            def __init__(self):
+                self.classes_ = np.array([0, 1])
+                self.entered = threading.Event()
+                self.release = threading.Event()
+
+            def predict_proba(self, rows):
+                self.entered.set()
+                assert self.release.wait(timeout=30)
+                return np.full((len(rows), 2), 0.5)
+
+        model = SlowModel()
+        server = ModelServer(model, max_pending=2)
+        first = server.submit(X[:1])  # occupies the worker
+        assert model.entered.wait(timeout=30)
+        pending = [server.submit(X[:1]) for _ in range(2)]  # fills the queue
+        with pytest.raises(ServerOverloadedError):
+            server.submit(X[:1])
+        model.release.set()
+        for future in [first] + pending:
+            assert future.result(timeout=30).shape == (1, 2)
+        server.close()
+
+    def test_max_batch_bounds_kernel_calls(self, data):
+        """Coalescing never builds a kernel call above max_batch rows
+        (except a single larger request, served alone)."""
+        X, _ = data
+
+        class RecordingModel:
+            def __init__(self):
+                self.classes_ = np.array([0, 1])
+                self.entered = threading.Event()
+                self.release = threading.Event()
+                self.batch_rows = []
+
+            def predict_proba(self, rows):
+                self.entered.set()
+                assert self.release.wait(timeout=30)
+                self.batch_rows.append(len(rows))
+                return np.full((len(rows), 2), 0.5)
+
+        model = RecordingModel()
+        server = ModelServer(model, max_batch=8)
+        first = server.submit(X[:1])  # occupies the worker
+        assert model.entered.wait(timeout=30)
+        futures = [server.submit(X[:5]), server.submit(X[:5])]  # 5 + 5 > 8
+        model.release.set()
+        for future in [first] + futures:
+            future.result(timeout=30)
+        server.close()
+        # 5+5 must not coalesce into one 10-row call; the carried request
+        # is served in its own batch.
+        assert model.batch_rows[1:] == [5, 5]
+
+    def test_serving_hook_opt_out_for_vote_ensembles(self, data):
+        """RUSBoost/SMOTEBoost predict by weighted vote, never the packed
+        kernel — the server must not pre-pack (and report) an unused forest."""
+        from repro.imbalance_ensemble import RUSBoostClassifier
+
+        X, y = data
+        clf = RUSBoostClassifier(n_estimators=3, random_state=0).fit(X, y)
+        with ModelServer(clf) as server:
+            assert not server.packed_ and not server.code_table_
+            assert np.array_equal(
+                server.predict_proba(X[:16]), clf.predict_proba(X[:16])
+            )
+
+    def test_submit_after_close_rejected(self, fitted, data):
+        X, _ = data
+        server = ModelServer(fitted)
+        server.predict_proba(X[:2])
+        server.close()
+        with pytest.raises(RuntimeError):
+            server.submit(X[:1])
+
+
+class TestThreshold:
+    def test_threshold_changes_operating_point(self, fitted, data):
+        X, _ = data
+        with ModelServer(fitted, threshold=0.9) as server:
+            strict = (server.predict(X) == server.positive_class).sum()
+            server.threshold = 0.05
+            lax = (server.predict(X) == server.positive_class).sum()
+            assert lax >= strict
+            assert strict < (server.model.predict(X) == 1).sum() <= lax
+
+    def test_threshold_differs_from_argmax(self, fitted, data):
+        X, _ = data
+        with ModelServer(fitted, threshold=0.2) as server:
+            thresholded = server.predict(X)
+        argmax = fitted.predict(X)
+        proba = fitted.predict_proba(X)[:, 1]
+        expect = np.where(proba >= 0.2, 1, 0)
+        assert np.array_equal(thresholded, expect)
+        assert not np.array_equal(thresholded, argmax)  # 0.2 != 0.5 boundary
+
+    def test_invalid_threshold_rejected(self, fitted):
+        with pytest.raises(ValueError):
+            ModelServer(fitted, threshold=1.5)
+        server = ModelServer(fitted)
+        with pytest.raises(ValueError):
+            server.threshold = -0.1
+        server.close()
+
+    def test_decoded_labels_with_string_alphabet(self, data, tmp_path):
+        X, y = data
+        y_str = np.where(y == 1, "fraud", "ok")
+        clf = SelfPacedEnsembleClassifier(n_estimators=4, random_state=0).fit(X, y_str)
+        path = tmp_path / "str.npz"
+        save_model(clf, path)
+        with ModelServer(path, threshold=0.3) as server:
+            assert server.positive_class == "fraud"
+            pred = server.predict(X)
+            assert set(np.unique(pred)) <= {"fraud", "ok"}
+            expect = np.where(clf.predict_proba(X)[:, 0] >= 0.3, "fraud", "ok")
+            assert np.array_equal(pred, expect)
+
+
+class TestThresholdForPrecision:
+    def test_matches_pr_curve_alignment(self, fitted, data):
+        X, y = data
+        scores = fitted.predict_proba(X)[:, 1]
+        precision, recall, thresholds = precision_recall_curve(y, scores)
+        target = float(np.median(precision[:-1]))
+        t = threshold_for_precision(y, scores, target)
+        # classifying at >= t must reach the target precision
+        pred = scores >= t
+        achieved = (y[pred] == 1).mean()
+        assert achieved >= target - 1e-12
+        # and t is the lowest curve threshold achieving it
+        idx = int(np.flatnonzero(thresholds == t)[0])
+        assert (precision[:idx] < target).all()
+
+    def test_unreachable_precision_raises(self, data):
+        X, y = data
+        rng = np.random.RandomState(0)
+        noise = rng.rand(len(y))
+        with pytest.raises(ValueError, match="no threshold"):
+            threshold_for_precision(y, noise, 1.01)
