@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast coverage bench-smoke bench-fastpath bench-serving lint
+.PHONY: test test-fast coverage bench-smoke bench-fastpath bench-serving bench-monitoring lint
 
 # Tier-1 suite (the ROADMAP verify command). Runs everything, including
 # tests marked `slow`.
@@ -22,16 +22,19 @@ coverage:
 	$(PYTHON) tools/coverage_run.py
 
 # Fast end-to-end run of the perf benchmarks; writes BENCH_parallel.json,
-# BENCH_streaming.json, BENCH_fastpath.json, and BENCH_serving.json at the
-# repo root (uploaded as CI artifacts). The fastpath smoke asserts a
-# conservative >=1.2x speedup floor (REPRO_FASTPATH_MIN_SPEEDUP) so shared
-# runners don't flake; the serving smoke asserts bit-identity of the served
-# path and records latency percentiles without a floor.
+# BENCH_streaming.json, BENCH_fastpath.json, BENCH_serving.json, and
+# BENCH_monitoring.json at the repo root (uploaded as CI artifacts). The
+# fastpath smoke asserts a conservative >=1.2x speedup floor
+# (REPRO_FASTPATH_MIN_SPEEDUP) so shared runners don't flake; the serving
+# smoke asserts bit-identity of the served path and records latency
+# percentiles without a floor; the monitoring smoke asserts the hot-swap
+# zero-blocked-requests contract (a correctness property, not a timing).
 bench-smoke:
 	REPRO_SCALE=0.25 $(PYTHON) benchmarks/bench_parallel_scaling.py
 	REPRO_SCALE=0.25 $(PYTHON) benchmarks/bench_streaming_memory.py
 	REPRO_SCALE=0.25 $(PYTHON) benchmarks/bench_fastpath.py
 	REPRO_SCALE=0.25 $(PYTHON) benchmarks/bench_serving.py
+	REPRO_SCALE=0.25 $(PYTHON) benchmarks/bench_monitoring.py
 
 # Full-scale fastpath speedup benchmark (fit / score / predict, legacy vs
 # packed + shared-binning paths, bit-identity asserted on every pair).
@@ -43,6 +46,12 @@ bench-fastpath:
 # code-table serving paths.
 bench-serving:
 	$(PYTHON) benchmarks/bench_serving.py
+
+# Full-scale monitoring benchmark: drift-check overhead per 10k monitored
+# rows plus hot-swap latency and the zero-blocked-requests assertion under
+# concurrent traffic.
+bench-monitoring:
+	$(PYTHON) benchmarks/bench_monitoring.py
 
 # No third-party linters in the toolchain: byte-compile everything so
 # syntax/undefined-future errors fail fast.

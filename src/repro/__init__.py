@@ -22,14 +22,18 @@ from .core import SelfPacedEnsembleClassifier
 from .streaming import StreamingSelfPacedEnsembleClassifier
 from .persistence import load_model, save_model
 from .serving import ModelServer
+from .monitoring import DriftMonitor, ReferenceSketch
+from .lifecycle import ArtifactRegistry, LifecycleController, RetrainPolicy
 from .exceptions import (
     ConvergenceWarning,
     DataValidationError,
     NotEnoughSamplesError,
     NotFittedError,
     PersistenceError,
+    RegistryError,
     ReproError,
     ServerOverloadedError,
+    UndefinedMetricWarning,
 )
 
 __version__ = "1.0.0"
@@ -44,12 +48,19 @@ __all__ = [
     "load_model",
     "save_model",
     "ModelServer",
+    "DriftMonitor",
+    "ReferenceSketch",
+    "ArtifactRegistry",
+    "LifecycleController",
+    "RetrainPolicy",
     "ConvergenceWarning",
     "DataValidationError",
     "NotEnoughSamplesError",
     "NotFittedError",
     "PersistenceError",
+    "RegistryError",
     "ReproError",
     "ServerOverloadedError",
+    "UndefinedMetricWarning",
     "__version__",
 ]

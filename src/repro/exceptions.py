@@ -30,3 +30,17 @@ class ServerOverloadedError(ReproError, RuntimeError):
 
 class ConvergenceWarning(UserWarning):
     """Emitted when an iterative solver stops before converging."""
+
+
+class UndefinedMetricWarning(UserWarning):
+    """Emitted when a ranking metric is undefined for the given window —
+    e.g. AUROC / AUPRC over a window holding a single class — and ``nan``
+    is returned instead of a score. Monitoring windows over highly
+    imbalanced streams are routinely all-majority, so this is an expected,
+    non-fatal condition."""
+
+
+class RegistryError(ReproError, ValueError):
+    """Raised when an :class:`repro.lifecycle.ArtifactRegistry` operation
+    fails: unknown version, corrupted manifest, or an artifact whose bytes
+    no longer match the checksum recorded at registration."""

@@ -21,7 +21,7 @@ from .bincontext import (
     check_shared_binning_backend,
     shared_bin_context_for,
 )
-from .codetable import CodeTable, cached_packed_ensemble
+from .codetable import CodeTable, cached_packed_ensemble, warm_serving_pack
 from .config import fastpath_disabled, fastpath_enabled, set_fastpath
 from .packed import ESTIMATOR_BLOCK, PackedForest, ScoringMatrix, trees_of
 
@@ -32,6 +32,7 @@ __all__ = [
     "shared_bin_context_for",
     "CodeTable",
     "cached_packed_ensemble",
+    "warm_serving_pack",
     "fastpath_disabled",
     "fastpath_enabled",
     "set_fastpath",

@@ -33,9 +33,10 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from .config import fastpath_enabled
 from .packed import PackedForest, _LEAF
 
-__all__ = ["CodeTable", "cached_packed_ensemble"]
+__all__ = ["CodeTable", "cached_packed_ensemble", "warm_serving_pack"]
 
 #: Largest code grid a table is compiled for (cells × classes × 8 bytes).
 MAX_CELLS = 1 << 16
@@ -173,3 +174,28 @@ def cached_packed_ensemble(
     except TypeError:
         pass
     return forest, table
+
+
+def warm_serving_pack(model) -> Tuple[bool, bool]:
+    """Eagerly build (and cache) a model's serving kernel; returns
+    ``(packed, code_table)`` flags.
+
+    Uses the model's ``__serving_ensemble__`` hook — the exact
+    ``(estimators, classes)`` pair ``predict_proba`` feeds to the pack
+    cache — so the warmed entry is the one every later request hits.
+    ``(False, False)`` when the model has no hook, its members are not
+    packable, or the fastpath is disabled; callers then serve through the
+    model's normal path. This is the pre-build step of both
+    :class:`~repro.serving.ModelServer` construction and
+    :meth:`~repro.serving.ModelServer.swap_model` — the swap packs the
+    challenger *before* flipping the active model, so no in-flight request
+    ever waits on a re-pack.
+    """
+    hook = getattr(model, "__serving_ensemble__", None)
+    if hook is None or not fastpath_enabled():
+        return False, False
+    estimators, classes = hook()
+    entry = cached_packed_ensemble(list(estimators), classes)
+    if entry is None:
+        return False, False
+    return True, entry[1] is not None

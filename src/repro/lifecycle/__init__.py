@@ -1,0 +1,36 @@
+"""Model lifecycle: registry, retrain policy, shadow promotion, hot swap.
+
+The other half of the post-deployment loop (:mod:`repro.monitoring` is
+the watching half; this is the acting half):
+
+* :class:`ArtifactRegistry` — a managed directory of versioned,
+  checksum-tracked :mod:`repro.persistence` artifacts with monotonic
+  version ids and a champion pointer;
+* :class:`RetrainPolicy` / :class:`Action` — typed drift reports in,
+  ``NONE`` / ``WARM_CHALLENGER`` / ``RETRAIN_NOW`` out, with a warn
+  quorum and a retrain cooldown;
+* :func:`shadow_evaluate` / :class:`ShadowResult` — champion–challenger
+  comparison on the live window; challengers are promoted only on a
+  metric win;
+* :class:`LifecycleController` / :class:`LifecycleEvent` — the closed
+  loop: serve → monitor → decide → retrain from the monitor's window →
+  shadow → register → :meth:`~repro.serving.ModelServer.swap_model`.
+
+See ``DESIGN.md`` → "Lifecycle" for the promotion rules and the swap
+atomicity argument.
+"""
+
+from .challenger import ShadowResult, shadow_evaluate
+from .controller import LifecycleController, LifecycleEvent
+from .policy import Action, RetrainPolicy
+from .registry import ArtifactRegistry
+
+__all__ = [
+    "Action",
+    "ArtifactRegistry",
+    "LifecycleController",
+    "LifecycleEvent",
+    "RetrainPolicy",
+    "ShadowResult",
+    "shadow_evaluate",
+]

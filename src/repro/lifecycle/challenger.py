@@ -1,0 +1,129 @@
+"""Champion–challenger shadow evaluation: promote only on a metric win.
+
+A retrained model is a *hypothesis*, not a replacement: if the drift was
+label noise, or the retrain window was too thin, the challenger can be
+worse than the model it would replace. :func:`shadow_evaluate` scores
+both models on the same live window — the challenger in "shadow",
+affecting no traffic — and compares an imbalance-aware metric (windowed
+AUPRC by default; F1 / minority recall at a threshold also supported).
+
+nan-safety is explicit, because monitoring windows can be single-class:
+a challenger with a ``nan`` score never wins (no evidence is not a win),
+while a ``nan`` champion score loses to any finite challenger score (the
+champion demonstrably produced nothing measurable on the live window
+either, so finite evidence beats none).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..exceptions import UndefinedMetricWarning
+from ..metrics import average_precision_score, f1_score, recall_score
+from ..serving.server import _resolve_positive_idx
+
+__all__ = ["ShadowResult", "shadow_evaluate"]
+
+#: supported comparison metrics → (needs_threshold, callable)
+_METRICS = ("auprc", "f1", "minority_recall")
+
+
+@dataclass(frozen=True)
+class ShadowResult:
+    """Outcome of one shadow comparison on a shared window."""
+
+    metric: str
+    champion_score: float
+    challenger_score: float
+    n_rows: int
+    #: challenger strictly beat champion by more than ``min_lift``
+    promote: bool
+
+    @property
+    def lift(self) -> float:
+        return self.challenger_score - self.champion_score
+
+
+def _positive_scores(model, X: np.ndarray) -> np.ndarray:
+    proba = model.predict_proba(X)
+    classes = np.asarray(getattr(model, "classes_", [0, 1]))
+    # same minority/highest-sorted convention the server decodes with
+    return proba[:, _resolve_positive_idx(model, classes)]
+
+
+def _window_metric(metric: str, y: np.ndarray, score: np.ndarray,
+                   threshold: float) -> float:
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", UndefinedMetricWarning)
+        if metric == "auprc":
+            if np.unique(y).size < 2:
+                return float("nan")
+            return float(average_precision_score(y, score))
+    y_pred = (score >= threshold).astype(np.int64)
+    if not y.any():
+        return float("nan")
+    if metric == "f1":
+        return float(f1_score(y, y_pred))
+    return float(recall_score(y, y_pred))
+
+
+def shadow_evaluate(
+    champion,
+    challenger,
+    X_window,
+    y_window,
+    *,
+    metric: str = "auprc",
+    threshold: float = 0.5,
+    min_lift: float = 0.0,
+    positive_label=1,
+) -> ShadowResult:
+    """Score both models on the live window; challenger must *win* to
+    promote.
+
+    Parameters
+    ----------
+    champion, challenger : fitted binary classifiers (``predict_proba``).
+    X_window, y_window : the monitor's labeled window — the freshest
+        ground truth available, and identical for both models. Labels may
+        use any binary alphabet; rows equal to ``positive_label`` count
+        as the minority/positive class.
+    metric : {"auprc", "f1", "minority_recall"}, default "auprc"
+    threshold : decision threshold for the thresholded metrics.
+    min_lift : float, default 0.0
+        Required margin: promote only if
+        ``challenger > champion + min_lift``. Raising it trades adaptation
+        speed for swap stability.
+    positive_label : default 1
+        The window label treated as positive (the models' minority label
+        when the deployment uses a non-{0, 1} alphabet).
+    """
+    if metric not in _METRICS:
+        raise ValueError(f"metric must be one of {_METRICS}, got {metric!r}")
+    X_window = np.asarray(X_window, dtype=np.float64)
+    y_window = (np.asarray(y_window) == positive_label).astype(np.int64)
+    if len(X_window) != len(y_window):
+        raise ValueError("X_window and y_window length mismatch")
+    champ = _window_metric(
+        metric, y_window, _positive_scores(champion, X_window), threshold
+    )
+    chall = _window_metric(
+        metric, y_window, _positive_scores(challenger, X_window), threshold
+    )
+    if np.isnan(chall):
+        promote = False  # no evidence is never a win
+    elif np.isnan(champ):
+        promote = True  # finite evidence beats none
+    else:
+        promote = chall > champ + min_lift
+    return ShadowResult(
+        metric=metric,
+        champion_score=float(champ),
+        challenger_score=float(chall),
+        n_rows=int(len(y_window)),
+        promote=bool(promote),
+    )

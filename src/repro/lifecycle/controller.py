@@ -1,0 +1,216 @@
+"""The closed loop: serve → monitor → decide → retrain → shadow → swap.
+
+:class:`LifecycleController` owns one deployed model's whole
+post-training life. Per labeled batch it:
+
+1. scores the rows through the :class:`~repro.serving.ModelServer`
+   (production path — micro-batched, version-stamped),
+2. feeds features / scores / labels to the
+   :class:`~repro.monitoring.DriftMonitor`,
+3. asks the :class:`~repro.lifecycle.RetrainPolicy` what the drift
+   reports justify,
+4. on ``WARM_CHALLENGER`` / ``RETRAIN_NOW``: retrains a challenger from
+   the monitor's window (handed over as a
+   :class:`~repro.streaming.ArraySource`, so the trainer is the same
+   out-of-core ``fit_source`` path used at bootstrap),
+5. shadow-scores the challenger against the champion on that same window
+   and — only on a metric win — registers it in the
+   :class:`~repro.lifecycle.ArtifactRegistry`, blesses it champion, and
+   hot-swaps it into the server with zero dropped requests.
+
+Every step is observable: :meth:`process` returns a
+:class:`LifecycleEvent` with the reports, the action, the shadow scores,
+and the promoted version (if any).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..monitoring.drift import DriftReport
+from ..monitoring.monitor import DriftMonitor
+from ..serving import ModelServer
+from ..streaming import ArraySource
+from .challenger import ShadowResult, shadow_evaluate
+from .policy import Action, RetrainPolicy
+from .registry import ArtifactRegistry
+
+__all__ = ["LifecycleController", "LifecycleEvent"]
+
+
+@dataclass(frozen=True)
+class LifecycleEvent:
+    """What one :meth:`LifecycleController.process` call did."""
+
+    n_rows: int
+    model_version: str  #: version that served this batch
+    reports: List[DriftReport] = field(default_factory=list)
+    action: Action = Action.NONE
+    shadow: Optional[ShadowResult] = None
+    promoted: bool = False
+    promoted_version: Optional[str] = None
+
+
+class LifecycleController:
+    """Drive one served model through monitor → retrain → promote cycles.
+
+    Parameters
+    ----------
+    server : :class:`~repro.serving.ModelServer`
+        The live endpoint; its champion is swapped in place on promotion.
+    registry : :class:`~repro.lifecycle.ArtifactRegistry`
+        Where promoted challengers are persisted (and champion-flagged)
+        *before* the swap — a restart after promotion reloads the same
+        model the swap installed.
+    monitor : :class:`~repro.monitoring.DriftMonitor`
+    train_fn : callable(:class:`~repro.streaming.DataSource`) → fitted model
+        Retrains a candidate from the monitor's labeled window, e.g.
+        ``lambda src: StreamingSelfPacedEnsembleClassifier(
+        n_estimators=10, random_state=0).fit_source(src)``.
+    policy : :class:`~repro.lifecycle.RetrainPolicy`, optional
+    metric : {"auprc", "f1", "minority_recall"}, default "auprc"
+        Shadow-comparison metric.
+    min_lift : float, default 0.0
+        Required challenger margin over the champion.
+    holdout_fraction : float in [0, 1), default 0.3
+        The newest fraction of the monitor window is *withheld* from the
+        challenger's training source and used as the shadow-comparison
+        window, so the challenger never gets the in-sample advantage of
+        being scored on rows it trained on. Falls back to the full window
+        for both (documented in-sample comparison) when the split would
+        leave the training slice single-class.
+    """
+
+    def __init__(
+        self,
+        server: ModelServer,
+        registry: ArtifactRegistry,
+        monitor: DriftMonitor,
+        train_fn: Callable,
+        *,
+        policy: Optional[RetrainPolicy] = None,
+        metric: str = "auprc",
+        min_lift: float = 0.0,
+        holdout_fraction: float = 0.3,
+    ):
+        if not 0.0 <= holdout_fraction < 1.0:
+            raise ValueError("holdout_fraction must be in [0, 1)")
+        self.server = server
+        self.registry = registry
+        self.monitor = monitor
+        self.train_fn = train_fn
+        self.policy = policy if policy is not None else RetrainPolicy()
+        self.metric = metric
+        self.min_lift = float(min_lift)
+        self.holdout_fraction = float(holdout_fraction)
+        self.events: List[LifecycleEvent] = []
+
+    # ------------------------------------------------------------------ #
+    def process(self, X_batch, y_true=None) -> LifecycleEvent:
+        """Serve one batch, monitor it, and act on the evidence.
+
+        Pass ``y_true=None`` for rows whose labels lag; deliver them later
+        through :meth:`deliver_labels`. Drift checks (and therefore
+        retrains) only happen on calls that add labeled rows — unlabeled
+        traffic can't move the error or prior statistics.
+        """
+        X_batch = np.atleast_2d(np.asarray(X_batch, dtype=np.float64))
+        scored = self.server.score(X_batch)
+        scores = scored.proba[:, self.server.positive_index]
+        self.monitor.observe(X_batch, scores, y_true)
+        if y_true is None:
+            event = LifecycleEvent(
+                n_rows=len(X_batch), model_version=scored.model_version
+            )
+            self.events.append(event)
+            return event
+        return self._decide_and_act(len(X_batch), scored.model_version)
+
+    def deliver_labels(self, y_true) -> LifecycleEvent:
+        """Deliver delayed labels (oldest rows first) and run the loop."""
+        y_true = np.atleast_1d(np.asarray(y_true))
+        self.monitor.observe_labels(y_true)
+        return self._decide_and_act(0, self.server.model_version)
+
+    # ------------------------------------------------------------------ #
+    def _decide_and_act(self, n_rows: int, serving_version: str) -> LifecycleEvent:
+        reports = self.monitor.check()
+        action = self.policy.decide(reports)
+        shadow = None
+        promoted = False
+        promoted_version = None
+        X, y, _ = self.monitor.window()
+        if action is not Action.NONE and np.unique(y).size < 2:
+            # A single-class window cannot train a challenger; keep the
+            # decision on record (the drift evidence is real) but skip the
+            # retrain until minority rows land.
+            action_taken = action
+            event = LifecycleEvent(
+                n_rows=n_rows,
+                model_version=serving_version,
+                reports=list(reports),
+                action=action_taken,
+            )
+            self.events.append(event)
+            return event
+        if action is not Action.NONE:
+            (X_fit, y_fit), (X_shadow, y_shadow) = self._split_window(X, y)
+            challenger = self.train_fn(ArraySource(X_fit, y_fit))
+            shadow = shadow_evaluate(
+                self.server.model,
+                challenger,
+                X_shadow,
+                y_shadow,
+                metric=self.metric,
+                threshold=self.monitor.evaluator.threshold,
+                min_lift=self.min_lift,
+                positive_label=self.monitor.positive_label,
+            )
+            if shadow.promote:
+                promoted_version = self.registry.register(
+                    challenger,
+                    metrics={
+                        "shadow_metric": self.metric,
+                        "shadow_champion": shadow.champion_score,
+                        "shadow_challenger": shadow.challenger_score,
+                    },
+                    tags={
+                        "action": action.name,
+                        "replaced": serving_version,
+                    },
+                )
+                self.registry.set_champion(promoted_version)
+                self.server.swap_model(challenger, version=promoted_version)
+                # The promoted model learned the drifted distribution —
+                # rebase the monitor on its training window so the "new
+                # normal" stops alarming, and reset the error baseline.
+                self.monitor.rebase_reference(X_fit, y_fit)
+                self.monitor.reset_after_swap()
+                promoted = True
+        event = LifecycleEvent(
+            n_rows=n_rows,
+            model_version=serving_version,
+            reports=list(reports),
+            action=action,
+            shadow=shadow,
+            promoted=promoted,
+            promoted_version=promoted_version,
+        )
+        self.events.append(event)
+        return event
+
+    def _split_window(self, X: np.ndarray, y: np.ndarray):
+        """Oldest rows train the challenger, newest shadow-compare it.
+
+        Returns ``((X_fit, y_fit), (X_shadow, y_shadow))``. Falls back to
+        full-window/full-window when ``holdout_fraction`` is 0 or the
+        training slice would lose a class (a challenger must see both).
+        """
+        n_holdout = int(round(len(y) * self.holdout_fraction))
+        n_fit = len(y) - n_holdout
+        if n_holdout < 1 or np.unique(y[:n_fit]).size < 2:
+            return (X, y), (X, y)
+        return (X[:n_fit], y[:n_fit]), (X[n_fit:], y[n_fit:])

@@ -1,0 +1,78 @@
+"""Retrain policy: typed drift reports in, lifecycle action out.
+
+Detection and reaction are deliberately separate objects: the detectors
+(:mod:`repro.monitoring`) state *evidence*, the :class:`RetrainPolicy`
+owns the *decision rules* — how many corroborating warnings justify
+spending a retrain, and how long to hold fire after acting (retraining on
+every window of a sustained drift would burn compute re-learning the same
+shift). The default rules:
+
+* any ``ALARM`` → :attr:`Action.RETRAIN_NOW`;
+* at least ``warn_quorum`` detectors at ``WARN`` (default 2 — one noisy
+  statistic is not a drift) → :attr:`Action.WARM_CHALLENGER`;
+* otherwise → :attr:`Action.NONE`;
+* after a non-``NONE`` action, ``cooldown`` further decisions return
+  ``NONE`` regardless of evidence.
+
+``decide`` is a pure function of (reports, internal cooldown counter), so
+a replayed stream makes identical decisions.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+from ..monitoring.drift import DriftLevel, DriftReport
+
+__all__ = ["Action", "RetrainPolicy"]
+
+
+class Action(enum.IntEnum):
+    """Ordered lifecycle actions (``max`` picks the strongest)."""
+
+    NONE = 0
+    #: train a challenger in the background; promote only on a shadow win.
+    WARM_CHALLENGER = 1
+    #: drift is confirmed — retrain immediately and promote on a shadow win.
+    RETRAIN_NOW = 2
+
+
+class RetrainPolicy:
+    """Map :class:`~repro.monitoring.DriftReport` s to an :class:`Action`.
+
+    Parameters
+    ----------
+    warn_quorum : int, default 2
+        Distinct detectors at ``WARN`` (or above) needed to warm a
+        challenger.
+    cooldown : int, default 3
+        Decisions to sit out after any non-``NONE`` action.
+    """
+
+    def __init__(self, *, warn_quorum: int = 2, cooldown: int = 3):
+        if warn_quorum < 1:
+            raise ValueError("warn_quorum must be >= 1")
+        if cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
+        self.warn_quorum = int(warn_quorum)
+        self.cooldown = int(cooldown)
+        self._cooldown_left = 0
+
+    def decide(self, reports: Sequence[DriftReport]) -> Action:
+        """The action the current evidence justifies (stateful cooldown)."""
+        if self._cooldown_left > 0:
+            self._cooldown_left -= 1
+            return Action.NONE
+        action = Action.NONE
+        n_warn = sum(1 for r in reports if r.level >= DriftLevel.WARN)
+        if any(r.level is DriftLevel.ALARM for r in reports):
+            action = Action.RETRAIN_NOW
+        elif n_warn >= self.warn_quorum:
+            action = Action.WARM_CHALLENGER
+        if action is not Action.NONE:
+            self._cooldown_left = self.cooldown
+        return action
+
+    def reset(self) -> None:
+        self._cooldown_left = 0

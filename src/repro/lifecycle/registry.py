@@ -1,0 +1,211 @@
+"""Versioned artifact registry: a directory of models, one source of truth.
+
+:class:`ArtifactRegistry` manages a directory of
+:mod:`repro.persistence` ``.npz`` artifacts plus a single
+``manifest.json``:
+
+* **register** — saves the model through :func:`~repro.persistence.
+  save_model` under a fresh monotonic version id (``v0001``, ``v0002``,
+  ...; ids are never reused, even after deletes), then *verifies* the
+  written artifact by reloading it — a model that cannot round-trip never
+  enters the manifest — and records the file's SHA-256 alongside caller
+  metadata (shadow metrics, drift context, parent version).
+* **load** — re-hashes the file against the manifest checksum before
+  handing it to :func:`~repro.persistence.load_model` (which then verifies
+  its own per-array checksums), so registry corruption and artifact
+  corruption both fail loudly as
+  :class:`~repro.exceptions.RegistryError` / ``PersistenceError``.
+* **champion pointer** — the promotion workflow's output is just
+  ``set_champion(version)``; a restarting server asks
+  ``registry.champion`` and serves that artifact.
+
+The manifest is written atomically (temp file + ``os.replace``) so a
+crash mid-register leaves the previous manifest intact; the orphaned
+``.npz`` is harmless and is reused-proof because ids are monotonic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, List, Optional
+
+from ..exceptions import PersistenceError, RegistryError
+from ..persistence import load_model, save_model
+
+__all__ = ["ArtifactRegistry"]
+
+_MANIFEST = "manifest.json"
+_MANIFEST_SCHEMA = 1
+
+
+def _file_sha256(path: str) -> str:
+    h = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()
+
+
+class ArtifactRegistry:
+    """Directory-backed registry of versioned model artifacts.
+
+    Parameters
+    ----------
+    root : str or path
+        Directory to manage; created if missing. An existing manifest is
+        loaded (and validated) so registries persist across processes.
+
+    Examples
+    --------
+    >>> registry = ArtifactRegistry(tmp_dir)            # doctest: +SKIP
+    >>> v1 = registry.register(clf, metrics={"auprc": 0.91})  # doctest: +SKIP
+    >>> registry.set_champion(v1)                       # doctest: +SKIP
+    >>> model = registry.load(registry.champion)        # doctest: +SKIP
+    """
+
+    def __init__(self, root):
+        self.root = os.fspath(root)
+        os.makedirs(self.root, exist_ok=True)
+        self._manifest_path = os.path.join(self.root, _MANIFEST)
+        if os.path.exists(self._manifest_path):
+            self._manifest = self._read_manifest()
+        else:
+            self._manifest = {
+                "schema": _MANIFEST_SCHEMA,
+                "next_id": 1,
+                "champion": None,
+                "versions": {},
+            }
+            self._write_manifest()
+
+    # ------------------------------------------------------------------ #
+    def _read_manifest(self) -> Dict:
+        try:
+            with open(self._manifest_path, "r") as handle:
+                manifest = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise RegistryError(
+                f"{self._manifest_path}: unreadable manifest ({exc})"
+            ) from exc
+        if manifest.get("schema") != _MANIFEST_SCHEMA:
+            raise RegistryError(
+                f"{self._manifest_path}: unsupported manifest schema "
+                f"{manifest.get('schema')!r}"
+            )
+        for key in ("next_id", "versions"):
+            if key not in manifest:
+                raise RegistryError(
+                    f"{self._manifest_path}: corrupted manifest — missing {key!r}"
+                )
+        return manifest
+
+    def _write_manifest(self) -> None:
+        # Atomic replace: a crash leaves either the old or the new
+        # manifest, never a half-written file.
+        fd, tmp = tempfile.mkstemp(dir=self.root, prefix=".manifest-")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(self._manifest, handle, indent=2, sort_keys=True)
+            os.replace(tmp, self._manifest_path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    # ------------------------------------------------------------------ #
+    def register(self, model, *, metrics: Optional[Dict] = None,
+                 tags: Optional[Dict] = None) -> str:
+        """Persist ``model`` under the next version id; returns the id.
+
+        The artifact is reloaded immediately after writing — an
+        integrity check that catches non-round-trippable models and
+        write corruption *before* the version becomes visible.
+        """
+        version = f"v{self._manifest['next_id']:04d}"
+        path = os.path.join(self.root, f"{version}.npz")
+        save_model(model, path)
+        try:
+            load_model(path)  # integrity gate: full checksum + restore
+        except PersistenceError:
+            os.unlink(path)
+            raise
+        self._manifest["next_id"] += 1
+        self._manifest["versions"][version] = {
+            "file": os.path.basename(path),
+            "sha256": _file_sha256(path),
+            "model_class": type(model).__name__,
+            "metrics": dict(metrics or {}),
+            "tags": dict(tags or {}),
+        }
+        self._write_manifest()
+        return version
+
+    def load(self, version: Optional[str] = None):
+        """Load a registered model (default: the champion).
+
+        The file is re-hashed against the manifest before
+        :func:`~repro.persistence.load_model` parses it.
+        """
+        if version is None:
+            version = self.champion
+            if version is None:
+                raise RegistryError("registry has no champion to load")
+        entry = self._entry(version)
+        path = self.path(version)
+        if not os.path.exists(path):
+            raise RegistryError(f"{version}: artifact file {path} is missing")
+        if _file_sha256(path) != entry["sha256"]:
+            raise RegistryError(
+                f"{version}: artifact bytes changed since registration "
+                "(checksum mismatch)"
+            )
+        return load_model(path)
+
+    # ------------------------------------------------------------------ #
+    def _entry(self, version: str) -> Dict:
+        entry = self._manifest["versions"].get(version)
+        if entry is None:
+            raise RegistryError(
+                f"unknown version {version!r}; registered: {self.versions()}"
+            )
+        return entry
+
+    def path(self, version: str) -> str:
+        return os.path.join(self.root, self._entry(version)["file"])
+
+    def describe(self, version: str) -> Dict:
+        """Manifest entry (copy) for a version: checksum, metrics, tags."""
+        return json.loads(json.dumps(self._entry(version)))
+
+    def versions(self) -> List[str]:
+        """Registered version ids, oldest first.
+
+        Sorted by ``(length, string)``: zero-padded ids order lexically
+        among themselves, and a longer id (``v10000`` after the padding
+        overflows at ``v9999``) still sorts after every shorter one.
+        """
+        return sorted(self._manifest["versions"], key=lambda v: (len(v), v))
+
+    @property
+    def latest(self) -> Optional[str]:
+        versions = self.versions()
+        return versions[-1] if versions else None
+
+    @property
+    def champion(self) -> Optional[str]:
+        """The version currently blessed for serving (or ``None``)."""
+        return self._manifest.get("champion")
+
+    def set_champion(self, version: str) -> None:
+        self._entry(version)  # validate
+        self._manifest["champion"] = version
+        self._write_manifest()
+
+    def __len__(self) -> int:
+        return len(self._manifest["versions"])
+
+    def __contains__(self, version) -> bool:
+        return version in self._manifest["versions"]

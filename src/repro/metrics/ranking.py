@@ -7,11 +7,12 @@ linear interpolation Davis & Goadrich (2006) warn about.
 
 from __future__ import annotations
 
+import warnings
 from typing import Tuple
 
 import numpy as np
 
-from ..exceptions import DataValidationError
+from ..exceptions import DataValidationError, UndefinedMetricWarning
 from ..utils.validation import column_or_1d
 
 __all__ = [
@@ -34,6 +35,26 @@ def _check_ranking_inputs(y_true, y_score) -> Tuple[np.ndarray, np.ndarray]:
     if not np.isin(np.unique(y_true), (0, 1)).all():
         raise DataValidationError("ranking metrics require binary labels in {0, 1}")
     return y_true, y_score
+
+
+def _single_class_nan(metric: str, y_true: np.ndarray) -> bool:
+    """True (after emitting :class:`UndefinedMetricWarning`) when ``y_true``
+    holds a single class, making ``metric`` undefined for the window.
+
+    Monitoring windows over highly imbalanced streams are routinely
+    all-majority; callers return ``nan`` instead of raising so a windowed
+    evaluator degrades to "no signal yet" rather than crashing the loop.
+    """
+    if np.unique(y_true).size >= 2:
+        return False
+    present = "positives" if y_true.size and y_true[0] == 1 else "negatives"
+    warnings.warn(
+        f"{metric} is undefined for a window containing only {present}; "
+        "returning nan",
+        UndefinedMetricWarning,
+        stacklevel=3,
+    )
+    return True
 
 
 def _binary_curve(y_true, y_score) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -64,11 +85,24 @@ def precision_recall_curve(y_true, y_score):
     0 is the lowest (highest-recall) operating point. Serving-threshold
     tuning (:func:`repro.serving.threshold_for_precision`) relies on this
     alignment.
+
+    A window with **no positives** (routine for monitoring windows over
+    highly imbalanced traffic) does not raise: it emits
+    :class:`~repro.exceptions.UndefinedMetricWarning` and returns the
+    curve with every ``recall`` entry ``nan`` (recall is 0/0 there);
+    ``precision`` stays well-defined (0 at every real threshold, the
+    conventional 1 at the anchor) and the length contract holds.
     """
     y_true, y_score = _check_ranking_inputs(y_true, y_score)
     n_pos = int(y_true.sum())
     if n_pos == 0:
-        raise DataValidationError("precision_recall_curve needs at least one positive")
+        _single_class_nan("precision_recall_curve recall", y_true)
+        if y_true.size == 0:
+            return np.array([1.0]), np.array([np.nan]), np.array([])
+        fps, tps, thresholds = _binary_curve(y_true, y_score)
+        precision = np.concatenate([(tps / (tps + fps))[::-1], [1.0]])
+        recall = np.full(precision.shape, np.nan)
+        return precision, recall, thresholds[::-1]
     fps, tps, thresholds = _binary_curve(y_true, y_score)
     precision = tps / (tps + fps)
     recall = tps / n_pos
@@ -83,7 +117,14 @@ def average_precision_score(y_true, y_score) -> float:
 
     ``AP = sum_k (R_k - R_{k-1}) * P_k`` over thresholds in decreasing score
     order; equivalently the mean precision at the rank of each positive.
+
+    Returns ``nan`` (with :class:`~repro.exceptions.UndefinedMetricWarning`)
+    for a single-class window — ranking quality is meaningless with nothing
+    to rank against, and monitoring windows are routinely all-majority.
     """
+    y_true, y_score = _check_ranking_inputs(y_true, y_score)
+    if _single_class_nan("average_precision_score", y_true):
+        return float("nan")
     precision, recall, _ = precision_recall_curve(y_true, y_score)
     # recall is decreasing; -diff gives the positive recall increments.
     return float(-np.sum(np.diff(recall) * precision[:-1]))
@@ -117,6 +158,14 @@ def auc(x, y) -> float:
 
 
 def roc_auc_score(y_true, y_score) -> float:
-    """Area under the ROC curve (equals the rank-sum statistic)."""
+    """Area under the ROC curve (equals the rank-sum statistic).
+
+    Returns ``nan`` (with :class:`~repro.exceptions.UndefinedMetricWarning`)
+    for a single-class window instead of raising; :func:`roc_curve` itself
+    still raises, since a curve with an undefined axis has no useful shape.
+    """
+    y_true, y_score = _check_ranking_inputs(y_true, y_score)
+    if _single_class_nan("roc_auc_score", y_true):
+        return float("nan")
     fpr, tpr, _ = roc_curve(y_true, y_score)
     return auc(fpr, tpr)

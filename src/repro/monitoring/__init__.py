@@ -1,0 +1,50 @@
+"""Post-deployment monitoring: prequential evaluation + drift detection.
+
+The paper's setting is *massive, highly imbalanced* streams; this package
+closes the gap between "deployed" and "still correct". Three layers:
+
+* :mod:`repro.monitoring.prequential` —
+  :class:`PrequentialEvaluator`: ring-buffer windows of imbalance-aware
+  metrics (AUPRC, F1-at-threshold, minority recall, error rate,
+  prevalence) over a label-delayed scored stream, built on the existing
+  :mod:`repro.metrics` primitives (which now return ``nan`` instead of
+  raising on the all-majority windows imbalanced traffic routinely
+  produces).
+* :mod:`repro.monitoring.drift` — typed :class:`DriftReport` s with
+  ordered warn/alarm :class:`DriftLevel` s from three detectors:
+  :class:`FeatureDriftDetector` (per-feature PSI + KS against a
+  training-time :class:`ReferenceSketch`), :class:`DDMDetector`
+  (Gama-style error-rate concept drift), and
+  :class:`PrevalenceShiftDetector` (two-proportion z-test on the minority
+  prior).
+* :mod:`repro.monitoring.monitor` — :class:`DriftMonitor`, the bundle a
+  serving loop actually holds: one ``observe`` per scored batch, one
+  ``check`` per decision point, ``window_source()`` to hand the retained
+  window straight to the streaming trainers.
+
+:mod:`repro.lifecycle` consumes these reports to decide *when* to retrain
+and *whether* to promote. See ``DESIGN.md`` → "Monitoring".
+"""
+
+from .drift import (
+    DDMDetector,
+    DriftLevel,
+    DriftReport,
+    FeatureDriftDetector,
+    PrevalenceShiftDetector,
+    ReferenceSketch,
+)
+from .monitor import DriftMonitor
+from .prequential import PrequentialEvaluator, RingWindow
+
+__all__ = [
+    "DDMDetector",
+    "DriftLevel",
+    "DriftMonitor",
+    "DriftReport",
+    "FeatureDriftDetector",
+    "PrevalenceShiftDetector",
+    "PrequentialEvaluator",
+    "ReferenceSketch",
+    "RingWindow",
+]

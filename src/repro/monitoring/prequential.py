@@ -1,0 +1,228 @@
+"""Windowed prequential evaluation over a label-delayed stream.
+
+Prequential ("predict, then train/evaluate") evaluation is the standard
+protocol for data streams: every incoming example is first scored by the
+live model and only later — when its label arrives — counted into the
+evaluation. :class:`PrequentialEvaluator` implements the windowed variant
+on two fixed-size ring buffers:
+
+* a **pending FIFO** of scores whose labels have not arrived yet — on
+  real fraud traffic the chargeback label lags the transaction by days,
+  so scores and labels flow in as two ordered streams that are joined
+  here (labels are matched to the *oldest* unlabeled scores, i.e. labels
+  arrive in the same order as the rows they label);
+* a **window ring** of the most recent ``window_size`` labeled
+  ``(score, label)`` pairs, over which the imbalance-aware metrics are
+  computed on demand from the existing :mod:`repro.metrics` primitives —
+  AUPRC (:func:`~repro.metrics.average_precision_score`), F1 and minority
+  recall at the serving threshold, error rate, and minority prevalence.
+
+Windows over highly imbalanced traffic are routinely all-majority; the
+ranking metrics then return ``nan`` (with
+:class:`~repro.exceptions.UndefinedMetricWarning`, suppressed here — for a
+monitoring window this is the expected idle state, not a problem to log
+once per check) so the monitoring loop keeps running and simply reports
+"no ranking signal in this window".
+"""
+
+from __future__ import annotations
+
+import warnings
+from collections import deque
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import UndefinedMetricWarning
+from ..metrics import average_precision_score, f1_score, recall_score
+
+__all__ = ["PrequentialEvaluator", "RingWindow"]
+
+
+class RingWindow:
+    """Fixed-capacity ring buffer over numpy rows (1D values or 2D rows).
+
+    Appending beyond capacity overwrites the oldest entries; :meth:`values`
+    returns the live contents in arrival order. Storage is preallocated
+    once, so a monitoring loop's memory is bounded by the window size no
+    matter how long the stream runs.
+    """
+
+    def __init__(self, capacity: int, n_columns: int = 0, dtype=np.float64):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        shape = (self.capacity,) if n_columns == 0 else (self.capacity, n_columns)
+        self._data = np.empty(shape, dtype=dtype)
+        self._pos = 0
+        self._filled = 0
+
+    def __len__(self) -> int:
+        return self._filled
+
+    @property
+    def full(self) -> bool:
+        return self._filled == self.capacity
+
+    def extend(self, rows) -> None:
+        rows = np.asarray(rows, dtype=self._data.dtype)
+        if rows.ndim == self._data.ndim - 1:
+            rows = rows[None]
+        if rows.shape[1:] != self._data.shape[1:]:
+            raise ValueError(
+                f"row shape {rows.shape[1:]} does not match window "
+                f"shape {self._data.shape[1:]}"
+            )
+        if len(rows) >= self.capacity:  # only the newest rows survive
+            self._data[:] = rows[-self.capacity :]
+            self._pos = 0
+            self._filled = self.capacity
+            return
+        first = min(len(rows), self.capacity - self._pos)
+        self._data[self._pos : self._pos + first] = rows[:first]
+        if first < len(rows):
+            self._data[: len(rows) - first] = rows[first:]
+        self._pos = (self._pos + len(rows)) % self.capacity
+        self._filled = min(self.capacity, self._filled + len(rows))
+
+    def values(self) -> np.ndarray:
+        """Live contents, oldest first (a copy — safe to mutate)."""
+        if not self.full:
+            return self._data[: self._filled].copy()
+        return np.concatenate([self._data[self._pos :], self._data[: self._pos]])
+
+    def clear(self) -> None:
+        self._pos = 0
+        self._filled = 0
+
+
+class PrequentialEvaluator:
+    """Windowed, label-delayed prequential metrics for a scored stream.
+
+    Parameters
+    ----------
+    window_size : int, default 2000
+        Labeled pairs retained for metric computation.
+    threshold : float, default 0.5
+        Decision threshold turning scores into hard labels for F1 /
+        minority recall / error rate (match the serving threshold).
+
+    Usage: call :meth:`push_scores` when the model scores traffic and
+    :meth:`push_labels` when ground truth arrives (immediately, or
+    arbitrarily later — the pending FIFO joins the two streams in order;
+    an interleaving like scores(5), labels(2), scores(3), labels(6) is
+    fine). :meth:`metrics` computes the window metrics on demand.
+
+    Labels are the library's **internal {0, 1} encoding** (1 = minority);
+    deployments with other alphabets encode at the boundary, as
+    :class:`~repro.monitoring.DriftMonitor` does via its
+    ``positive_label``.
+    """
+
+    def __init__(self, window_size: int = 2000, threshold: float = 0.5):
+        if not 0.0 <= float(threshold) <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+        self.threshold = float(threshold)
+        self._scores = RingWindow(window_size)
+        self._labels = RingWindow(window_size, dtype=np.int64)
+        self._pending: deque = deque()
+        self.n_scored = 0
+        self.n_labeled = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def window_size(self) -> int:
+        return self._scores.capacity
+
+    @property
+    def n_pending(self) -> int:
+        """Scores still waiting for their (delayed) labels."""
+        return len(self._pending)
+
+    def __len__(self) -> int:
+        """Labeled pairs currently in the window."""
+        return len(self._scores)
+
+    def push_scores(self, y_score) -> None:
+        """Record positive-class scores for rows whose labels are not known
+        yet (they enter the window when :meth:`push_labels` delivers them)."""
+        y_score = np.atleast_1d(np.asarray(y_score, dtype=np.float64))
+        self._pending.extend(y_score.tolist())
+        self.n_scored += len(y_score)
+
+    def push_labels(self, y_true) -> np.ndarray:
+        """Deliver ground-truth labels for the *oldest* pending scores.
+
+        Returns the scores the labels were joined with (same order), so
+        callers can derive the fresh error indicators without re-reading
+        the window. Raises if more labels arrive than scores are pending —
+        labels for rows that were never scored cannot be evaluated
+        prequentially.
+        """
+        y_true = np.atleast_1d(np.asarray(y_true)).astype(np.int64)
+        if len(y_true) > len(self._pending):
+            raise ValueError(
+                f"{len(y_true)} labels delivered but only "
+                f"{len(self._pending)} scores are pending"
+            )
+        scores = np.array(
+            [self._pending.popleft() for _ in range(len(y_true))], dtype=np.float64
+        )
+        self._scores.extend(scores)
+        self._labels.extend(y_true)
+        self.n_labeled += len(y_true)
+        return scores
+
+    def add(self, y_score, y_true) -> np.ndarray:
+        """Zero-delay convenience: score and label arrive together."""
+        self.push_scores(y_score)
+        return self.push_labels(y_true)
+
+    # ------------------------------------------------------------------ #
+    def window(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(y_true, y_score)`` of the current window, oldest first."""
+        return self._labels.values(), self._scores.values()
+
+    def errors(self) -> np.ndarray:
+        """Per-row 0/1 error indicators at :attr:`threshold`, oldest first
+        (the input stream of the DDM-style error-rate detector)."""
+        y_true, y_score = self.window()
+        return ((y_score >= self.threshold).astype(np.int64) != y_true).astype(
+            np.int64
+        )
+
+    def metrics(self) -> Dict[str, float]:
+        """Imbalance-aware metrics over the current window.
+
+        Keys: ``n`` (window fill), ``auprc``, ``f1``, ``minority_recall``,
+        ``error_rate``, ``prevalence``. Ranking metrics are ``nan`` for
+        empty or single-class windows (expected on quiet imbalanced
+        traffic; the warning is suppressed here).
+        """
+        y_true, y_score = self.window()
+        if y_true.size == 0:
+            return {
+                "n": 0,
+                "auprc": float("nan"),
+                "f1": float("nan"),
+                "minority_recall": float("nan"),
+                "error_rate": float("nan"),
+                "prevalence": float("nan"),
+            }
+        y_pred = (y_score >= self.threshold).astype(np.int64)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", UndefinedMetricWarning)
+            auprc = average_precision_score(y_true, y_score)
+        single_class = np.unique(y_true).size < 2
+        return {
+            "n": int(y_true.size),
+            "auprc": float(auprc),
+            "f1": float("nan") if single_class else float(f1_score(y_true, y_pred)),
+            "minority_recall": (
+                float("nan")
+                if not y_true.any()
+                else float(recall_score(y_true, y_pred))
+            ),
+            "error_rate": float((y_pred != y_true).mean()),
+            "prevalence": float(y_true.mean()),
+        }

@@ -5,9 +5,13 @@ live fitted ensemble) with the packed inference kernel pre-built, serves
 ``predict_proba`` over a bounded micro-batching queue, and classifies with
 a tunable decision threshold instead of the hard-coded argmax.
 :func:`threshold_for_precision` derives that threshold from a validation
-PR curve. See ``DESIGN.md`` → "Serving".
+PR curve. :meth:`ModelServer.swap_model` hot-swaps a retrained model with
+zero downtime (kernel pre-built off the serving thread, one atomic
+pointer flip); :meth:`ModelServer.stats` exposes traffic counters and the
+current ``model_version``, which :class:`ScoredBatch` results also carry
+per request. See ``DESIGN.md`` → "Serving".
 """
 
-from .server import ModelServer, threshold_for_precision
+from .server import ModelServer, ScoredBatch, threshold_for_precision
 
-__all__ = ["ModelServer", "threshold_for_precision"]
+__all__ = ["ModelServer", "ScoredBatch", "threshold_for_precision"]

@@ -1,4 +1,4 @@
-"""Model serving: warm artifact loading, micro-batching, thresholding.
+"""Model serving: warm loading, micro-batching, thresholding, hot swap.
 
 :class:`ModelServer` turns a fitted (or persisted) ensemble into a serving
 endpoint:
@@ -7,9 +7,10 @@ endpoint:
   :func:`repro.persistence.load_model` and its packed inference kernel
   (:class:`~repro.fastpath.PackedForest`, plus the compiled
   :class:`~repro.fastpath.CodeTable` for shared-binner ensembles) is built
-  *at construction*, through the model's ``__serving_ensemble__`` hook —
-  the very ``(estimators, classes)`` pair ``predict_proba`` feeds to the
-  pack cache — so the first request pays only the kernel, never a re-pack.
+  *at construction*, through
+  :func:`~repro.fastpath.warm_serving_pack` — which warms the very
+  ``(estimators, classes)`` cache entry ``predict_proba`` feeds — so the
+  first request pays only the kernel, never a re-pack.
 * **Micro-batching** — requests submitted through :meth:`submit` enter a
   *bounded* queue (overflow raises
   :class:`~repro.exceptions.ServerOverloadedError` instead of growing
@@ -25,24 +26,41 @@ endpoint:
   traffic the operating point is a product decision, not a constant.
   :func:`threshold_for_precision` picks the threshold from a validation
   set's PR curve.
+* **Hot swap** — :meth:`swap_model` replaces the served model with zero
+  downtime. The *entire* serving identity (model, version, classes,
+  positive index, kernel flags) lives in one immutable
+  :class:`_ActiveModel` record; the challenger's packed kernel is built in
+  the *caller's* thread first, then the record pointer is flipped under
+  the submit lock. The batching worker reads the pointer exactly once per
+  drained batch, so every request is served end-to-end by exactly one
+  model version (stamped into :class:`ScoredBatch` results as
+  ``model_version``), in-flight requests never block on a re-pack, and
+  the queue never drops a request across a swap.
+* **Observability** — :meth:`stats` reports served-traffic counters
+  (requests, batches, rows, batch-size distribution, overflow rejections,
+  per-version request counts, swap count, current version) so monitoring
+  loops and benchmarks read server health without instrumenting
+  internals.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import queue
 import threading
+from collections import Counter
 from concurrent.futures import Future
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..exceptions import ServerOverloadedError
-from ..fastpath import fastpath_enabled
-from ..fastpath.codetable import cached_packed_ensemble
+from ..fastpath.codetable import warm_serving_pack
 from ..metrics.ranking import precision_recall_curve
 from ..utils.validation import check_is_fitted
 
-__all__ = ["ModelServer", "threshold_for_precision"]
+__all__ = ["ModelServer", "ScoredBatch", "threshold_for_precision"]
 
 _STOP = object()
 
@@ -57,15 +75,65 @@ def threshold_for_precision(y_true, y_score, min_precision: float) -> float:
     threshold). Scanning from index 0 — the lowest threshold, hence the
     highest recall — the first point meeting the precision target is the
     highest-recall operating point that meets it.
+
+    Edge-case contract (pinned by ``tests/test_serving.py``):
+
+    * **Unreachable target** — when no real threshold reaches
+      ``min_precision``, a :class:`ValueError` is raised naming the best
+      achievable precision. The curve's trailing ``(1, 0)`` anchor is
+      *excluded* from the scan: it has no threshold (no score classifies
+      nothing as positive), so "precision 1 by predicting nothing" never
+      masquerades as an operating point.
+    * **Ties at the boundary** — equal scores collapse into a single
+      threshold whose precision already accounts for every tied row, so
+      the returned threshold always admits the whole tie group; a target
+      only separable *inside* a tie group resolves to the next threshold
+      that actually meets it (or raises).
     """
     precision, _, thresholds = precision_recall_curve(y_true, y_score)
     ok = np.flatnonzero(precision[: len(thresholds)] >= min_precision)
     if ok.size == 0:
+        achievable = precision[: len(thresholds)]
+        best = float(achievable.max()) if achievable.size else 0.0
         raise ValueError(
             f"no threshold reaches precision {min_precision}; max achievable "
-            f"is {float(precision[:-1].max())}"
+            f"is {best}"
         )
     return float(thresholds[ok[0]])
+
+
+@dataclass(frozen=True)
+class ScoredBatch:
+    """A scored request with the version that served it.
+
+    ``proba`` columns follow the serving model's ``classes_``;
+    ``model_version`` is the :class:`ModelServer` version stamp of the one
+    model that scored every row of this request.
+    """
+
+    proba: np.ndarray
+    model_version: str
+
+
+@dataclass(frozen=True)
+class _ActiveModel:
+    """Immutable serving identity; swapped as a single pointer flip."""
+
+    model: object
+    version: str
+    classes: np.ndarray
+    positive_idx: int
+    packed: bool
+    code_table: bool
+
+
+def _resolve_positive_idx(model, classes: np.ndarray) -> int:
+    minority = getattr(model, "minority_class_", None)
+    if minority is not None:
+        return int(np.flatnonzero(classes == minority)[0])
+    # Label-generic ensembles (forest/bagging): by the library's
+    # convention the higher-sorted label is the positive one.
+    return len(classes) - 1
 
 
 class ModelServer:
@@ -83,13 +151,17 @@ class ModelServer:
     max_pending : int, default 4096
         Bound on queued requests; :meth:`submit` raises
         :class:`~repro.exceptions.ServerOverloadedError` beyond it.
+    model_version : str, default "v0"
+        Version stamp for the initial model (use the
+        :class:`~repro.lifecycle.ArtifactRegistry` id when serving a
+        registered artifact); :meth:`swap_model` installs new stamps.
 
     Attributes
     ----------
-    packed_ : bool — the model was packed into a warm ``PackedForest``.
+    packed_ : bool — the active model is served by a warm ``PackedForest``.
     code_table_ : bool — a compiled ``CodeTable`` additionally serves it.
     n_requests_ / n_batches_ : served-traffic counters (micro-batching
-        efficiency = requests per batch).
+        efficiency = requests per batch); see :meth:`stats` for the rest.
 
     Examples
     --------
@@ -97,6 +169,8 @@ class ModelServer:
     >>> server = ModelServer(clf, threshold=0.3)          # doctest: +SKIP
     >>> proba = server.predict_proba(X_batch)             # doctest: +SKIP
     >>> labels = server.predict(X_batch)                  # doctest: +SKIP
+    >>> server.swap_model(new_clf, version="v0002")       # doctest: +SKIP
+    >>> server.stats()["model_version"]                   # doctest: +SKIP
     >>> server.close()                                    # doctest: +SKIP
     """
 
@@ -107,17 +181,12 @@ class ModelServer:
         threshold: float = 0.5,
         max_batch: int = 256,
         max_pending: int = 4096,
+        model_version: str = "v0",
     ):
-        if isinstance(model, (str, bytes)) or hasattr(model, "__fspath__"):
-            from ..persistence import load_model
-
-            model = load_model(model)
-        check_is_fitted(model)
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if max_pending < 1:
             raise ValueError("max_pending must be >= 1")
-        self.model = model
         self.max_batch = int(max_batch)
         self.threshold = threshold
         self._queue: "queue.Queue" = queue.Queue(maxsize=int(max_pending))
@@ -126,13 +195,74 @@ class ModelServer:
         self._closed = False
         self.n_requests_ = 0
         self.n_batches_ = 0
-        self._classes = np.asarray(getattr(model, "classes_", np.array([0, 1])))
-        self._positive_idx = self._resolve_positive_idx()
-        self.packed_ = False
-        self.code_table_ = False
-        self._warm()
+        self.n_rows_ = 0
+        self.n_overflows_ = 0
+        self.n_swaps_ = 0
+        self._batch_rows: Counter = Counter()
+        self._requests_by_version: Counter = Counter()
+        self._active = self._make_active(model, str(model_version))
+        # version → serving record, for decoding results stamped with a
+        # version other than the current one (predict across a swap).
+        self._version_records: Dict[str, _ActiveModel] = {
+            self._active.version: self._active
+        }
 
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def _make_active(model, version: str) -> _ActiveModel:
+        """Validate a model and build its warm serving identity.
+
+        Runs *outside* any lock: the packed-kernel build (the expensive
+        part) happens in the calling thread, before the identity becomes
+        visible to the batching worker.
+        """
+        if isinstance(model, (str, bytes)) or hasattr(model, "__fspath__"):
+            from ..persistence import load_model
+
+            model = load_model(model)
+        check_is_fitted(model)
+        classes = np.asarray(getattr(model, "classes_", np.array([0, 1])))
+        packed, code_table = warm_serving_pack(model)
+        return _ActiveModel(
+            model=model,
+            version=version,
+            classes=classes,
+            positive_idx=_resolve_positive_idx(model, classes),
+            packed=packed,
+            code_table=code_table,
+        )
+
+    # -- serving identity (all views of the one _ActiveModel record) ---- #
+    @property
+    def model(self):
+        """The currently served model."""
+        return self._active.model
+
+    @property
+    def model_version(self) -> str:
+        """Version stamp of the currently served model."""
+        return self._active.version
+
+    @property
+    def positive_class(self):
+        """The label :meth:`predict` emits when the thresholded probability
+        clears :attr:`threshold` (the minority class when known)."""
+        active = self._active
+        return active.classes[active.positive_idx]
+
+    @property
+    def positive_index(self) -> int:
+        """Column of the positive class in ``predict_proba`` output."""
+        return self._active.positive_idx
+
+    @property
+    def packed_(self) -> bool:
+        return self._active.packed
+
+    @property
+    def code_table_(self) -> bool:
+        return self._active.code_table
+
     @property
     def threshold(self) -> float:
         """Decision threshold on the positive-class probability."""
@@ -145,40 +275,57 @@ class ModelServer:
             raise ValueError(f"threshold must be in [0, 1], got {value}")
         self._threshold = value
 
-    @property
-    def positive_class(self):
-        """The label :meth:`predict` emits when the thresholded probability
-        clears :attr:`threshold` (the minority class when known)."""
-        return self._classes[self._positive_idx]
+    # ------------------------------------------------------------------ #
+    def swap_model(self, model, *, version: Optional[str] = None) -> str:
+        """Atomically replace the served model; returns the new version.
 
-    def _resolve_positive_idx(self) -> int:
-        minority = getattr(self.model, "minority_class_", None)
-        if minority is not None:
-            return int(np.flatnonzero(self._classes == minority)[0])
-        # Label-generic ensembles (forest/bagging): by the library's
-        # convention the higher-sorted label is the positive one.
-        return len(self._classes) - 1
+        Zero-downtime by construction:
 
-    def _warm(self) -> None:
-        """Build the packed kernel now so the first request never re-packs.
+        1. the challenger (a fitted model or an artifact path) is
+           validated and its packed kernel is built *first*, in the
+           calling thread — the serving worker keeps draining the queue
+           with the old model the whole time;
+        2. the new :class:`_ActiveModel` record is installed under the
+           submit lock — a single reference assignment, so the lock is
+           held for nanoseconds, not for a kernel build;
+        3. the worker reads the active record exactly once per drained
+           batch, so every request — including ones queued before the
+           swap — is served entirely by one model version, and none is
+           dropped or blocked.
 
-        Uses the model's ``__serving_ensemble__`` hook to warm the exact
-        cache entry ``predict_proba`` will hit; models without the hook (or
-        with non-packable members) serve through their normal path.
+        Requests scored after the flip carry the new ``model_version``
+        stamp in their :class:`ScoredBatch`.
         """
-        hook = getattr(self.model, "__serving_ensemble__", None)
-        if hook is None or not fastpath_enabled():
-            return
-        estimators, classes = hook()
-        entry = cached_packed_ensemble(list(estimators), classes)
-        if entry is not None:
-            self.packed_ = True
-            self.code_table_ = entry[1] is not None
+        # expensive part (validation + kernel build), outside the lock
+        active = self._make_active(
+            model, "(pending)" if version is None else str(version)
+        )
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("ModelServer is closed")
+            if version is None:
+                # auto-version under the lock: concurrent unnamed swaps
+                # must never install the same stamp
+                active = dataclasses.replace(
+                    active, version=f"swap-{self.n_swaps_ + 1}"
+                )
+            self._active = active  # atomic pointer flip
+            self._version_records[active.version] = active
+            self.n_swaps_ += 1
+        return active.version
 
     # ------------------------------------------------------------------ #
     def submit(self, rows) -> Future:
         """Queue rows for scoring; the future resolves to their
         ``predict_proba`` matrix (columns follow ``model.classes_``)."""
+        return self._enqueue(rows, want_version=False)
+
+    def submit_scored(self, rows) -> Future:
+        """Like :meth:`submit`, but the future resolves to a
+        :class:`ScoredBatch` carrying the serving ``model_version``."""
+        return self._enqueue(rows, want_version=True)
+
+    def _enqueue(self, rows, want_version: bool) -> Future:
         rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
         future: Future = Future()
         # Enqueue under the lock: close() also holds it while setting
@@ -193,8 +340,9 @@ class ModelServer:
                 )
                 self._worker.start()
             try:
-                self._queue.put_nowait((rows, future))
+                self._queue.put_nowait((rows, future, want_version))
             except queue.Full:
+                self.n_overflows_ += 1
                 raise ServerOverloadedError(
                     f"request queue is full ({self._queue.maxsize} pending); "
                     "back off and retry"
@@ -210,7 +358,7 @@ class ModelServer:
                 item = self._queue.get()
             if item is _STOP:
                 return
-            batch: List[Tuple[np.ndarray, Future]] = [item]
+            batch: List[Tuple[np.ndarray, Future, bool]] = [item]
             total = len(item[0])
             # Coalesce whatever is already queued, up to max_batch rows
             # per kernel call (a single larger request is the only case
@@ -231,19 +379,29 @@ class ModelServer:
             rows = (
                 batch[0][0]
                 if len(batch) == 1
-                else np.vstack([r for r, _ in batch])
+                else np.vstack([r for r, _, _ in batch])
             )
+            # One read of the active record per drained batch: every
+            # request in the batch is served by exactly this version,
+            # and a concurrent swap_model only affects later batches.
+            active = self._active
             try:
-                proba = self.model.predict_proba(rows)
+                proba = active.model.predict_proba(rows)
             except BaseException as exc:  # propagate per request
-                for _, future in batch:
+                for _, future, _ in batch:
                     future.set_exception(exc)
                 continue
             self.n_batches_ += 1
             self.n_requests_ += len(batch)
+            self.n_rows_ += total
+            self._batch_rows[total] += 1
+            self._requests_by_version[active.version] += len(batch)
             offset = 0
-            for req_rows, future in batch:
-                future.set_result(proba[offset : offset + len(req_rows)])
+            for req_rows, future, want_version in batch:
+                out = proba[offset : offset + len(req_rows)]
+                future.set_result(
+                    ScoredBatch(out, active.version) if want_version else out
+                )
                 offset += len(req_rows)
 
     # ------------------------------------------------------------------ #
@@ -251,20 +409,62 @@ class ModelServer:
         """Synchronous scoring through the batching queue."""
         return self.submit(rows).result()
 
+    def score(self, rows) -> ScoredBatch:
+        """Synchronous scoring with the serving version stamp."""
+        return self.submit_scored(rows).result()
+
     def predict(self, rows) -> np.ndarray:
         """Thresholded classification (not the estimators' argmax).
 
         Binary models emit :attr:`positive_class` where its probability is
         ``>= threshold``; multi-class models fall back to argmax (a single
-        threshold is not meaningful there).
+        threshold is not meaningful there). The probabilities are decoded
+        with the classes/positive-index of the *version that scored them*
+        (looked up by the ``ScoredBatch`` stamp), so a swap landing
+        between submission and scoring can never mis-map the columns.
         """
-        proba = self.predict_proba(rows)
-        if len(self._classes) != 2:
-            return self._classes[np.argmax(proba, axis=1)]
-        positive = proba[:, self._positive_idx] >= self._threshold
-        return self._classes[
-            np.where(positive, self._positive_idx, 1 - self._positive_idx)
+        scored = self.score(rows)
+        active = self._version_records[scored.model_version]
+        proba = scored.proba
+        if len(active.classes) != 2:
+            return active.classes[np.argmax(proba, axis=1)]
+        positive = proba[:, active.positive_idx] >= self._threshold
+        return active.classes[
+            np.where(positive, active.positive_idx, 1 - active.positive_idx)
         ]
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict:
+        """Server-health snapshot for monitoring loops and benchmarks.
+
+        Counters are written by the single worker thread (traffic) and
+        the submit path (overflows); the snapshot is advisory — exact for
+        a drained queue, approximate by a batch under load.
+        """
+        active = self._active
+        # dict(counter) copies at C level under the GIL — an atomic
+        # snapshot; iterating the live Counter while the worker inserts a
+        # new key would raise "dictionary changed size during iteration".
+        batch_rows = dict(self._batch_rows)
+        by_version = dict(self._requests_by_version)
+        return {
+            "model_version": active.version,
+            "packed": active.packed,
+            "code_table": active.code_table,
+            "threshold": self._threshold,
+            "n_requests": self.n_requests_,
+            "n_batches": self.n_batches_,
+            "n_rows": self.n_rows_,
+            "n_overflows": self.n_overflows_,
+            "n_swaps": self.n_swaps_,
+            "queue_depth": self._queue.qsize(),
+            "batch_size_distribution": {
+                int(k): int(v) for k, v in sorted(batch_rows.items())
+            },
+            "requests_by_version": {
+                str(k): int(v) for k, v in sorted(by_version.items())
+            },
+        }
 
     # ------------------------------------------------------------------ #
     def close(self) -> None:

@@ -206,6 +206,20 @@ class StreamingSelfPacedEnsembleClassifier(SelfPacedEnsembleClassifier):
         self.n_features_in_ = scan.n_features
         return self
 
+    def fit_source(
+        self, source: DataSource, eval_set: Optional[Tuple] = None
+    ) -> "StreamingSelfPacedEnsembleClassifier":
+        """Fit from a :class:`DataSource` — alias of ``fit(source)`` that
+        matches the ``fit_source`` API of the resampled ensembles
+        (UnderBagging / EasyEnsemble), so lifecycle retraining
+        (:class:`~repro.lifecycle.LifecycleController`) can treat every
+        source-trainable ensemble uniformly."""
+        if not isinstance(source, DataSource):
+            raise TypeError(
+                f"fit_source expects a DataSource, got {type(source).__name__}"
+            )
+        return self.fit(source, eval_set=eval_set)
+
     # ------------------------------------------------------------------ #
     def _majority_blocks(self, source: DataSource):
         for X_block, y_block in source.iter_blocks():

@@ -90,6 +90,7 @@ class TestWorkflowFile:
         assert "BENCH_streaming.json" in paths
         assert "BENCH_fastpath.json" in paths
         assert "BENCH_serving.json" in paths
+        assert "BENCH_monitoring.json" in paths
 
     def test_bench_smoke_runs_fastpath_bench(self, makefile_text):
         smoke = makefile_text.split("bench-smoke:")[1].split("\n\n")[0]
@@ -98,6 +99,13 @@ class TestWorkflowFile:
     def test_bench_smoke_runs_serving_bench(self, makefile_text):
         smoke = makefile_text.split("bench-smoke:")[1].split("\n\n")[0]
         assert "bench_serving.py" in smoke
+
+    def test_bench_smoke_runs_monitoring_bench(self, makefile_text):
+        smoke = makefile_text.split("bench-smoke:")[1].split("\n\n")[0]
+        assert "bench_monitoring.py" in smoke
+
+    def test_bench_monitoring_target_exists(self, makefile_text):
+        assert "bench-monitoring:" in makefile_text
 
     def test_coverage_job_is_informational(self, workflow):
         assert workflow["jobs"]["coverage"].get("continue-on-error") is True
@@ -136,3 +144,23 @@ class TestMarkersRegistered:
         registered = "\n".join(pytestconfig.getini("markers"))
         assert "slow:" in registered
         assert "bench:" in registered
+
+
+class TestRegistrySmoke:
+    """Registry round-trip smoke: the artifact path CI's lifecycle relies
+    on — register → reopen → load — must stay bit-exact end to end."""
+
+    def test_register_reopen_load_roundtrip(self, tmp_path):
+        import numpy as np
+
+        from repro.core import SelfPacedEnsembleClassifier
+        from repro.datasets import make_checkerboard
+        from repro.lifecycle import ArtifactRegistry
+
+        X, y = make_checkerboard(n_minority=40, n_majority=400, random_state=0)
+        clf = SelfPacedEnsembleClassifier(n_estimators=3, random_state=0).fit(X, y)
+        version = ArtifactRegistry(tmp_path / "reg").register(clf)
+        reopened = ArtifactRegistry(tmp_path / "reg")
+        assert reopened.versions() == [version]
+        loaded = reopened.load(version)
+        assert np.array_equal(loaded.predict_proba(X), clf.predict_proba(X))

@@ -31,6 +31,21 @@ class TestReadmeSnippets:
         exec(compile(serve_blocks[0], "<README serving>", "exec"), namespace)
         assert "server" in namespace and "labels" in namespace
 
+    def test_keep_it_fresh_block_runs(self):
+        """Execute the README's monitoring/lifecycle example verbatim: a
+        registered champion is served, drifted traffic is monitored, and
+        the server exposes its stats."""
+        readme = (REPO_ROOT / "README.md").read_text()
+        blocks = re.findall(r"```python\n(.*?)```", readme, flags=re.DOTALL)
+        fresh_blocks = [
+            b for b in blocks if "LifecycleController" in b and "DriftMonitor" in b
+        ]
+        assert fresh_blocks, "README must contain a keep-it-fresh block"
+        namespace = {}
+        exec(compile(fresh_blocks[0], "<README keep-it-fresh>", "exec"), namespace)
+        assert "controller" in namespace and "stats" in namespace
+        assert namespace["stats"]["n_requests"] >= 2
+
     def test_readme_mentions_all_deliverable_paths(self):
         readme = (REPO_ROOT / "README.md").read_text()
         for path in ("DESIGN.md", "EXPERIMENTS.md", "benchmarks/", "examples/"):

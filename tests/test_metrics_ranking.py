@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.exceptions import DataValidationError
+from repro.exceptions import DataValidationError, UndefinedMetricWarning
 from repro.metrics import (
     auc,
     average_precision_score,
@@ -24,9 +24,17 @@ class TestPrecisionRecallCurve:
         precision, recall, _ = precision_recall_curve([1, 0], [0.9, 0.1])
         assert precision[-1] == 1.0 and recall[-1] == 0.0
 
-    def test_requires_positive(self):
-        with pytest.raises(DataValidationError):
-            precision_recall_curve([0, 0], [0.1, 0.2])
+    def test_no_positives_warns_and_returns_nan_recall(self):
+        """All-majority windows (routine in monitoring) must not raise:
+        recall is nan, precision stays defined, length contract holds."""
+        with pytest.warns(UndefinedMetricWarning):
+            precision, recall, thresholds = precision_recall_curve(
+                [0, 0], [0.1, 0.2]
+            )
+        assert np.isnan(recall).all()
+        assert len(precision) == len(recall) == len(thresholds) + 1
+        assert precision[-1] == 1.0
+        assert (precision[:-1] == 0.0).all()
 
     def test_length_mismatch(self):
         with pytest.raises(DataValidationError):
@@ -89,10 +97,26 @@ class TestAveragePrecision:
         ap = average_precision_score([0, 1, 0, 1], [0.5, 0.5, 0.5, 0.5])
         assert ap == pytest.approx(0.5)
 
+    @pytest.mark.parametrize("label", [0, 1])
+    def test_single_class_window_is_nan(self, label):
+        with pytest.warns(UndefinedMetricWarning):
+            ap = average_precision_score([label] * 4, [0.1, 0.2, 0.3, 0.4])
+        assert np.isnan(ap)
+
 
 class TestRoc:
     def test_perfect_auc(self):
         assert roc_auc_score([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    @pytest.mark.parametrize("label", [0, 1])
+    def test_single_class_window_is_nan(self, label):
+        """roc_auc_score degrades to nan on one-class windows; roc_curve
+        itself keeps raising (a curve with an undefined axis has no shape)."""
+        with pytest.warns(UndefinedMetricWarning):
+            score = roc_auc_score([label] * 3, [0.1, 0.5, 0.9])
+        assert np.isnan(score)
+        with pytest.raises(DataValidationError):
+            roc_curve([label] * 3, [0.1, 0.5, 0.9])
 
     def test_reversed_auc(self):
         assert roc_auc_score([1, 1, 0, 0], [0.1, 0.2, 0.8, 0.9]) == 0.0

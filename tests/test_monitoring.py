@@ -1,0 +1,371 @@
+"""Monitoring subsystem: prequential windows, drift detectors, DriftMonitor.
+
+Pins the contracts of the monitoring issue: ring windows are bounded and
+ordered, label delay joins the streams in order, single-class windows are
+nan (never a crash), detectors are deterministic and quiet on drift-free
+control streams while alarming on injected covariate / concept / prior
+drift.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_checkerboard
+from repro.monitoring import (
+    DDMDetector,
+    DriftLevel,
+    DriftMonitor,
+    DriftReport,
+    FeatureDriftDetector,
+    PrequentialEvaluator,
+    PrevalenceShiftDetector,
+    ReferenceSketch,
+    RingWindow,
+)
+from repro.streaming import ArraySource
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_checkerboard(n_minority=300, n_majority=3000, random_state=0)
+
+
+@pytest.fixture(scope="module")
+def sketch(data):
+    X, y = data
+    return ReferenceSketch(n_bins=12).fit(X, y)
+
+
+class TestRingWindow:
+    def test_bounded_and_ordered(self):
+        ring = RingWindow(5)
+        ring.extend([1.0, 2.0, 3.0])
+        assert list(ring.values()) == [1.0, 2.0, 3.0]
+        ring.extend([4.0, 5.0, 6.0, 7.0])
+        assert len(ring) == 5
+        assert list(ring.values()) == [3.0, 4.0, 5.0, 6.0, 7.0]
+
+    def test_oversized_extend_keeps_newest(self):
+        ring = RingWindow(3)
+        ring.extend(np.arange(10.0))
+        assert list(ring.values()) == [7.0, 8.0, 9.0]
+
+    def test_2d_rows(self):
+        ring = RingWindow(4, n_columns=2)
+        ring.extend(np.arange(12.0).reshape(6, 2))
+        assert ring.values().shape == (4, 2)
+        assert ring.values()[0, 0] == 4.0
+
+    def test_shape_mismatch_rejected(self):
+        ring = RingWindow(4, n_columns=2)
+        with pytest.raises(ValueError):
+            ring.extend(np.zeros((3, 5)))
+
+
+class TestPrequentialEvaluator:
+    def test_zero_delay_metrics(self):
+        ev = PrequentialEvaluator(window_size=100, threshold=0.5)
+        y = np.array([0, 0, 0, 1, 1, 0, 1, 0])
+        s = np.array([0.1, 0.2, 0.1, 0.9, 0.8, 0.6, 0.3, 0.2])
+        ev.add(s, y)
+        m = ev.metrics()
+        assert m["n"] == 8
+        assert m["prevalence"] == pytest.approx(3 / 8)
+        assert m["error_rate"] == pytest.approx(2 / 8)  # 0.6 FP + 0.3 FN
+        assert 0.0 <= m["auprc"] <= 1.0
+        assert m["minority_recall"] == pytest.approx(2 / 3)
+
+    def test_label_delay_joins_in_order(self):
+        ev = PrequentialEvaluator(window_size=10)
+        ev.push_scores([0.9, 0.1])
+        ev.push_scores([0.8])
+        assert ev.n_pending == 3
+        scores = ev.push_labels([1, 0])  # oldest two
+        assert list(scores) == [0.9, 0.1]
+        assert ev.n_pending == 1
+        y_true, y_score = ev.window()
+        assert list(y_true) == [1, 0]
+        assert list(y_score) == [0.9, 0.1]
+
+    def test_labels_beyond_pending_rejected(self):
+        ev = PrequentialEvaluator(window_size=10)
+        ev.push_scores([0.5])
+        with pytest.raises(ValueError):
+            ev.push_labels([1, 0])
+
+    def test_all_majority_window_is_nan_not_crash(self):
+        ev = PrequentialEvaluator(window_size=50)
+        ev.add(np.random.RandomState(0).uniform(size=20) * 0.3, np.zeros(20, int))
+        m = ev.metrics()
+        assert np.isnan(m["auprc"]) and np.isnan(m["f1"])
+        assert np.isnan(m["minority_recall"])
+        assert m["prevalence"] == 0.0
+
+    def test_empty_window_all_nan(self):
+        m = PrequentialEvaluator(window_size=10).metrics()
+        assert m["n"] == 0
+        assert all(
+            np.isnan(v) for k, v in m.items() if k != "n"
+        )
+
+    def test_window_is_bounded(self):
+        ev = PrequentialEvaluator(window_size=16)
+        for _ in range(10):
+            ev.add(np.full(8, 0.5), np.ones(8, int))
+        assert len(ev) == 16
+        assert ev.n_labeled == 80
+
+
+class TestReferenceSketch:
+    def test_counts_cover_reference(self, sketch, data):
+        X, y = data
+        assert sketch.n_rows_ == len(X)
+        assert sketch.counts_.sum() == len(X) * X.shape[1]
+        assert sketch.prevalence_ == pytest.approx(float(np.mean(y == 1)))
+
+    def test_fit_source_matches_fit(self, data):
+        X, y = data
+        direct = ReferenceSketch(n_bins=8).fit(X, y)
+        streamed = ReferenceSketch(n_bins=8).fit_source(
+            ArraySource(X, y, block_size=97)
+        )
+        assert np.array_equal(direct.counts_, streamed.counts_)
+        assert streamed.prevalence_ == pytest.approx(direct.prevalence_)
+        for a, b in zip(direct.binner_.edges_, streamed.binner_.edges_):
+            assert np.array_equal(a, b)
+
+    def test_subsampled_edges_deterministic(self, data):
+        X, y = data
+        a = ReferenceSketch(n_bins=8, max_fit_rows=500).fit(X, random_state=3)
+        b = ReferenceSketch(n_bins=8, max_fit_rows=500).fit(X, random_state=3)
+        for ea, eb in zip(a.binner_.edges_, b.binner_.edges_):
+            assert np.array_equal(ea, eb)
+
+    def test_feature_count_mismatch_rejected(self, sketch):
+        with pytest.raises(ValueError):
+            sketch.histogram(np.zeros((5, 7)))
+
+
+class TestFeatureDriftDetector:
+    def test_quiet_on_reference_sample(self, sketch, data):
+        X, _ = data
+        rng = np.random.RandomState(1)
+        report = FeatureDriftDetector(sketch).check(X[rng.choice(len(X), 800)])
+        assert report.level is DriftLevel.OK
+        assert report.detector == "feature_psi_ks"
+
+    def test_alarms_on_shifted_window(self, sketch, data):
+        X, _ = data
+        report = FeatureDriftDetector(sketch).check(X[:800] + 4.0)
+        assert report.level is DriftLevel.ALARM
+        assert report.statistic >= 0.25
+        assert report.drifted
+
+    def test_deterministic(self, sketch, data):
+        X, _ = data
+        det = FeatureDriftDetector(sketch)
+        r1, r2 = det.check(X[:500] + 1.0), det.check(X[:500] + 1.0)
+        assert r1.statistic == r2.statistic and r1.level == r2.level
+
+    def test_warn_band_between_thresholds(self, sketch, data):
+        """A mild shift lands between warn and alarm for some magnitude."""
+        X, _ = data
+        levels = [
+            FeatureDriftDetector(sketch).check(X[:800] + mag).level
+            for mag in (0.0, 0.05, 0.1, 0.2, 0.4, 0.8, 1.6)
+        ]
+        assert levels[0] is DriftLevel.OK
+        assert levels[-1] is DriftLevel.ALARM
+        assert DriftLevel.WARN in levels
+
+
+class TestDDM:
+    def test_quiet_on_stationary_errors(self):
+        rng = np.random.RandomState(0)
+        ddm = DDMDetector()
+        levels = set()
+        for _ in range(30):
+            levels.add(ddm.update((rng.uniform(size=100) < 0.1).astype(int)).level)
+        assert levels == {DriftLevel.OK}
+
+    def test_alarms_on_error_rise_then_resets(self):
+        rng = np.random.RandomState(0)
+        ddm = DDMDetector()
+        for _ in range(10):
+            ddm.update((rng.uniform(size=100) < 0.05).astype(int))
+        levels = []
+        for _ in range(20):
+            levels.append(
+                ddm.update((rng.uniform(size=100) < 0.4).astype(int)).level
+            )
+        assert DriftLevel.ALARM in levels
+        # reset happened: the detector re-bases on the new error regime
+        assert ddm.n < 3000
+
+    def test_minimum_sample_gate(self):
+        ddm = DDMDetector(min_samples=50)
+        report = ddm.update(np.ones(10, int))
+        assert report.level is DriftLevel.OK and np.isnan(report.statistic)
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            DDMDetector().update([0, 2, 1])
+
+
+class TestPrevalenceShift:
+    def test_quiet_at_reference_rate(self):
+        rng = np.random.RandomState(0)
+        det = PrevalenceShiftDetector(0.1)
+        y = (rng.uniform(size=2000) < 0.1).astype(int)
+        assert det.check(y).level is DriftLevel.OK
+
+    def test_alarms_on_tripled_prior(self):
+        rng = np.random.RandomState(0)
+        det = PrevalenceShiftDetector(0.1)
+        y = (rng.uniform(size=2000) < 0.3).astype(int)
+        report = det.check(y)
+        assert report.level is DriftLevel.ALARM
+        assert report.detail["z"] > 0
+
+    def test_direction_preserved_in_detail(self):
+        det = PrevalenceShiftDetector(0.5)
+        report = det.check(np.zeros(500, int))
+        assert report.detail["z"] < 0 and report.level is DriftLevel.ALARM
+
+    def test_invalid_reference_rejected(self):
+        with pytest.raises(ValueError):
+            PrevalenceShiftDetector(0.0)
+
+
+class TestDriftReport:
+    def test_ordering_and_str(self):
+        report = DriftReport(
+            detector="x", level=DriftLevel.WARN, statistic=0.2,
+            warn_threshold=0.1, alarm_threshold=0.3,
+        )
+        assert DriftLevel.OK < DriftLevel.WARN < DriftLevel.ALARM
+        assert "WARN" in str(report) and not report.drifted
+
+
+class TestDriftMonitor:
+    def _traffic(self, monitor, X, y, scores, block=100):
+        for lo in range(0, len(y), block):
+            monitor.observe(
+                X[lo : lo + block], scores[lo : lo + block], y[lo : lo + block]
+            )
+
+    def test_cold_window_reports_insufficient(self, sketch, data):
+        X, y = data
+        mon = DriftMonitor(sketch, window_size=1000, min_window=500)
+        mon.observe(X[:100], np.zeros(100), y[:100])
+        reports = mon.check()
+        assert len(reports) == 1
+        assert reports[0].detector == "insufficient_window"
+        assert reports[0].level is DriftLevel.OK
+
+    def test_quiet_on_control_stream(self, sketch, data):
+        X, y = data
+        rng = np.random.RandomState(2)
+        idx = rng.permutation(len(y))[:1500]
+        mon = DriftMonitor(sketch, window_size=1000, min_window=400)
+        scores = np.where(y[idx] == 1, 0.7, 0.2) + rng.uniform(size=1500) * 0.1
+        self._traffic(mon, X[idx], y[idx], scores)
+        assert mon.worst_level() is DriftLevel.OK
+
+    def test_alarms_on_covariate_drift(self, sketch, data):
+        X, y = data
+        rng = np.random.RandomState(3)
+        idx = rng.permutation(len(y))[:1500]
+        mon = DriftMonitor(sketch, window_size=1000, min_window=400)
+        scores = np.where(y[idx] == 1, 0.7, 0.2)
+        self._traffic(mon, X[idx] + 4.0, y[idx], scores)
+        by_name = {r.detector: r for r in mon.check()}
+        assert by_name["feature_psi_ks"].level is DriftLevel.ALARM
+
+    def test_label_delay_path(self, sketch, data):
+        X, y = data
+        mon = DriftMonitor(sketch, window_size=600, min_window=100)
+        mon.observe(X[:300], np.full(300, 0.2))
+        assert mon.metrics()["n"] == 0  # nothing labeled yet
+        mon.observe_labels(y[:300])
+        assert mon.metrics()["n"] == 300
+        Xw, yw, sw = mon.window()
+        assert np.array_equal(Xw, X[:300])
+        assert np.array_equal(yw, y[:300])
+
+    def test_more_labels_than_rows_rejected(self, sketch, data):
+        X, y = data
+        mon = DriftMonitor(sketch, window_size=100)
+        mon.observe(X[:10], np.zeros(10))
+        with pytest.raises(ValueError):
+            mon.observe_labels(y[:20])
+
+    def test_window_source_feeds_streaming_trainer(self, sketch, data):
+        X, y = data
+        mon = DriftMonitor(sketch, window_size=2000, min_window=100)
+        mon.observe(X, np.zeros(len(y)), y)
+        source = mon.window_source()
+        scan_X = source.take(np.arange(5))
+        assert scan_X.shape == (5, X.shape[1])
+
+    def test_reset_after_swap_clears_error_baseline(self, sketch, data):
+        X, y = data
+        mon = DriftMonitor(sketch, window_size=500, min_window=100)
+        mon.observe(X[:400], np.where(y[:400] == 1, 0.9, 0.1), y[:400])
+        assert mon.ddm.n > 0
+        mon.reset_after_swap()
+        assert mon.ddm.n == 0 and mon.metrics()["n"] == 400
+
+
+class TestLabelAlphabets:
+    """The monitor consumes the deployment's raw label alphabet: encoded
+    internally via positive_label, passed through raw to retraining."""
+
+    def test_minus_one_plus_one_alphabet(self, data):
+        X, y = data
+        y_pm = np.where(y == 1, 1, -1)
+        sketch = ReferenceSketch(n_bins=10).fit(X, y_pm, positive_label=1)
+        assert sketch.prevalence_ == pytest.approx(float(np.mean(y == 1)))
+        mon = DriftMonitor(sketch, window_size=800, min_window=200, positive_label=1)
+        scores = np.where(y_pm == 1, 0.9, 0.1)
+        mon.observe(X[:800], scores[:800], y_pm[:800])
+        # perfect scorer: zero error rate, correct prevalence
+        m = mon.metrics()
+        assert m["error_rate"] == 0.0
+        assert m["prevalence"] == pytest.approx(float(np.mean(y_pm[:800] == 1)))
+        assert mon.worst_level() is DriftLevel.OK
+        # the window hands back the raw alphabet for retraining
+        _, y_win, _ = mon.window()
+        assert set(np.unique(y_win)) <= {-1, 1}
+        source = mon.window_source()
+        from repro.streaming import label_value_scan
+
+        classes, _, minority_idx = label_value_scan(source)
+        assert list(classes) == [-1, 1] and minority_idx == 1
+
+    def test_string_alphabet(self, data):
+        X, y = data
+        y_str = np.where(y == 1, "fraud", "ok")
+        sketch = ReferenceSketch(n_bins=10).fit(X, y_str, positive_label="fraud")
+        mon = DriftMonitor(
+            sketch, window_size=600, min_window=200, positive_label="fraud"
+        )
+        scores = np.where(y_str == "fraud", 0.9, 0.1)
+        mon.observe(X[:600], scores[:600], y_str[:600])
+        assert mon.metrics()["error_rate"] == 0.0
+        assert mon.worst_level() is DriftLevel.OK
+        _, y_win, _ = mon.window()
+        assert set(np.unique(y_win)) <= {"fraud", "ok"}
+
+
+class TestPendingBound:
+    def test_unlabeled_rows_bounded_by_max_pending(self, sketch, data):
+        X, _ = data
+        mon = DriftMonitor(sketch, window_size=100, max_pending=250)
+        mon.observe(X[:200], np.zeros(200))
+        with pytest.raises(ValueError, match="max_pending"):
+            mon.observe(X[:100], np.zeros(100))
+        # delivering labels drains the pending buffers and unblocks
+        mon.observe_labels(np.zeros(200, dtype=int))
+        mon.observe(X[:100], np.zeros(100))
+        assert mon.evaluator.n_pending == 100

@@ -250,3 +250,210 @@ class TestThresholdForPrecision:
         noise = rng.rand(len(y))
         with pytest.raises(ValueError, match="no threshold"):
             threshold_for_precision(y, noise, 1.01)
+
+    def test_unreachable_target_names_best_achievable(self):
+        """Pinned contract: an unreachable ``min_precision`` raises
+        ValueError naming the best achievable precision, and the (1, 0)
+        anchor — precision 1 with no threshold — never satisfies it."""
+        y = np.array([0, 1, 0, 0])
+        s = np.array([0.9, 0.8, 0.7, 0.1])  # best real precision: 0.5
+        with pytest.raises(ValueError, match=r"max achievable"):
+            threshold_for_precision(y, s, 0.9)
+        # the perfect-precision *anchor* exists on the curve, but it is
+        # not an operating point: asking for 1.0 still raises here
+        with pytest.raises(ValueError):
+            threshold_for_precision(y, s, 1.0)
+
+    def test_reachable_after_tie_group(self):
+        """Perfect precision reachable at the top score: returned."""
+        y = np.array([0, 1, 1, 0])
+        s = np.array([0.2, 0.8, 0.9, 0.4])
+        t = threshold_for_precision(y, s, 1.0)
+        pred = s >= t
+        assert (y[pred] == 1).all() and pred.sum() == 2
+
+    def test_ties_at_boundary_threshold_admit_whole_group(self):
+        """Equal scores collapse into one threshold whose precision
+        already counts every tied row — the returned threshold can never
+        split a tie group."""
+        y = np.array([1, 1, 0, 1, 0, 0])
+        s = np.array([0.9, 0.5, 0.5, 0.5, 0.2, 0.1])
+        # at t=0.5: predictions {0.9, 0.5 x3} -> precision 3/4
+        t = threshold_for_precision(y, s, 0.75)
+        assert t == 0.5
+        pred = s >= t
+        assert pred.sum() == 4 and (y[pred] == 1).mean() == pytest.approx(0.75)
+        # a target separable only *inside* the tie group resolves to the
+        # next real threshold above it (0.9 -> precision 1.0)
+        t_hi = threshold_for_precision(y, s, 0.8)
+        assert t_hi == 0.9
+        assert (y[s >= t_hi] == 1).mean() == 1.0
+
+    def test_anchor_never_returned_as_threshold(self, fitted, data):
+        """The returned value is always a real score threshold, present in
+        the curve's thresholds array."""
+        X, y = data
+        scores = fitted.predict_proba(X)[:, 1]
+        _, _, thresholds = precision_recall_curve(y, scores)
+        t = threshold_for_precision(y, scores, 0.5)
+        assert t in thresholds
+
+
+class TestStats:
+    def test_counters_track_traffic(self, fitted, data):
+        X, _ = data
+        with ModelServer(fitted, model_version="v0042") as server:
+            stats = server.stats()
+            assert stats["n_requests"] == 0 and stats["n_batches"] == 0
+            assert stats["model_version"] == "v0042"
+            for _ in range(3):
+                server.predict_proba(X[:7])
+            server.predict_proba(X[:20])
+            stats = server.stats()
+            assert stats["n_requests"] == 4
+            assert stats["n_rows"] == 3 * 7 + 20
+            assert stats["n_batches"] >= 1
+            assert stats["n_overflows"] == 0 and stats["n_swaps"] == 0
+            assert stats["queue_depth"] == 0
+            # batch-size distribution: rows-per-kernel-call histogram
+            dist = stats["batch_size_distribution"]
+            assert sum(k * v for k, v in dist.items()) == stats["n_rows"]
+            assert sum(dist.values()) == stats["n_batches"]
+            assert stats["requests_by_version"] == {"v0042": 4}
+            assert stats["packed"] == server.packed_
+
+    def test_overflow_rejections_counted(self, data):
+        X, y = data
+        clf = SelfPacedEnsembleClassifier(n_estimators=2, random_state=0).fit(X, y)
+        server = ModelServer(clf, max_batch=1, max_pending=1)
+        # stuff the queue without a worker draining fast enough by
+        # submitting from under a held batch: easiest deterministic route
+        # is max_pending=1 -> flood submits until one overflows
+        n_overflow = 0
+        futures = []
+        for _ in range(200):
+            try:
+                futures.append(server.submit(X[:1]))
+            except ServerOverloadedError:
+                n_overflow += 1
+        for f in futures:
+            f.result()
+        assert server.stats()["n_overflows"] == n_overflow
+        server.close()
+
+
+class TestSwapModel:
+    def test_swap_changes_model_and_version(self, fitted, data, tmp_path):
+        X, y = data
+        other = SelfPacedEnsembleClassifier(n_estimators=3, random_state=9).fit(X, y)
+        with ModelServer(fitted, model_version="v0001") as server:
+            before = server.predict_proba(X[:32])
+            assert np.array_equal(before, fitted.predict_proba(X[:32]))
+            version = server.swap_model(other, version="v0002")
+            assert version == "v0002"
+            assert server.model is other
+            assert server.model_version == "v0002"
+            after = server.predict_proba(X[:32])
+            assert np.array_equal(after, other.predict_proba(X[:32]))
+            assert server.stats()["n_swaps"] == 1
+
+    def test_swap_prebuilds_packed_kernel(self, fitted, data, tmp_path):
+        X, y = data
+        other = SelfPacedEnsembleClassifier(n_estimators=3, random_state=9).fit(X, y)
+        with ModelServer(fitted) as server:
+            assert server.packed_
+            server.swap_model(other)
+            # the kernel was built during swap_model, before the flip:
+            # the pack cache already holds the new ensemble's entry
+            estimators, classes = other.__serving_ensemble__()
+            assert cached_packed_ensemble(list(estimators), classes) is not None
+            assert server.packed_
+
+    def test_swap_from_artifact_path(self, fitted, artifact, data):
+        X, _ = data
+        other = SelfPacedEnsembleClassifier(n_estimators=2, random_state=3).fit(
+            *data
+        )
+        with ModelServer(other, model_version="tmp") as server:
+            version = server.swap_model(artifact, version="from-disk")
+            assert version == "from-disk"
+            assert np.array_equal(
+                server.predict_proba(X[:16]), fitted.predict_proba(X[:16])
+            )
+
+    def test_swap_autoversion_when_unnamed(self, fitted, data):
+        other = SelfPacedEnsembleClassifier(n_estimators=2, random_state=3).fit(
+            *data
+        )
+        with ModelServer(fitted) as server:
+            assert server.swap_model(other) == "swap-1"
+            assert server.swap_model(fitted) == "swap-2"
+
+    def test_swap_rejects_unfitted(self, fitted):
+        with ModelServer(fitted) as server:
+            with pytest.raises(Exception):
+                server.swap_model(SelfPacedEnsembleClassifier())
+            assert server.model is fitted  # old model untouched
+
+    def test_swap_after_close_rejected(self, fitted, data):
+        other = SelfPacedEnsembleClassifier(n_estimators=2, random_state=3).fit(
+            *data
+        )
+        server = ModelServer(fitted)
+        server.close()
+        with pytest.raises(RuntimeError):
+            server.swap_model(other)
+
+    def test_every_request_served_by_exactly_one_version(self, fitted, data):
+        """Concurrent swaps + traffic: each ScoredBatch carries one version
+        stamp and its probabilities match that version's model exactly."""
+        X, y = data
+        models = {
+            "vA": fitted,
+            "vB": SelfPacedEnsembleClassifier(n_estimators=3, random_state=1).fit(X, y),
+        }
+        expected = {
+            name: m.predict_proba(X[:16]) for name, m in models.items()
+        }
+        server = ModelServer(models["vA"], model_version="vA")
+        failures = []
+        results = []
+        stop = threading.Event()
+
+        def traffic():
+            while not stop.is_set():
+                try:
+                    scored = server.score(X[:16])
+                    results.append(scored)
+                except BaseException as exc:
+                    failures.append(exc)
+                    return
+
+        threads = [threading.Thread(target=traffic) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for i in range(20):  # swap back and forth under load
+            name = "vB" if i % 2 == 0 else "vA"
+            server.swap_model(models[name], version=name)
+        stop.set()
+        for t in threads:
+            t.join()
+        server.close()
+        assert failures == []
+        assert len(results) > 0
+        for scored in results:
+            assert scored.model_version in expected
+            # the stamped version's model produced these exact bytes
+            assert np.array_equal(scored.proba, expected[scored.model_version])
+        assert server.stats()["n_overflows"] == 0
+
+    def test_scored_batch_on_mixed_coalesced_requests(self, fitted, data):
+        X, _ = data
+        with ModelServer(fitted, model_version="v7") as server:
+            futures = [server.submit_scored(X[i : i + 3]) for i in range(5)]
+            for i, future in enumerate(futures):
+                scored = future.result()
+                assert scored.model_version == "v7"
+                assert np.array_equal(
+                    scored.proba, fitted.predict_proba(X[i : i + 3])
+                )
