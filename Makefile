@@ -35,6 +35,7 @@ bench-smoke:
 	REPRO_SCALE=0.25 $(PYTHON) benchmarks/bench_fastpath.py
 	REPRO_SCALE=0.25 $(PYTHON) benchmarks/bench_serving.py
 	REPRO_SCALE=0.25 $(PYTHON) benchmarks/bench_monitoring.py
+	$(PYTHON) tools/bench_report.py
 
 # Full-scale fastpath speedup benchmark (fit / score / predict, legacy vs
 # packed + shared-binning paths, bit-identity asserted on every pair).
@@ -54,6 +55,9 @@ bench-monitoring:
 	$(PYTHON) benchmarks/bench_monitoring.py
 
 # No third-party linters in the toolchain: byte-compile everything so
-# syntax/undefined-future errors fail fast.
+# syntax/undefined-future errors fail fast, then audit the classifier
+# registry (every exported classifier registered, contracts hold, presets
+# fit — see tools/check_registry.py).
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples tools
+	$(PYTHON) tools/check_registry.py

@@ -15,11 +15,31 @@ Quickstart
 >>> X, y = make_checkerboard(n_minority=200, n_majority=2000, random_state=0)
 >>> clf = SelfPacedEnsembleClassifier(n_estimators=10, random_state=0).fit(X, y)
 >>> scores = evaluate_classifier(clf, X, y)   # AUCPRC / F1 / GM / MCC
+
+Or pick any model from the zoo by name through the registry facade:
+
+>>> from repro import get_classifier
+>>> clf = get_classifier("spe", base="logistic", preset="fraud").fit(X, y)
 """
 
-from .base import BaseEstimator, ClassifierMixin, clone, is_classifier
+from .base import (
+    BaseEstimator,
+    ClassifierMixin,
+    check_classifier_contract,
+    clone,
+    is_classifier,
+    is_persistable,
+    supports_sample_weight,
+)
 from .core import SelfPacedEnsembleClassifier
 from .streaming import StreamingSelfPacedEnsembleClassifier
+from .registry import (
+    get_classifier,
+    list_classifiers,
+    list_presets,
+    make_classifier,
+    register_classifier,
+)
 from .persistence import load_model, save_model
 from .serving import ModelServer
 from .monitoring import DriftMonitor, ReferenceSketch
@@ -41,10 +61,18 @@ __version__ = "1.0.0"
 __all__ = [
     "BaseEstimator",
     "ClassifierMixin",
+    "check_classifier_contract",
     "clone",
     "is_classifier",
+    "is_persistable",
+    "supports_sample_weight",
     "SelfPacedEnsembleClassifier",
     "StreamingSelfPacedEnsembleClassifier",
+    "get_classifier",
+    "list_classifiers",
+    "list_presets",
+    "make_classifier",
+    "register_classifier",
     "load_model",
     "save_model",
     "ModelServer",

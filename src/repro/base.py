@@ -11,6 +11,31 @@ rest of the library relies on:
 Fitted attributes always carry a trailing underscore (``classes_``,
 ``estimators_`` ...) so :func:`repro.utils.validation.check_is_fitted` can
 tell fitted estimators apart from fresh ones.
+
+The classifier contract
+-----------------------
+Every classifier in the zoo — and anything a user registers through
+:mod:`repro.registry` — satisfies one structural contract:
+
+* construction: every hyper-parameter is an explicit ``__init__`` keyword,
+  stored unmodified on ``self`` (what ``get_params`` / ``set_params`` /
+  :func:`clone` introspect);
+* training: ``fit(X, y)`` returns ``self`` and sets ``classes_`` plus any
+  other trailing-underscore fitted attributes;
+* inference: ``predict_proba(X)`` returns an ``(n_samples, n_classes)``
+  matrix whose columns follow ``classes_``; ``predict`` derives from it.
+  Calling either before ``fit`` raises
+  :class:`~repro.exceptions.NotFittedError`;
+* capabilities (optional): :func:`supports_sample_weight` reports whether
+  ``fit`` consumes boosting weights (signature-inspected, overridable with
+  a class-level ``supports_sample_weight`` boolean), and
+  :func:`is_persistable` whether the class implements the
+  ``__getstate_arrays__`` / ``__setstate_arrays__`` hooks of
+  :mod:`repro.persistence`.
+
+:func:`check_classifier_contract` verifies the structural half of this for
+a class and returns the list of violations — the registry runs it at
+registration time and the CI completeness check runs it over the whole zoo.
 """
 
 from __future__ import annotations
@@ -19,7 +44,16 @@ import copy
 import inspect
 from typing import Any, Dict, List
 
-__all__ = ["BaseEstimator", "ClassifierMixin", "SamplerMixin", "clone", "is_classifier"]
+__all__ = [
+    "BaseEstimator",
+    "ClassifierMixin",
+    "SamplerMixin",
+    "check_classifier_contract",
+    "clone",
+    "is_classifier",
+    "is_persistable",
+    "supports_sample_weight",
+]
 
 
 class BaseEstimator:
@@ -132,3 +166,86 @@ def clone(estimator: Any) -> Any:
 def is_classifier(estimator: Any) -> bool:
     """True when ``estimator`` follows the classifier contract."""
     return getattr(estimator, "_estimator_type", None) == "classifier"
+
+
+def supports_sample_weight(estimator: Any) -> bool:
+    """True when ``estimator.fit`` consumes per-sample boosting weights.
+
+    An explicit class-level ``supports_sample_weight`` boolean wins (the
+    capability flag of the contract); otherwise the ``fit`` signature is
+    inspected for an explicit ``sample_weight`` argument. The boosting
+    ensembles use this to decide between weighted fits and the classical
+    weighted-bootstrap workaround.
+    """
+    flag = getattr(type(estimator), "supports_sample_weight", None)
+    if isinstance(flag, bool):
+        return flag
+    try:
+        sig = inspect.signature(estimator.fit)
+    except (TypeError, ValueError, AttributeError):
+        return False
+    return "sample_weight" in sig.parameters
+
+
+def is_persistable(estimator_or_cls: Any) -> bool:
+    """True when the class implements both pickle-free persistence hooks
+    (``__getstate_arrays__`` / ``__setstate_arrays__``), i.e. it can round-
+    trip through :func:`repro.persistence.save_model`."""
+    cls = (
+        estimator_or_cls
+        if inspect.isclass(estimator_or_cls)
+        else type(estimator_or_cls)
+    )
+    return hasattr(cls, "__getstate_arrays__") and hasattr(cls, "__setstate_arrays__")
+
+
+def check_classifier_contract(cls: type) -> List[str]:
+    """Structural contract check for a classifier class.
+
+    Returns a list of human-readable violations (empty == compliant):
+    the class must be a default-constructible ``BaseEstimator`` classifier
+    exposing ``fit`` / ``predict`` / ``predict_proba``, with an
+    introspectable ``__init__`` whose parameters survive a
+    ``get_params`` → ``clone`` round trip. Never fits anything — this is
+    the cheap gate the registry applies to every registration.
+    """
+    problems: List[str] = []
+    if not inspect.isclass(cls):
+        return [f"{cls!r} is not a class"]
+    if not issubclass(cls, BaseEstimator):
+        problems.append(f"{cls.__name__} does not subclass BaseEstimator")
+    for method in ("fit", "predict", "predict_proba", "get_params", "set_params"):
+        if not callable(getattr(cls, method, None)):
+            problems.append(f"{cls.__name__} has no {method}() method")
+    if getattr(cls, "_estimator_type", None) != "classifier":
+        problems.append(
+            f"{cls.__name__} is not marked as a classifier "
+            "(missing ClassifierMixin / _estimator_type)"
+        )
+    try:
+        param_names = cls._get_param_names()
+    except TypeError as exc:  # *args / **kwargs in __init__
+        problems.append(f"{cls.__name__}: {exc}")
+        return problems
+    except AttributeError:
+        return problems  # no introspection at all; already reported above
+    try:
+        instance = cls()
+    except TypeError as exc:
+        problems.append(
+            f"{cls.__name__} is not default-constructible ({exc}); every "
+            "hyper-parameter needs a default"
+        )
+        return problems
+    try:
+        params = instance.get_params(deep=False)
+    except AttributeError as exc:
+        problems.append(
+            f"{cls.__name__} does not store every __init__ parameter on "
+            f"self ({exc})"
+        )
+        return problems
+    twin = clone(instance)
+    if twin.get_params(deep=False).keys() != params.keys():
+        problems.append(f"{cls.__name__} does not survive a clone() round trip")
+    return problems

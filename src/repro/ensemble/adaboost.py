@@ -8,12 +8,11 @@ canonical classifier", which the paper's experiments rely on.
 
 from __future__ import annotations
 
-import inspect
 from typing import List
 
 import numpy as np
 
-from ..base import BaseEstimator, ClassifierMixin, clone
+from ..base import BaseEstimator, ClassifierMixin, clone, supports_sample_weight
 from ..tree import DecisionTreeClassifier
 from ..utils.validation import (
     check_array,
@@ -24,14 +23,9 @@ from ..utils.validation import (
 
 __all__ = ["AdaBoostClassifier", "fit_supports_sample_weight"]
 
-
-def fit_supports_sample_weight(estimator) -> bool:
-    """True when ``estimator.fit`` has an explicit ``sample_weight`` argument."""
-    try:
-        sig = inspect.signature(estimator.fit)
-    except (TypeError, ValueError):
-        return False
-    return "sample_weight" in sig.parameters
+#: Historical name — the capability check now lives in the estimator
+#: contract (:func:`repro.base.supports_sample_weight`).
+fit_supports_sample_weight = supports_sample_weight
 
 
 class AdaBoostClassifier(BaseEstimator, ClassifierMixin):
@@ -59,7 +53,9 @@ class AdaBoostClassifier(BaseEstimator, ClassifierMixin):
     def _make_base(self):
         if self.estimator is None:
             return DecisionTreeClassifier(max_depth=1)
-        return clone(self.estimator)
+        from ..registry import resolve_estimator
+
+        return clone(resolve_estimator(self.estimator))
 
     def _fit_one(self, X, y, w, rng):
         model = self._make_base()

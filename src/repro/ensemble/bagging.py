@@ -37,9 +37,20 @@ def average_ensemble_proba(estimators, X, classes: np.ndarray) -> np.ndarray:
 
 def make_member_model(rng: np.random.RandomState, estimator=None):
     """Default ensemble-member factory shared across the ensemble layers:
-    clone ``estimator`` (or build a fresh tree) and seed it from the
-    member's private RNG."""
-    model = DecisionTreeClassifier() if estimator is None else clone(estimator)
+    resolve ``estimator`` (``None`` → fresh tree, a registry name → a new
+    instance, an instance → a clone) and seed it from the member's private
+    RNG. Strings keep process-backend fits cheap to pickle and let any
+    ensemble take ``estimator="logistic"`` etc. directly."""
+    if estimator is None:
+        model = DecisionTreeClassifier()
+    elif isinstance(estimator, str):
+        from ..registry import make_classifier
+
+        model = make_classifier(estimator)
+    else:
+        from ..registry import resolve_estimator
+
+        model = clone(resolve_estimator(estimator))
     if hasattr(model, "random_state"):
         model.random_state = rng.randint(np.iinfo(np.int32).max)
     return model

@@ -156,6 +156,9 @@ class GradientBoostingClassifier(BaseEstimator, ClassifierMixin):
             yield raw.copy()
 
     def predict_proba(self, X) -> np.ndarray:
+        # Fitted check before touching classes_, so an unfitted model raises
+        # the uniform NotFittedError rather than a bare AttributeError.
+        check_is_fitted(self, ["trees_"])
         if len(self.classes_) == 1:
             X = check_array(X)
             return np.ones((X.shape[0], 1))
@@ -165,3 +168,24 @@ class GradientBoostingClassifier(BaseEstimator, ClassifierMixin):
     def predict(self, X) -> np.ndarray:
         proba = self.predict_proba(X)
         return self.classes_[np.argmax(proba, axis=1)]
+
+    # ------------------------------------------------------------------ #
+    def __getstate_arrays__(self):
+        """Pickle-free fitted-state export (see :mod:`repro.persistence`).
+
+        The boosted trees predict on raw feature rows, so the training-time
+        binner and the loss curves are fit-time state and are not persisted.
+        """
+        check_is_fitted(self, ["trees_"])
+        meta = {
+            "n_features_in": int(self.n_features_in_),
+            "init_score": float(self.init_score_),
+        }
+        arrays = {"classes": np.asarray(self.classes_)}
+        return meta, arrays, {"trees": list(self.trees_)}
+
+    def __setstate_arrays__(self, meta, arrays, children) -> None:
+        self.classes_ = np.asarray(arrays["classes"])
+        self.trees_ = list(children.get("trees", []))
+        self.init_score_ = float(meta["init_score"])
+        self.n_features_in_ = int(meta["n_features_in"])

@@ -153,3 +153,44 @@ class GradientRegressionTree:
     @property
     def node_count(self) -> int:
         return len(self.feature_)
+
+    # ------------------------------------------------------------------ #
+    def __getstate_arrays__(self):
+        """Pickle-free fitted-state export (see :mod:`repro.persistence`).
+
+        Not a :class:`~repro.base.BaseEstimator`, so restore goes through
+        the :meth:`__from_state_arrays__` classmethod; the construction
+        hyper-parameters only matter at fit time and travel in the meta
+        for fidelity.
+        """
+        meta = {
+            "max_depth": int(self.max_depth),
+            "min_samples_leaf": int(self.min_samples_leaf),
+            "min_child_weight": float(self.min_child_weight),
+            "reg_lambda": float(self.reg_lambda),
+            "min_gain": float(self.min_gain),
+        }
+        arrays = {
+            "feature": np.asarray(self.feature_, dtype=np.int64),
+            "threshold": np.asarray(self.threshold_, dtype=np.float64),
+            "left": np.asarray(self.left_, dtype=np.int64),
+            "right": np.asarray(self.right_, dtype=np.int64),
+            "value": np.asarray(self.value_, dtype=np.float64),
+        }
+        return meta, arrays, {}
+
+    @classmethod
+    def __from_state_arrays__(cls, meta, arrays, children) -> "GradientRegressionTree":
+        tree = cls(
+            max_depth=int(meta["max_depth"]),
+            min_samples_leaf=int(meta["min_samples_leaf"]),
+            min_child_weight=float(meta["min_child_weight"]),
+            reg_lambda=float(meta["reg_lambda"]),
+            min_gain=float(meta["min_gain"]),
+        )
+        tree.feature_ = np.asarray(arrays["feature"], dtype=np.int64)
+        tree.threshold_ = np.asarray(arrays["threshold"], dtype=np.float64)
+        tree.left_ = np.asarray(arrays["left"], dtype=np.int64)
+        tree.right_ = np.asarray(arrays["right"], dtype=np.int64)
+        tree.value_ = np.asarray(arrays["value"], dtype=np.float64)
+        return tree

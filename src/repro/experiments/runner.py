@@ -38,7 +38,7 @@ class MethodSpec:
     kind:
       * ``"org"``      — fit the base classifier on the raw training data;
       * ``"sampler"``  — factory(seed) -> sampler; resample then fit base;
-      * ``"ensemble"`` — factory(base_estimator, seed) -> meta-classifier.
+      * ``"ensemble"`` — factory(estimator, seed) -> meta-classifier.
     """
 
     name: str
@@ -111,7 +111,7 @@ def _reseed(estimator, seed: int):
 
 def evaluate_combination(
     method: MethodSpec,
-    base_estimator,
+    estimator,
     X_train: np.ndarray,
     y_train: np.ndarray,
     X_test: np.ndarray,
@@ -123,7 +123,15 @@ def evaluate_combination(
     threshold: float = 0.5,
     classifier_name: str = "",
 ) -> MethodRun:
-    """Run one method × classifier combination ``n_runs`` times."""
+    """Run one method × classifier combination ``n_runs`` times.
+
+    ``estimator`` (the base classifier) may be an instance or a registered
+    name — the same spelling every ensemble's ``estimator=`` parameter
+    uses across the library.
+    """
+    from ..registry import resolve_estimator
+
+    estimator = resolve_estimator(estimator)
     metrics = PAPER_METRICS if metrics is None else metrics
     record = MethodRun(method=method.name, classifier=classifier_name)
     for name in metrics:
@@ -143,11 +151,11 @@ def evaluate_combination(
 
         t0 = time.perf_counter()
         if method.kind == "ensemble":
-            model = method.factory(base_estimator, run_seed)
+            model = method.factory(estimator, run_seed)
             model.fit(X_fit, y_fit)
             n_samples = getattr(model, "n_training_samples_", len(y_fit))
         else:
-            model = _reseed(base_estimator, run_seed)
+            model = _reseed(estimator, run_seed)
             model.fit(X_fit, y_fit)
             n_samples = len(y_fit)
         fit_seconds = time.perf_counter() - t0

@@ -278,6 +278,12 @@ def shared_bin_context_for(
     """
     from ..tree import DecisionTreeClassifier
 
+    if isinstance(estimator, str):
+        # Registry name ("tree", "logistic", ...): resolve to an instance so
+        # the tree check below sees the actual member class.
+        from ..registry import make_classifier
+
+        estimator = make_classifier(estimator)
     if estimator is None:
         max_bins = 64
     elif isinstance(estimator, DecisionTreeClassifier):

@@ -71,10 +71,12 @@ class EasyEnsembleClassifier(BaseImbalanceEnsemble):
 
     def _member_factory(self):
         """The ``make_model`` shared by ``fit`` and ``fit_source``."""
+        from ..registry import resolve_estimator
+
         if self.boost_incapable not in ("resample", "plain"):
             raise ValueError(f"Unknown boost_incapable {self.boost_incapable!r}")
         base = (
-            self.estimator
+            resolve_estimator(self.estimator)
             if self.estimator is not None
             else DecisionTreeClassifier(max_depth=1)
         )

@@ -99,3 +99,16 @@ class RUSBoostClassifier(BaseImbalanceEnsemble):
     def predict(self, X) -> np.ndarray:
         proba = self.predict_proba(X)
         return self.classes_[np.argmax(proba, axis=1)]
+
+    # ------------------------------------------------------------------ #
+    def __getstate_arrays__(self):
+        """Shared ensemble state plus the per-round boosting weights."""
+        meta, arrays, children = super().__getstate_arrays__()
+        arrays["estimator_weights"] = np.asarray(
+            self.estimator_weights_, dtype=np.float64
+        )
+        return meta, arrays, children
+
+    def __setstate_arrays__(self, meta, arrays, children) -> None:
+        super().__setstate_arrays__(meta, arrays, children)
+        self.estimator_weights_ = [float(w) for w in arrays["estimator_weights"]]

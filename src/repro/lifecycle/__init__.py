@@ -21,7 +21,7 @@ atomicity argument.
 """
 
 from .challenger import ShadowResult, shadow_evaluate
-from .controller import LifecycleController, LifecycleEvent
+from .controller import LifecycleController, LifecycleEvent, resolve_train_fn
 from .policy import Action, RetrainPolicy
 from .registry import ArtifactRegistry
 
@@ -32,5 +32,6 @@ __all__ = [
     "LifecycleEvent",
     "RetrainPolicy",
     "ShadowResult",
+    "resolve_train_fn",
     "shadow_evaluate",
 ]

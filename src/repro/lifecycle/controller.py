@@ -38,7 +38,50 @@ from .challenger import ShadowResult, shadow_evaluate
 from .policy import Action, RetrainPolicy
 from .registry import ArtifactRegistry
 
-__all__ = ["LifecycleController", "LifecycleEvent"]
+__all__ = ["LifecycleController", "LifecycleEvent", "resolve_train_fn"]
+
+
+def resolve_train_fn(spec) -> Callable:
+    """Normalise a retraining recipe to ``callable(DataSource) -> model``.
+
+    Accepts the historical form (a callable taking the training
+    :class:`~repro.streaming.DataSource`) unchanged, and two registry-era
+    conveniences: a registered classifier *name* (``"spe"``,
+    ``"logistic"``, ...) or an unfitted estimator *instance* used as the
+    template. Template retrains clone the template per cycle (hyper-
+    parameters are the recipe; fitted state never leaks between cycles)
+    and fit out-of-core via ``fit_source`` when the model supports it,
+    else materialise the window's blocks and call plain ``fit`` — which is
+    what lets any registered model, tree-backed or not, serve as the
+    challenger recipe.
+    """
+    if callable(spec) and not hasattr(spec, "get_params"):
+        return spec
+
+    from ..base import clone
+    from ..registry import resolve_estimator
+
+    template = resolve_estimator(spec)
+    if template is None:
+        raise TypeError(
+            "train_fn must be a callable(source) -> fitted model, a "
+            "registered classifier name, or an estimator instance; got None"
+        )
+
+    def train(source):
+        model = clone(template)
+        fit_source = getattr(model, "fit_source", None)
+        if fit_source is not None:
+            try:
+                return fit_source(source)
+            except NotImplementedError:
+                pass
+        blocks = list(source.iter_blocks())
+        X = np.vstack([b[0] for b in blocks])
+        y = np.concatenate([b[1] for b in blocks])
+        return model.fit(X, y)
+
+    return train
 
 
 @dataclass(frozen=True)
@@ -66,10 +109,15 @@ class LifecycleController:
         *before* the swap — a restart after promotion reloads the same
         model the swap installed.
     monitor : :class:`~repro.monitoring.DriftMonitor`
-    train_fn : callable(:class:`~repro.streaming.DataSource`) → fitted model
-        Retrains a candidate from the monitor's labeled window, e.g.
-        ``lambda src: StreamingSelfPacedEnsembleClassifier(
-        n_estimators=10, random_state=0).fit_source(src)``.
+    train_fn : callable, registered name, or estimator instance
+        The retraining recipe, normalised through :func:`resolve_train_fn`:
+        a ``callable(DataSource) -> fitted model`` (e.g. ``lambda src:
+        StreamingSelfPacedEnsembleClassifier(n_estimators=10,
+        random_state=0).fit_source(src)``), a registered classifier name
+        (``"spe"``, ``"logistic"``, ...), or an unfitted estimator used as
+        a per-cycle clone template. Any registered model works — models
+        without an out-of-core ``fit_source`` train on the materialised
+        window.
     policy : :class:`~repro.lifecycle.RetrainPolicy`, optional
     metric : {"auprc", "f1", "minority_recall"}, default "auprc"
         Shadow-comparison metric.
@@ -101,7 +149,7 @@ class LifecycleController:
         self.server = server
         self.registry = registry
         self.monitor = monitor
-        self.train_fn = train_fn
+        self.train_fn = resolve_train_fn(train_fn)
         self.policy = policy if policy is not None else RetrainPolicy()
         self.metric = metric
         self.min_lift = float(min_lift)

@@ -115,3 +115,29 @@ class LogisticRegression(BaseEstimator, ClassifierMixin):
     def predict(self, X) -> np.ndarray:
         proba = self.predict_proba(X)
         return self.classes_[np.argmax(proba, axis=1)]
+
+    # ------------------------------------------------------------------ #
+    def __getstate_arrays__(self):
+        """Pickle-free fitted-state export (see :mod:`repro.persistence`).
+
+        Fit diagnostics (``n_iter_``, ``converged_``) are not persisted —
+        only what inference needs.
+        """
+        check_is_fitted(self, ["coef_"])
+        meta = {
+            "n_features_in": int(self.n_features_in_),
+            "intercept": float(self.intercept_),
+            "single_class": bool(getattr(self, "_single_class", False)),
+        }
+        arrays = {
+            "classes": np.asarray(self.classes_),
+            "coef": np.asarray(self.coef_, dtype=np.float64),
+        }
+        return meta, arrays, {}
+
+    def __setstate_arrays__(self, meta, arrays, children) -> None:
+        self.classes_ = np.asarray(arrays["classes"])
+        self.coef_ = np.asarray(arrays["coef"], dtype=np.float64)
+        self.intercept_ = float(meta["intercept"])
+        self._single_class = bool(meta["single_class"])
+        self.n_features_in_ = int(meta["n_features_in"])

@@ -101,3 +101,26 @@ class KNeighborsClassifier(BaseEstimator, ClassifierMixin):
     def predict(self, X) -> np.ndarray:
         proba = self.predict_proba(X)
         return self.classes_[np.argmax(proba, axis=1)]
+
+    # ------------------------------------------------------------------ #
+    def __getstate_arrays__(self):
+        """Pickle-free fitted-state export (see :mod:`repro.persistence`).
+
+        KNN's fitted state *is* its training set — the reference matrix and
+        encoded labels round-trip byte-exactly, so the restored votes are
+        bit-identical.
+        """
+        check_is_fitted(self, ["_fit_X"])
+        meta = {"effective_n_neighbors": int(self.effective_n_neighbors_)}
+        arrays = {
+            "classes": np.asarray(self.classes_),
+            "fit_X": np.asarray(self._fit_X, dtype=np.float64),
+            "fit_y": np.asarray(self._fit_y, dtype=np.int64),
+        }
+        return meta, arrays, {}
+
+    def __setstate_arrays__(self, meta, arrays, children) -> None:
+        self.classes_ = np.asarray(arrays["classes"])
+        self._fit_X = np.asarray(arrays["fit_X"], dtype=np.float64)
+        self._fit_y = np.asarray(arrays["fit_y"], dtype=np.int64)
+        self.effective_n_neighbors_ = int(meta["effective_n_neighbors"])

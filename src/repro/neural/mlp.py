@@ -179,3 +179,33 @@ class MLPClassifier(BaseEstimator, ClassifierMixin):
     def predict(self, X) -> np.ndarray:
         proba = self.predict_proba(X)
         return self.classes_[np.argmax(proba, axis=1)]
+
+    # ------------------------------------------------------------------ #
+    def __getstate_arrays__(self):
+        """Pickle-free fitted-state export (see :mod:`repro.persistence`).
+
+        The variable-length weight/bias lists become one array per layer
+        (``W0..Wk`` / ``b0..bk``) with the layer count in the metadata;
+        ``loss_curve_`` is a fit diagnostic and is not persisted.
+        """
+        check_is_fitted(self, ["_weights"])
+        meta = {
+            "n_features_in": int(self.n_features_in_),
+            "n_layers": len(self._weights),
+        }
+        arrays = {"classes": np.asarray(self.classes_)}
+        for i, (W, b) in enumerate(zip(self._weights, self._biases)):
+            arrays[f"W{i}"] = np.asarray(W, dtype=np.float64)
+            arrays[f"b{i}"] = np.asarray(b, dtype=np.float64)
+        return meta, arrays, {}
+
+    def __setstate_arrays__(self, meta, arrays, children) -> None:
+        n_layers = int(meta["n_layers"])
+        self.classes_ = np.asarray(arrays["classes"])
+        self._weights = [
+            np.asarray(arrays[f"W{i}"], dtype=np.float64) for i in range(n_layers)
+        ]
+        self._biases = [
+            np.asarray(arrays[f"b{i}"], dtype=np.float64) for i in range(n_layers)
+        ]
+        self.n_features_in_ = int(meta["n_features_in"])

@@ -48,32 +48,43 @@ MAGIC = "repro-model"
 #: incompatible layout change; readers reject versions they do not know.
 SCHEMA_VERSION = 1
 
-#: Class name → defining module. Only these classes are ever instantiated
-#: by :func:`load_model`; the class is imported lazily and verified to be
-#: the exact type that was saved (no subclass smuggling).
-_REGISTRY: Dict[str, str] = {
-    "SelfPacedEnsembleClassifier": "repro.core.self_paced",
-    "StreamingSelfPacedEnsembleClassifier": "repro.streaming.self_paced",
-    "RandomForestClassifier": "repro.ensemble.forest",
-    "BaggingClassifier": "repro.ensemble.bagging",
-    "UnderBaggingClassifier": "repro.imbalance_ensemble.under_bagging",
-    "EasyEnsembleClassifier": "repro.imbalance_ensemble.easy_ensemble",
-    "AdaBoostClassifier": "repro.ensemble.adaboost",
-    "DecisionTreeClassifier": "repro.tree.decision_tree",
-    "C45Classifier": "repro.tree.decision_tree",
+#: Non-estimator helper classes that appear inside artifacts (children of
+#: fitted models) but have no classifier-registry entry of their own:
+#: class name → defining module, imported lazily. Estimator class names are
+#: resolved through the classifier registry
+#: (:func:`repro.registry.persistable_class_by_name`), so registering a new
+#: persistable classifier automatically makes its artifacts loadable.
+_AUX: Dict[str, str] = {
     "FeatureBinner": "repro.tree._binning",
     "SharedBinContext": "repro.fastpath.bincontext",
+    "GradientRegressionTree": "repro.ensemble.gbdt.regression_tree",
 }
 
 
+def _persistable_names():
+    from ..registry import list_classifiers, classifier_spec
+
+    names = {
+        classifier_spec(n).cls.__name__
+        for n in list_classifiers()
+        if classifier_spec(n).persistable
+    }
+    return sorted(names | set(_AUX))
+
+
 def _registry_class(name: str):
-    module_path = _REGISTRY.get(name)
-    if module_path is None:
+    module_path = _AUX.get(name)
+    if module_path is not None:
+        return getattr(importlib.import_module(module_path), name)
+    from ..registry import persistable_class_by_name
+
+    cls = persistable_class_by_name(name)
+    if cls is None:
         raise PersistenceError(
             f"{name} is not a persistable class; supported classes: "
-            f"{sorted(_REGISTRY)}"
+            f"{_persistable_names()}"
         )
-    return getattr(importlib.import_module(module_path), name)
+    return cls
 
 
 def _digest(arr: np.ndarray) -> str:
@@ -101,11 +112,14 @@ def _encode_value(name: str, value: Any) -> Any:
             "tuple": isinstance(value, tuple),
         }
     if isinstance(value, BaseEstimator):
+        from ..registry import persistable_class_by_name
+
         cls_name = type(value).__name__
-        if cls_name not in _REGISTRY:
+        if persistable_class_by_name(cls_name) is not type(value):
             raise PersistenceError(
                 f"hyper-parameter {name!r} holds a {cls_name}, which is not "
-                "a persistable estimator class"
+                "a persistable estimator class (register it, or pass its "
+                "registry name as a string instead of an instance)"
             )
         return {
             "__estimator__": cls_name,

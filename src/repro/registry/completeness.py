@@ -1,0 +1,131 @@
+"""Registry completeness audit — wired into ``make lint`` and CI.
+
+The registry is only useful if it actually covers the zoo: a classifier
+exported from a subpackage but never registered silently falls out of the
+persistence resolver, the round-trip test matrix, and the facade. This
+module turns that drift into a hard failure:
+
+* every ``ClassifierMixin`` exported by a zoo subpackage must be registered
+  (abstract bases are exempt);
+* every registered class must still pass the estimator contract check;
+* every named preset must construct through :func:`get_classifier` and fit
+  a small deterministic imbalanced split, with a sane ``predict_proba``.
+
+``tools/check_registry.py`` runs this from ``make lint``;
+``tests/test_ci_pipeline.py`` asserts it stays empty.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import List, Tuple
+
+import numpy as np
+
+from ..base import ClassifierMixin, check_classifier_contract
+from .core import _SPECS
+from .facade import get_classifier
+from .presets import PRESETS
+
+__all__ = ["registry_problems", "toy_imbalanced_split"]
+
+#: zoo subpackages scanned for exported classifiers
+_ZOO_MODULES = (
+    "repro.core",
+    "repro.streaming",
+    "repro.tree",
+    "repro.linear",
+    "repro.svm",
+    "repro.neural",
+    "repro.neighbors",
+    "repro.ensemble",
+    "repro.imbalance_ensemble",
+)
+
+#: exported classes that are extension points, not concrete classifiers
+_ABSTRACT = {"BaseImbalanceEnsemble"}
+
+
+def toy_imbalanced_split(
+    n_majority: int = 110, n_minority: int = 25, n_features: int = 4
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Small deterministic imbalanced set every smoke fit uses.
+
+    Large enough for SMOTE neighbourhoods and SPE's hardness bins, small
+    enough that fitting the whole zoo stays in CI-smoke territory.
+    """
+    rng = np.random.RandomState(7)
+    X_maj = rng.normal(0.0, 1.0, size=(n_majority, n_features))
+    X_min = rng.normal(1.5, 1.0, size=(n_minority, n_features))
+    X = np.vstack([X_maj, X_min])
+    y = np.concatenate(
+        [np.zeros(n_majority, dtype=np.int64), np.ones(n_minority, dtype=np.int64)]
+    )
+    order = rng.permutation(len(y))
+    return X[order], y[order]
+
+
+def _exported_classifiers():
+    import importlib
+
+    for module_name in _ZOO_MODULES:
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            obj = getattr(module, name)
+            if (
+                inspect.isclass(obj)
+                and issubclass(obj, ClassifierMixin)
+                and name not in _ABSTRACT
+            ):
+                yield module_name, name, obj
+
+
+def registry_problems(check_presets: bool = True) -> List[str]:
+    """Audit the registry against the zoo; return human-readable problems.
+
+    An empty list means: every exported classifier is registered, every
+    registered class honours the estimator contract, and (with
+    ``check_presets``) every preset constructs and fits.
+    """
+    problems: List[str] = []
+
+    registered_classes = {spec.cls for spec in _SPECS.values()}
+    for module_name, name, cls in _exported_classifiers():
+        if cls not in registered_classes:
+            problems.append(
+                f"{module_name}.{name} is exported but not registered; add a "
+                f"register_classifier(...) entry in repro/registry/__init__.py"
+            )
+
+    for spec in _SPECS.values():
+        for issue in check_classifier_contract(spec.cls):
+            problems.append(f"registered classifier {spec.name!r}: {issue}")
+
+    for name in PRESETS:
+        if name not in _SPECS:
+            problems.append(f"presets exist for unregistered classifier {name!r}")
+
+    if check_presets:
+        X, y = toy_imbalanced_split()
+        for name, presets in sorted(PRESETS.items()):
+            if name not in _SPECS:
+                continue
+            for preset in sorted(presets):
+                try:
+                    clf = get_classifier(name, preset=preset)
+                    if hasattr(clf, "random_state"):
+                        clf.random_state = 0
+                    clf.fit(X, y)
+                    proba = clf.predict_proba(X[:8])
+                    if proba.shape != (8, 2) or not np.all(np.isfinite(proba)):
+                        problems.append(
+                            f"preset {name!r}/{preset!r}: predict_proba "
+                            f"returned shape {proba.shape} (expected (8, 2))"
+                        )
+                except Exception as exc:  # noqa: BLE001 — audit, report all
+                    problems.append(
+                        f"preset {name!r}/{preset!r} failed to fit the toy "
+                        f"split: {type(exc).__name__}: {exc}"
+                    )
+
+    return problems

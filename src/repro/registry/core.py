@@ -1,0 +1,179 @@
+"""The string registry behind ``make_classifier`` / ``get_classifier``.
+
+One flat name → :class:`ClassifierSpec` table. Registration applies the
+structural contract check from :func:`repro.base.check_classifier_contract`
+(a class that cannot be introspected, cloned, or default-constructed is
+rejected immediately, not at first use), derives the capability flags the
+rest of the stack keys on (persistable? accepts a base ``estimator``
+parameter?), and records the *smoke parameters* — a small hyper-parameter
+set that fits in milliseconds on a toy split, used by the CI completeness
+check and the round-trip test matrix.
+
+:func:`resolve_estimator` is the one funnel through which every ensemble
+accepts its base estimator: ``None`` passes through, a registered name
+becomes a fresh instance, an instance is used as-is, and anything else
+(most commonly a class passed where an instance belongs) fails with an
+actionable error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from ..base import (
+    BaseEstimator,
+    check_classifier_contract,
+    is_persistable,
+)
+from ..exceptions import RegistryError
+
+__all__ = [
+    "ClassifierSpec",
+    "classifier_spec",
+    "list_classifiers",
+    "make_classifier",
+    "persistable_class_by_name",
+    "register_classifier",
+    "resolve_estimator",
+]
+
+
+@dataclass(frozen=True)
+class ClassifierSpec:
+    """Everything the registry knows about one classifier name."""
+
+    name: str
+    cls: type
+    #: tiny hyper-parameter overrides that make the default instance fit
+    #: fast on a toy set (what the completeness check / test matrix use)
+    smoke_params: Mapping[str, Any] = field(default_factory=dict)
+    #: implements the __getstate_arrays__/__setstate_arrays__ hooks AND all
+    #: of its default hyper-parameters survive the artifact's JSON header
+    persistable: bool = False
+    #: exposes an ``estimator`` hyper-parameter (ensembles that wrap a base)
+    accepts_estimator: bool = False
+    description: str = ""
+
+
+_SPECS: Dict[str, ClassifierSpec] = {}
+
+
+def register_classifier(
+    name: str,
+    cls: type,
+    *,
+    smoke_params: Optional[Mapping[str, Any]] = None,
+    persistable: Optional[bool] = None,
+    description: str = "",
+) -> ClassifierSpec:
+    """Register ``cls`` under ``name`` (lower-case, stable API string).
+
+    The class must pass :func:`repro.base.check_classifier_contract`.
+    Re-registering the same class under the same name is a no-op (idempotent
+    imports); a different class under a taken name raises
+    :class:`~repro.exceptions.RegistryError`. ``persistable`` defaults to
+    whether the class implements the persistence hooks; pass ``False`` to
+    opt a hook-inheriting class out (e.g. one whose hyper-parameters cannot
+    be encoded into an artifact header).
+    """
+    key = str(name).lower()
+    existing = _SPECS.get(key)
+    if existing is not None:
+        if existing.cls is cls:
+            return existing
+        raise RegistryError(
+            f"classifier name {key!r} is already registered to "
+            f"{existing.cls.__name__}; cannot rebind it to {cls.__name__}"
+        )
+    problems = check_classifier_contract(cls)
+    if problems:
+        raise RegistryError(
+            f"cannot register {cls.__name__!r} as {key!r} — it violates the "
+            f"estimator contract: {'; '.join(problems)}"
+        )
+    spec = ClassifierSpec(
+        name=key,
+        cls=cls,
+        smoke_params=dict(smoke_params or {}),
+        persistable=is_persistable(cls) if persistable is None else bool(persistable),
+        accepts_estimator="estimator" in cls._get_param_names(),
+        description=description or (cls.__doc__ or "").strip().split("\n")[0],
+    )
+    _SPECS[key] = spec
+    return spec
+
+
+def classifier_spec(name: str) -> ClassifierSpec:
+    """The :class:`ClassifierSpec` registered under ``name``."""
+    key = str(name).lower()
+    spec = _SPECS.get(key)
+    if spec is None:
+        raise RegistryError(
+            f"unknown classifier {name!r}; registered names: "
+            f"{sorted(_SPECS)}"
+        )
+    return spec
+
+
+def list_classifiers() -> List[str]:
+    """Sorted registered classifier names."""
+    return sorted(_SPECS)
+
+
+def make_classifier(name: str, **params: Any) -> BaseEstimator:
+    """Instantiate the classifier registered under ``name``.
+
+    Hyper-parameters are passed through to the constructor; invalid names
+    fail with a :class:`~repro.exceptions.RegistryError` listing the valid
+    ones (instead of a bare ``TypeError`` deep in ``__init__``).
+    """
+    spec = classifier_spec(name)
+    valid = set(spec.cls._get_param_names())
+    invalid = sorted(set(params) - valid)
+    if invalid:
+        raise RegistryError(
+            f"invalid parameter(s) {invalid} for classifier {spec.name!r} "
+            f"({spec.cls.__name__}); valid parameters: {sorted(valid)}"
+        )
+    return spec.cls(**params)
+
+
+def resolve_estimator(value: Any) -> Optional[BaseEstimator]:
+    """Normalise an ``estimator`` argument to an instance (or ``None``).
+
+    ``None`` → ``None`` (caller's default); a registered name → a fresh
+    instance; an estimator instance → itself. A *class* is rejected with a
+    pointed message — the classic sklearn mistake of passing
+    ``DecisionTreeClassifier`` instead of ``DecisionTreeClassifier()``.
+    """
+    if value is None:
+        return None
+    if isinstance(value, str):
+        return make_classifier(value)
+    if isinstance(value, type):
+        raise TypeError(
+            f"estimator must be an instance or a registered name, got the "
+            f"class {value.__name__} — pass {value.__name__}() or e.g. "
+            f"estimator='tree'"
+        )
+    if not hasattr(value, "fit") or not hasattr(value, "get_params"):
+        raise TypeError(
+            f"estimator must implement the fit/get_params contract, got "
+            f"{type(value).__name__!r}"
+        )
+    return value
+
+
+def persistable_class_by_name(class_name: str) -> Optional[type]:
+    """Resolve a *class* name (e.g. ``"LogisticRegression"``) to the
+    registered persistable class, or ``None``.
+
+    This is the registry-driven class resolution behind
+    :func:`repro.persistence.load_model`: only classes registered here (and
+    flagged persistable) are ever instantiated from an artifact.
+    """
+    for spec in _SPECS.values():
+        if spec.persistable and spec.cls.__name__ == class_name:
+            return spec.cls
+    return None

@@ -1,0 +1,93 @@
+"""``get_classifier`` — the one-call front door to the model zoo.
+
+Composes the string registry (:mod:`repro.registry.core`) with the named
+presets (:mod:`repro.registry.presets`) and the ensemble/base-estimator
+plumbing::
+
+    clf = get_classifier("spe", base="logistic", preset="fraud",
+                         random_state=0)
+
+resolves to ``SelfPacedEnsembleClassifier(estimator="logistic",
+n_estimators=20, k_bins=20, hardness="absolute", random_state=0)``. The
+base may be a registered name, an estimator instance, or omitted (the
+classifier's own default — a decision tree/stump for every ensemble).
+Everything is validated up front with registry errors that list the valid
+alternatives, instead of ``TypeError`` at fit time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..base import BaseEstimator
+from ..exceptions import RegistryError
+from .core import classifier_spec, resolve_estimator
+from .presets import preset_params
+
+__all__ = ["get_classifier"]
+
+
+def get_classifier(
+    name: str,
+    *,
+    base: Any = None,
+    preset: Optional[str] = None,
+    **overrides: Any,
+) -> BaseEstimator:
+    """Build a ready-to-fit classifier from its registered name.
+
+    Parameters
+    ----------
+    name:
+        A registered classifier name (see
+        :func:`repro.registry.list_classifiers`).
+    base:
+        Base estimator for ensembles that wrap one — a registered name
+        (kept as a string so member fits stay cheap to ship to process
+        workers), or an estimator instance. Rejected with a
+        :class:`~repro.exceptions.RegistryError` when the classifier has no
+        ``estimator`` parameter.
+    preset:
+        Named hyper-parameter preset (see
+        :func:`repro.registry.list_presets`). Keyword ``overrides`` win
+        over preset values.
+    **overrides:
+        Constructor parameters. ``base_estimator=`` and ``estimator=`` are
+        accepted as spellings of ``base`` for backward compatibility.
+    """
+    spec = classifier_spec(name)
+    params = preset_params(name, preset) if preset is not None else {}
+
+    # Historical spellings of the base estimator converge on one value.
+    base_spellings = {"base": base} if base is not None else {}
+    for alias in ("estimator", "base_estimator"):
+        if alias in overrides:
+            base_spellings[alias] = overrides.pop(alias)
+    if len(base_spellings) > 1:
+        raise RegistryError(
+            f"pass the base estimator once, got "
+            f"{sorted(base_spellings)} for classifier {spec.name!r}"
+        )
+    if base_spellings:
+        base = next(iter(base_spellings.values()))
+        if not spec.accepts_estimator:
+            raise RegistryError(
+                f"classifier {spec.name!r} ({spec.cls.__name__}) does not "
+                f"take a base estimator; drop base=/estimator= or pick an "
+                f"ensemble that wraps one"
+            )
+        if isinstance(base, str):
+            classifier_spec(base)  # unknown base name → RegistryError now
+            params["estimator"] = base
+        else:
+            params["estimator"] = resolve_estimator(base)
+
+    params.update(overrides)
+    valid = set(spec.cls._get_param_names())
+    invalid = sorted(set(params) - valid)
+    if invalid:
+        raise RegistryError(
+            f"invalid parameter(s) {invalid} for classifier {spec.name!r} "
+            f"({spec.cls.__name__}); valid parameters: {sorted(valid)}"
+        )
+    return spec.cls(**params)

@@ -149,6 +149,42 @@ class SVC(BaseEstimator, ClassifierMixin):
         decision = self.decision_function(X)
         return self.classes_[(decision >= 0).astype(int)]
 
+    # ------------------------------------------------------------------ #
+    def __getstate_arrays__(self):
+        """Pickle-free fitted-state export (see :mod:`repro.persistence`).
+
+        The kernel closure is not serialised: the resolved numeric
+        ``gamma_`` is stored and the function is re-resolved on restore,
+        which reproduces the exact same evaluation (``resolve_kernel``
+        accepts a numeric gamma verbatim).
+        """
+        check_is_fitted(self, ["_alpha_scaled"])
+        meta = {
+            "n_features_in": int(self.n_features_in_),
+            "gamma_value": float(self.gamma_),
+            "platt_a": float(self._platt[0]),
+            "platt_b": float(self._platt[1]),
+        }
+        arrays = {
+            "classes": np.asarray(self.classes_),
+            "X_fit": np.asarray(self._X_fit, dtype=np.float64),
+            "alpha_scaled": np.asarray(self._alpha_scaled, dtype=np.float64),
+            "support": np.asarray(self.support_, dtype=np.int64),
+        }
+        return meta, arrays, {}
+
+    def __setstate_arrays__(self, meta, arrays, children) -> None:
+        self.classes_ = np.asarray(arrays["classes"])
+        self._X_fit = np.asarray(arrays["X_fit"], dtype=np.float64)
+        self._alpha_scaled = np.asarray(arrays["alpha_scaled"], dtype=np.float64)
+        self.support_ = np.asarray(arrays["support"], dtype=np.int64)
+        self.gamma_ = float(meta["gamma_value"])
+        self._platt = (float(meta["platt_a"]), float(meta["platt_b"]))
+        self.n_features_in_ = int(meta["n_features_in"])
+        self._kernel_fn, _ = resolve_kernel(
+            self.kernel, self.gamma_, self.n_features_in_, 1.0
+        )
+
 
 class LinearSVC(BaseEstimator, ClassifierMixin):
     """Linear SVM via primal Pegasos (mini-batch), with Platt probabilities."""
@@ -216,3 +252,26 @@ class LinearSVC(BaseEstimator, ClassifierMixin):
     def predict(self, X) -> np.ndarray:
         decision = self.decision_function(X)
         return self.classes_[(decision >= 0).astype(int)]
+
+    # ------------------------------------------------------------------ #
+    def __getstate_arrays__(self):
+        """Pickle-free fitted-state export (see :mod:`repro.persistence`)."""
+        check_is_fitted(self, ["coef_"])
+        meta = {
+            "n_features_in": int(self.n_features_in_),
+            "intercept": float(self.intercept_),
+            "platt_a": float(self._platt[0]),
+            "platt_b": float(self._platt[1]),
+        }
+        arrays = {
+            "classes": np.asarray(self.classes_),
+            "coef": np.asarray(self.coef_, dtype=np.float64),
+        }
+        return meta, arrays, {}
+
+    def __setstate_arrays__(self, meta, arrays, children) -> None:
+        self.classes_ = np.asarray(arrays["classes"])
+        self.coef_ = np.asarray(arrays["coef"], dtype=np.float64)
+        self.intercept_ = float(meta["intercept"])
+        self._platt = (float(meta["platt_a"]), float(meta["platt_b"]))
+        self.n_features_in_ = int(meta["n_features_in"])

@@ -146,6 +146,38 @@ class TestMarkersRegistered:
         assert "bench:" in registered
 
 
+class TestRegistryCompleteness:
+    """The classifier-registry audit is wired into the build and passes."""
+
+    def test_lint_target_runs_registry_check(self, makefile_text):
+        lint = makefile_text.split("lint:")[1].split("\n\n")[0]
+        assert "check_registry.py" in lint
+
+    def test_bench_smoke_runs_bench_report(self, makefile_text):
+        smoke = makefile_text.split("bench-smoke:")[1].split("\n\n")[0]
+        assert "bench_report.py" in smoke
+
+    def test_registry_has_no_problems(self):
+        """Every exported classifier registered, every contract honoured,
+        every preset constructs and fits — the same audit `make lint` runs
+        via tools/check_registry.py."""
+        from repro.registry import registry_problems
+
+        assert registry_problems(check_presets=True) == []
+
+    def test_bench_report_tolerates_missing_artifacts(self, tmp_path):
+        import sys
+
+        sys.path.insert(0, str(REPO_ROOT / "tools"))
+        try:
+            import bench_report
+        finally:
+            sys.path.pop(0)
+        report, missing = bench_report.build_report(str(tmp_path))
+        assert set(missing) == set(bench_report.ARTIFACTS)
+        assert "Missing artifacts" in report
+
+
 class TestRegistrySmoke:
     """Registry round-trip smoke: the artifact path CI's lifecycle relies
     on — register → reopen → load — must stay bit-exact end to end."""

@@ -20,6 +20,21 @@ class TestReadmeSnippets:
         # The quickstart defines a fitted SPE and prints its scores.
         assert "spe" in namespace
 
+    def test_pick_any_model_block_runs(self):
+        """Execute the README's registry example verbatim: get_classifier
+        composes an ensemble with a named base and preset, and the string
+        spelling matches the explicit estimator= spelling exactly."""
+        readme = (REPO_ROOT / "README.md").read_text()
+        blocks = re.findall(r"```python\n(.*?)```", readme, flags=re.DOTALL)
+        registry_blocks = [
+            b for b in blocks if "get_classifier" in b and "list_classifiers" in b
+        ]
+        assert registry_blocks, "README must contain a pick-any-model block"
+        namespace = {}
+        exec(compile(registry_blocks[0], "<README registry>", "exec"), namespace)
+        assert "clf" in namespace
+        assert namespace["clf"].get_params()["estimator"] == "logistic"
+
     def test_save_load_serve_block_runs(self):
         """Execute the README's persistence/serving example verbatim: save
         a model, reload it bit-identically, and serve through ModelServer."""

@@ -1,0 +1,35 @@
+#!/usr/bin/env python
+"""Registry completeness gate, run by ``make lint``.
+
+Fails (exit 1) when the classifier registry has drifted from the zoo:
+an exported classifier missing a ``register_classifier`` entry, a
+registered class violating the estimator contract, or a named preset that
+no longer constructs and fits. See
+:func:`repro.registry.registry_problems` for the exact audit.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+
+def main() -> int:
+    from repro.registry import list_classifiers, registry_problems
+
+    problems = registry_problems(check_presets=True)
+    if problems:
+        print(f"registry check FAILED ({len(problems)} problem(s)):")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    names = list_classifiers()
+    print(f"registry check OK: {len(names)} classifiers registered, all "
+          f"contracts hold, all presets fit")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
