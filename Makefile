@@ -44,7 +44,10 @@ bench-fastpath:
 
 # Full-scale serving benchmark: cold artifact load + warm micro-batch
 # latency (p50/p99 at request sizes 1/64/512) for the packed-forest and
-# code-table serving paths.
+# code-table serving paths, then the multi-process fleet phases — the
+# 1/2/4-worker throughput curve, per-worker private-memory deltas vs the
+# mmap'd artifact (zero-copy claim), admission-control overflow, and a
+# fleet-wide hot swap under load with zero dropped requests asserted.
 bench-serving:
 	$(PYTHON) benchmarks/bench_serving.py
 

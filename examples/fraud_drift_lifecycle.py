@@ -33,7 +33,7 @@ import numpy as np
 from repro.datasets import make_credit_fraud
 from repro.lifecycle import ArtifactRegistry, LifecycleController, RetrainPolicy
 from repro.monitoring import ReferenceSketch, DriftMonitor
-from repro.serving import ModelServer
+from repro.serving import ServerConfig, serve
 from repro.streaming import ArraySource, StreamingSelfPacedEnsembleClassifier
 from repro.tree import DecisionTreeClassifier
 
@@ -72,7 +72,7 @@ def main(n_samples: int = 30_000, n_estimators: int = 10, registry_dir=None) -> 
     registry = ArtifactRegistry(registry_dir)
     v1 = registry.register(champion, tags={"phase": "bootstrap"})
     registry.set_champion(v1)
-    server = ModelServer(registry.load(v1), model_version=v1)
+    server = serve(registry.load(v1), ServerConfig(model_version=v1))
     print(f"champion {v1} serving (packed={server.packed_})")
 
     sketch = ReferenceSketch(n_bins=16).fit(X0, y0)

@@ -41,7 +41,13 @@ from .registry import (
     register_classifier,
 )
 from .persistence import load_model, save_model
-from .serving import ModelServer
+from .serving import (
+    AsyncGateway,
+    ModelServer,
+    ServerConfig,
+    WorkerPool,
+    serve,
+)
 from .monitoring import DriftMonitor, ReferenceSketch
 from .lifecycle import ArtifactRegistry, LifecycleController, RetrainPolicy
 from .exceptions import (
@@ -75,7 +81,11 @@ __all__ = [
     "register_classifier",
     "load_model",
     "save_model",
+    "AsyncGateway",
     "ModelServer",
+    "ServerConfig",
+    "WorkerPool",
+    "serve",
     "DriftMonitor",
     "ReferenceSketch",
     "ArtifactRegistry",

@@ -231,7 +231,17 @@ class LifecycleController:
                     },
                 )
                 self.registry.set_champion(promoted_version)
-                self.server.swap_model(challenger, version=promoted_version)
+                if getattr(self.server, "swaps_by_path", False):
+                    # Fleet backend (WorkerPool): broadcast the *registered
+                    # artifact's path* so every worker re-loads one shared
+                    # (mmap'd) copy — the registry write above is exactly
+                    # the persisted artifact the fleet converges on.
+                    self.server.swap_model(
+                        self.registry.path(promoted_version),
+                        version=promoted_version,
+                    )
+                else:
+                    self.server.swap_model(challenger, version=promoted_version)
                 # The promoted model learned the drifted distribution —
                 # rebase the monitor on its training window so the "new
                 # normal" stops alarming, and reset the error baseline.

@@ -19,6 +19,7 @@ from .ranking import (
     precision_recall_curve,
     roc_auc_score,
     roc_curve,
+    threshold_for_precision,
 )
 from .report import (
     ALL_METRICS,
@@ -46,6 +47,7 @@ __all__ = [
     "precision_recall_curve",
     "roc_auc_score",
     "roc_curve",
+    "threshold_for_precision",
     "ALL_METRICS",
     "PAPER_METRICS",
     "classification_report",

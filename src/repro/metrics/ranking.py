@@ -21,6 +21,7 @@ __all__ = [
     "roc_curve",
     "roc_auc_score",
     "auc",
+    "threshold_for_precision",
 ]
 
 
@@ -169,3 +170,40 @@ def roc_auc_score(y_true, y_score) -> float:
         return float("nan")
     fpr, tpr, _ = roc_curve(y_true, y_score)
     return auc(fpr, tpr)
+
+
+def threshold_for_precision(y_true, y_score, min_precision: float) -> float:
+    """Lowest decision threshold whose precision meets ``min_precision``.
+
+    Relies on the documented length contract of
+    :func:`precision_recall_curve`: ``precision[i]`` is the precision when
+    classifying positive at score ``>= thresholds[i]`` for every
+    ``i < len(thresholds)`` (the final ``(1, 0)`` anchor has no
+    threshold). Scanning from index 0 — the lowest threshold, hence the
+    highest recall — the first point meeting the precision target is the
+    highest-recall operating point that meets it.
+
+    Edge-case contract (pinned by ``tests/test_serving.py``):
+
+    * **Unreachable target** — when no real threshold reaches
+      ``min_precision``, a :class:`ValueError` is raised naming the best
+      achievable precision. The curve's trailing ``(1, 0)`` anchor is
+      *excluded* from the scan: it has no threshold (no score classifies
+      nothing as positive), so "precision 1 by predicting nothing" never
+      masquerades as an operating point.
+    * **Ties at the boundary** — equal scores collapse into a single
+      threshold whose precision already accounts for every tied row, so
+      the returned threshold always admits the whole tie group; a target
+      only separable *inside* a tie group resolves to the next threshold
+      that actually meets it (or raises).
+    """
+    precision, _, thresholds = precision_recall_curve(y_true, y_score)
+    ok = np.flatnonzero(precision[: len(thresholds)] >= min_precision)
+    if ok.size == 0:
+        achievable = precision[: len(thresholds)]
+        best = float(achievable.max()) if achievable.size else 0.0
+        raise ValueError(
+            f"no threshold reaches precision {min_precision}; max achievable "
+            f"is {best}"
+        )
+    return float(thresholds[ok[0]])

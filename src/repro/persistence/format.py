@@ -18,6 +18,19 @@ registry below, and restores state through each class's
 rebuilt, so a truncated or bit-flipped artifact fails with a clear
 :class:`~repro.exceptions.PersistenceError` instead of a corrupt model.
 
+``load_model(path, mmap_mode="r")`` attaches the fitted arrays as
+**read-only memory-mapped views** instead of heap copies. ``np.savez``
+stores members uncompressed, so every ``.npy`` payload sits at a fixed
+offset inside the archive: one ``mmap`` of the file backs every array
+(``np.frombuffer`` views into it), the OS page cache holds the only copy
+of the bytes, and N serving processes that map the same artifact share
+one physical copy of the model — the foundation of the multi-process
+serving plane (see ``DESIGN.md`` → "The serving plane"). Checksums are
+still verified up front (reading *through* the map, which faults the
+pages into the shared cache exactly once per machine), and the views are
+immutable: writing into a loaded model raises instead of silently
+corrupting the page cache.
+
 Round-trip guarantee (gated by ``tests/test_persistence.py``): for every
 supported ensemble, ``load_model(save_model(clf, path))`` predicts
 **bit-identically** to ``clf`` — the arrays are byte-preserved and every
@@ -31,8 +44,11 @@ import hashlib
 import importlib
 import itertools
 import json
+import mmap
 import os
-from typing import Any, Dict, Tuple
+import struct
+import zipfile
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -88,11 +104,16 @@ def _registry_class(name: str):
 
 
 def _digest(arr: np.ndarray) -> str:
-    """SHA-256 over dtype, shape, and raw bytes of an array."""
+    """SHA-256 over dtype, shape, and raw bytes of an array.
+
+    Hashes through a flat byte view instead of ``tobytes()``: verifying a
+    memory-mapped artifact must stream the pages, not duplicate the whole
+    array on the heap first.
+    """
     h = hashlib.sha256()
     h.update(arr.dtype.str.encode())
     h.update(repr(tuple(arr.shape)).encode())
-    h.update(np.ascontiguousarray(arr).tobytes())
+    h.update(memoryview(np.ascontiguousarray(arr)).cast("B"))
     return h.hexdigest()
 
 
@@ -235,6 +256,94 @@ def save_model(model, path) -> str:
 # --------------------------------------------------------------------- #
 # load
 # --------------------------------------------------------------------- #
+_LOCAL_HEADER = struct.Struct("<4s22xHH")  # signature, name len, extra len
+
+
+def _member_data_start(handle, zinfo: "zipfile.ZipInfo") -> int:
+    """File offset of a stored zip member's payload.
+
+    The central directory records where the member's *local header*
+    starts; the payload follows the 30-byte fixed header plus the local
+    (not central!) name and extra fields, so the local header must be
+    re-read — its extra field routinely differs from the directory's.
+    """
+    handle.seek(zinfo.header_offset)
+    local = handle.read(_LOCAL_HEADER.size)
+    signature, name_len, extra_len = (
+        _LOCAL_HEADER.unpack(local) if len(local) == _LOCAL_HEADER.size else (b"", 0, 0)
+    )
+    if signature != b"PK\x03\x04":
+        raise PersistenceError(
+            f"corrupted artifact — bad local header for member {zinfo.filename!r}"
+        )
+    return zinfo.header_offset + _LOCAL_HEADER.size + name_len + extra_len
+
+
+def _mmap_member(mapped: mmap.mmap, handle, zinfo) -> Optional[np.ndarray]:
+    """A read-only array view over one stored ``.npy`` member, or ``None``
+    when the member cannot be mapped (compressed, Fortran-ordered, or an
+    npy header version this reader does not parse) — the caller then falls
+    back to an eager read of just that member."""
+    if zinfo.compress_type != zipfile.ZIP_STORED:
+        return None
+    start = _member_data_start(handle, zinfo)
+    handle.seek(start)
+    try:
+        version = np.lib.format.read_magic(handle)
+        if version == (1, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_1_0(handle)
+        elif version == (2, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
+        else:
+            return None
+    except ValueError:
+        return None
+    if fortran or dtype.hasobject:
+        return None
+    offset = handle.tell()
+    count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+    if offset + count * dtype.itemsize > start + zinfo.file_size:
+        raise PersistenceError(
+            f"corrupted artifact — member {zinfo.filename!r} is truncated"
+        )
+    # One mmap backs every view; ACCESS_READ makes them immutable, so a
+    # stray write into a loaded model raises instead of dirtying the
+    # machine-wide shared page cache.
+    return np.frombuffer(mapped, dtype=dtype, count=count, offset=offset).reshape(
+        shape
+    )
+
+
+def _mmap_arrays(path: str, keys) -> Dict[str, np.ndarray]:
+    """Read-only (mostly memory-mapped) arrays for ``keys`` of an artifact."""
+    try:
+        archive = zipfile.ZipFile(path)
+    except (OSError, zipfile.BadZipFile) as exc:
+        raise PersistenceError(
+            f"{path}: not a readable model artifact ({exc})"
+        ) from exc
+    with archive:
+        handle = archive.fp
+        # mmap dups the descriptor, so the mapping (and every array view
+        # holding a reference to it) outlives the ZipFile handle.
+        mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        members = {zinfo.filename: zinfo for zinfo in archive.infolist()}
+        arrays: Dict[str, np.ndarray] = {}
+        for key in keys:
+            zinfo = members.get(f"{key}.npy")
+            if zinfo is None:
+                raise PersistenceError(
+                    f"{path}: corrupted artifact — array {key!r} is missing"
+                )
+            arr = _mmap_member(mapped, handle, zinfo)
+            if arr is None:  # unmappable member: eager read, still immutable
+                with archive.open(zinfo) as member:
+                    arr = np.lib.format.read_array(member, allow_pickle=False)
+                arr.flags.writeable = False
+            arrays[key] = arr
+    return arrays
+
+
 def _restore(node: Dict, data) -> Any:
     cls = _registry_class(node["class"])
     arrays = {}
@@ -258,18 +367,35 @@ def _restore(node: Dict, data) -> Any:
     return cls.__from_state_arrays__(node["meta"], arrays, children)
 
 
-def load_model(path):
+def load_model(path, *, mmap_mode: Optional[str] = None):
     """Load a model artifact written by :func:`save_model`.
 
     Verifies the format magic, the schema version (artifacts from a newer
     schema are rejected with a clear error rather than misread), and the
     SHA-256 checksum of every array *before* any state is reconstructed.
     The returned estimator predicts bit-identically to the one saved.
+
+    Parameters
+    ----------
+    mmap_mode : {None, "r"}, default None
+        ``None`` loads every array onto the heap (private copies, the
+        historical behaviour). ``"r"`` attaches the fitted arrays as
+        *read-only memory-mapped views* into the artifact file: the page
+        cache holds the single physical copy of the model, any number of
+        processes mapping the same artifact share it, and the views refuse
+        writes. Every error contract (magic / schema / checksum /
+        truncation) is identical in both modes, and so is every predicted
+        bit.
     """
+    if mmap_mode not in (None, "r"):
+        raise ValueError(
+            f"mmap_mode must be None or 'r', got {mmap_mode!r} — model "
+            "artifacts are immutable; writable maps are not supported"
+        )
     path = os.fspath(path)
     try:
         data = np.load(path, allow_pickle=False)
-    except (OSError, ValueError) as exc:
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
         raise PersistenceError(f"{path}: not a readable model artifact ({exc})") from exc
     with data:
         if "__header__" not in data:
@@ -287,19 +413,22 @@ def load_model(path):
                 f"reads versions 1..{SCHEMA_VERSION}"
             )
         checksums = header.get("checksums", {})
-        loaded: Dict[str, np.ndarray] = {}
-        for key, digest in checksums.items():
-            if key not in data:
-                raise PersistenceError(
-                    f"{path}: corrupted artifact — array {key!r} is missing"
-                )
-            arr = data[key]
-            if _digest(arr) != digest:
-                raise PersistenceError(
-                    f"{path}: corrupted artifact — checksum mismatch on "
-                    f"array {key!r}"
-                )
-            loaded[key] = arr
-        if "root" not in header:
-            raise PersistenceError(f"{path}: artifact header has no root node")
-        return _restore(header["root"], loaded)
+        if mmap_mode is None:
+            loaded = {}
+            for key in checksums:
+                if key not in data:
+                    raise PersistenceError(
+                        f"{path}: corrupted artifact — array {key!r} is missing"
+                    )
+                loaded[key] = data[key]
+        else:
+            loaded = _mmap_arrays(path, checksums)
+    for key, digest in checksums.items():
+        if _digest(loaded[key]) != digest:
+            raise PersistenceError(
+                f"{path}: corrupted artifact — checksum mismatch on "
+                f"array {key!r}"
+            )
+    if "root" not in header:
+        raise PersistenceError(f"{path}: artifact header has no root node")
+    return _restore(header["root"], loaded)

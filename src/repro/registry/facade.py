@@ -17,6 +17,7 @@ alternatives, instead of ``TypeError`` at fit time.
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Optional
 
 from ..base import BaseEstimator
@@ -52,8 +53,9 @@ def get_classifier(
         :func:`repro.registry.list_presets`). Keyword ``overrides`` win
         over preset values.
     **overrides:
-        Constructor parameters. ``base_estimator=`` and ``estimator=`` are
-        accepted as spellings of ``base`` for backward compatibility.
+        Constructor parameters. ``estimator=`` is accepted as a spelling
+        of ``base``; the imblearn-era ``base_estimator=`` still works but
+        emits a :class:`DeprecationWarning` and will be removed.
     """
     spec = classifier_spec(name)
     params = preset_params(name, preset) if preset is not None else {}
@@ -63,6 +65,16 @@ def get_classifier(
     for alias in ("estimator", "base_estimator"):
         if alias in overrides:
             base_spellings[alias] = overrides.pop(alias)
+    if "base_estimator" in base_spellings:
+        # The imblearn-era spelling is on its removal clock: it still
+        # works (when not conflicting), but warns every call.
+        warnings.warn(
+            "the base_estimator= alias of get_classifier is deprecated "
+            "and will be removed in a future release; pass estimator= "
+            "(or base=) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
     if len(base_spellings) > 1:
         raise RegistryError(
             f"pass the base estimator once, got "

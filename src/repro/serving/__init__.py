@@ -1,17 +1,41 @@
-"""Model serving: load artifacts into warm kernels, micro-batch requests.
+"""The serving plane: from one warm server to a zero-copy worker fleet.
 
-:class:`ModelServer` loads a :mod:`repro.persistence` artifact (or wraps a
-live fitted ensemble) with the packed inference kernel pre-built, serves
-``predict_proba`` over a bounded micro-batching queue, and classifies with
-a tunable decision threshold instead of the hard-coded argmax.
-:func:`threshold_for_precision` derives that threshold from a validation
-PR curve. :meth:`ModelServer.swap_model` hot-swaps a retrained model with
-zero downtime (kernel pre-built off the serving thread, one atomic
-pointer flip); :meth:`ModelServer.stats` exposes traffic counters and the
-current ``model_version``, which :class:`ScoredBatch` results also carry
-per request. See ``DESIGN.md`` → "Serving".
+One front door — :func:`serve` — mirrors the training side's
+``get_classifier``: hand it a fitted model or an artifact path plus a
+:class:`ServerConfig` (or keyword overrides), and it returns the right
+deployment shape.
+
+* :class:`ModelServer` (``n_workers=0``) — the in-process micro-batcher:
+  warm packed kernel, bounded queue with
+  :class:`~repro.exceptions.ServerOverloadedError` overflow, tunable
+  decision threshold, zero-downtime :meth:`~ModelServer.swap_model`,
+  per-request ``model_version`` stamps on :class:`ScoredBatch`.
+* :class:`WorkerPool` (``n_workers >= 1``) — N forked ``ModelServer``
+  workers sharing **one** copy of the model: the artifact is loaded
+  memory-mapped (``load_model(path, mmap_mode="r")``) and its serving
+  kernel packed *before* the fork, so worker memory is copy-on-write
+  shared, and :meth:`~WorkerPool.swap_model` broadcasts a new artifact
+  path fleet-wide with zero dropped requests.
+* :class:`AsyncGateway` — the ``asyncio`` front door over either backend:
+  per-tenant bounded admission queues and a fair round-robin drain.
+
+:func:`threshold_for_precision` (re-exported from
+:mod:`repro.metrics`) derives the decision threshold from a validation PR
+curve. See ``DESIGN.md`` → "Serving" and "The serving plane".
 """
 
+from .facade import ServerConfig, serve
+from .gateway import AsyncGateway
+from .pool import WorkerPool, process_private_kb
 from .server import ModelServer, ScoredBatch, threshold_for_precision
 
-__all__ = ["ModelServer", "ScoredBatch", "threshold_for_precision"]
+__all__ = [
+    "AsyncGateway",
+    "ModelServer",
+    "ScoredBatch",
+    "ServerConfig",
+    "WorkerPool",
+    "process_private_kb",
+    "serve",
+    "threshold_for_precision",
+]

@@ -1,0 +1,226 @@
+"""Async front door for the serving plane: admission control + fair drain.
+
+:class:`AsyncGateway` sits between ``asyncio`` application code and a
+scoring backend (a :class:`~repro.serving.ModelServer` or a
+:class:`~repro.serving.WorkerPool` — anything with ``submit(rows) ->
+concurrent.futures.Future``) and adds the two things a shared front door
+owes its tenants:
+
+* **Admission control** — each tenant gets a *bounded* gateway queue.
+  A tenant whose queue is full is rejected at the door with
+  :class:`~repro.exceptions.ServerOverloadedError` (the same overflow
+  contract as the backend's bounded queue, one layer out): one chatty
+  tenant fills its own queue and gets its own rejections, instead of
+  filling the shared backend queue and starving everyone.
+* **Fair round-robin drain** — a single drain task forwards one queued
+  request per tenant per rotation to the backend, so backend capacity is
+  divided fairly across active tenants regardless of their arrival rates.
+  When the *backend* pushes back (its bounded queue is full), the drain
+  holds the request and retries after ``retry_interval`` — backend
+  overload causes backpressure (requests wait at the gateway), never
+  silent drops.
+
+``await gateway.submit(rows, tenant="team-a")`` resolves to the
+``predict_proba`` matrix. Backend futures are bridged into the event loop
+with ``asyncio.wrap_future``, so scoring never blocks the loop. The
+gateway is single-loop: use it from one running event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import Counter, deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..exceptions import ServerOverloadedError
+
+__all__ = ["AsyncGateway"]
+
+
+class AsyncGateway:
+    """Fair, admission-controlled async facade over a scoring backend.
+
+    Parameters
+    ----------
+    backend : ModelServer or WorkerPool
+        Anything exposing ``submit(rows) -> concurrent.futures.Future``
+        (raising :class:`~repro.exceptions.ServerOverloadedError` when
+        its own queue is full).
+    max_pending_per_tenant : int, default 256
+        Bound on each tenant's gateway queue; :meth:`submit` raises
+        :class:`~repro.exceptions.ServerOverloadedError` beyond it.
+    retry_interval : float, default 0.002
+        Seconds the drain waits before re-offering a request the backend
+        pushed back on.
+
+    Examples
+    --------
+    >>> gateway = AsyncGateway(pool)                      # doctest: +SKIP
+    >>> proba = await gateway.submit(X, tenant="team-a")  # doctest: +SKIP
+    >>> gateway.stats()["tenants"]["team-a"]["served"]    # doctest: +SKIP
+    >>> await gateway.close()                             # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        backend,
+        *,
+        max_pending_per_tenant: int = 256,
+        retry_interval: float = 0.002,
+    ):
+        if max_pending_per_tenant < 1:
+            raise ValueError("max_pending_per_tenant must be >= 1")
+        self.backend = backend
+        self.max_pending_per_tenant = int(max_pending_per_tenant)
+        self.retry_interval = float(retry_interval)
+        self._queues: Dict[str, Deque[Tuple[object, asyncio.Future]]] = {}
+        self._order: List[str] = []  # rotation order = first-seen order
+        self._rr = 0
+        self._wake: Optional[asyncio.Event] = None
+        self._drain_task: Optional[asyncio.Task] = None
+        self._inflight: set = set()
+        self._closed = False
+        self.n_backpressure_waits_ = 0
+        self._submitted: Counter = Counter()
+        self._served: Counter = Counter()
+        self._rejected: Counter = Counter()
+
+    # ------------------------------------------------------------------ #
+    async def submit(self, rows, *, tenant: str = "default"):
+        """Admit rows for tenant and await their ``predict_proba`` matrix.
+
+        Raises :class:`~repro.exceptions.ServerOverloadedError`
+        immediately when the tenant's gateway queue is full — the caller
+        (not the gateway) decides whether to back off or shed load.
+        """
+        if self._closed:
+            raise RuntimeError("AsyncGateway is closed")
+        tenant = str(tenant)
+        self._ensure_draining()
+        tenant_q = self._queues.get(tenant)
+        if tenant_q is None:
+            tenant_q = deque()
+            self._queues[tenant] = tenant_q
+            self._order.append(tenant)
+        if len(tenant_q) >= self.max_pending_per_tenant:
+            self._rejected[tenant] += 1
+            raise ServerOverloadedError(
+                f"gateway queue for tenant {tenant!r} is full "
+                f"({self.max_pending_per_tenant} pending); back off and retry"
+            )
+        done = asyncio.get_running_loop().create_future()
+        tenant_q.append((rows, done))
+        self._submitted[tenant] += 1
+        self._wake.set()
+        return await done
+
+    def _ensure_draining(self) -> None:
+        if self._drain_task is None or self._drain_task.done():
+            loop = asyncio.get_running_loop()
+            self._wake = asyncio.Event()
+            self._drain_task = loop.create_task(
+                self._drain(), name="repro-gateway-drain"
+            )
+
+    # ------------------------------------------------------------------ #
+    def _next_item(self):
+        """Pop the next request fairly: one per tenant per rotation step."""
+        n = len(self._order)
+        for step in range(n):
+            idx = (self._rr + step) % n
+            tenant_q = self._queues[self._order[idx]]
+            if tenant_q:
+                self._rr = (idx + 1) % n
+                return self._order[idx], tenant_q.popleft()
+        return None
+
+    async def _drain(self) -> None:
+        while True:
+            item = self._next_item()
+            if item is None:
+                if self._closed:
+                    return
+                self._wake.clear()
+                item = self._next_item()  # re-check: no missed wakeups
+                if item is None:
+                    await self._wake.wait()
+                    continue
+            tenant, (rows, done) = item
+            if done.done():  # caller gave up (cancelled/timed out)
+                continue
+            while True:
+                try:
+                    backend_future = self.backend.submit(rows)
+                except ServerOverloadedError:
+                    # Backend pushed back: hold the request (backpressure),
+                    # never drop it. Head-of-line here is deliberate — the
+                    # backend is full, so nothing else would go through
+                    # either.
+                    self.n_backpressure_waits_ += 1
+                    await asyncio.sleep(self.retry_interval)
+                    if done.done():
+                        break
+                    continue
+                except BaseException as exc:
+                    if not done.done():
+                        done.set_exception(exc)
+                    break
+                else:
+                    task = asyncio.ensure_future(
+                        self._finish(tenant, backend_future, done)
+                    )
+                    self._inflight.add(task)
+                    task.add_done_callback(self._inflight.discard)
+                    break
+
+    async def _finish(self, tenant: str, backend_future, done) -> None:
+        try:
+            result = await asyncio.wrap_future(backend_future)
+        except BaseException as exc:
+            if not done.done():
+                done.set_exception(exc)
+        else:
+            self._served[tenant] += 1
+            if not done.done():
+                done.set_result(result)
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict:
+        """Gateway-health snapshot: per-tenant admission/served/rejected
+        counters, queue depths, and backpressure waits."""
+        tenants = {}
+        for tenant in self._order:
+            tenants[tenant] = {
+                "submitted": int(self._submitted[tenant]),
+                "served": int(self._served[tenant]),
+                "rejected": int(self._rejected[tenant]),
+                "queued": len(self._queues[tenant]),
+            }
+        return {
+            "tenants": tenants,
+            "n_backpressure_waits": self.n_backpressure_waits_,
+            "inflight": len(self._inflight),
+        }
+
+    async def close(self) -> None:
+        """Stop admitting; drain everything already queued, then return.
+
+        Queued and in-flight requests are all served (or failed with
+        their real error) before close completes — the gateway never
+        drops admitted work.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._wake is not None:
+            self._wake.set()
+        if self._drain_task is not None:
+            await self._drain_task
+        if self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)
+
+    async def __aenter__(self) -> "AsyncGateway":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()

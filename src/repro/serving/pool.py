@@ -1,0 +1,536 @@
+"""Multi-process serving plane: a fleet of forked ``ModelServer`` workers.
+
+:class:`WorkerPool` turns the single-process micro-batcher into N worker
+*processes* that serve one model without N heap copies:
+
+* **Zero-copy model sharing** — the pool loads the artifact in the parent
+  with ``load_model(path, mmap_mode="r")`` (fitted arrays are read-only
+  views into the file, physically backed by the page cache) and builds the
+  packed serving kernel **once, before forking**. Workers are started with
+  the ``fork`` method, so both the mapped artifact pages and the
+  parent-built kernel arrays are inherited copy-on-write — and since
+  serving never writes them, they are never copied. The marginal private
+  memory of an extra worker is queue buffers and interpreter churn, not
+  another resident model (measured per worker via
+  :func:`process_private_kb` and asserted in ``benchmarks/bench_serving.py``).
+* **Queue-fed workers** — each worker owns a bounded ``multiprocessing``
+  request queue and runs a full :class:`~repro.serving.ModelServer` inside
+  (micro-batching, warm kernel, version stamps). The pool dispatches
+  requests round-robin; a full worker queue raises
+  :class:`~repro.exceptions.ServerOverloadedError` — the same bounded-queue
+  overflow contract as the in-process server, one level up.
+* **Fleet-wide hot swap** — :meth:`swap_model` publishes a new *artifact
+  path* to every worker. Each worker loads the challenger (mmap'd again —
+  the fleet converges onto one shared copy of the *new* model), warm-packs
+  it off its serving thread, then flips its ``_ActiveModel`` record; the
+  serving queue keeps draining with the old model until the flip, so no
+  request is ever dropped or blocked. The pool tracks per-worker versions
+  from swap acknowledgements and (by default) blocks until the whole fleet
+  converged. Every result is stamped with the version that scored it, so a
+  mid-swap fleet still decodes every response correctly.
+* **Observability** — :meth:`stats` aggregates pool-level counters and
+  per-worker versions; :meth:`worker_stats` asks every worker for its full
+  :meth:`ModelServer.stats` snapshot plus its private-memory footprint.
+
+The pool requires the ``fork`` start method (Linux/macOS): zero-copy
+inheritance of the pre-built kernel is the point. Construct it before
+starting heavy threads in the parent, as with any fork.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import queue as queue_mod
+import threading
+from collections import Counter
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .. import exceptions as _exceptions
+from ..exceptions import ServerOverloadedError
+from ..fastpath.codetable import warm_serving_pack
+from ..utils.validation import check_is_fitted
+from .server import ModelServer, ScoredBatch, _resolve_positive_idx
+
+__all__ = ["WorkerPool", "process_private_kb"]
+
+
+def process_private_kb() -> Optional[float]:
+    """Private (unshared) resident memory of this process, in KiB.
+
+    Reads ``Private_Clean + Private_Dirty`` from
+    ``/proc/self/smaps_rollup`` — pages mapped *only* by this process.
+    File-backed pages of an mmap'd artifact and copy-on-write pages
+    inherited from the pool parent are shared, so they do not count: this
+    is the honest per-worker cost of attaching one more worker to the
+    fleet. Returns ``None`` where the proc file is unavailable (non-Linux).
+    """
+    try:
+        with open("/proc/self/smaps_rollup") as handle:
+            total = 0.0
+            for line in handle:
+                if line.startswith(("Private_Clean:", "Private_Dirty:")):
+                    total += float(line.split()[1])
+            return total
+    except (OSError, ValueError):
+        return None
+
+
+@dataclass(frozen=True)
+class _VersionRecord:
+    """Parent-side decoding identity of one published model version."""
+
+    classes: np.ndarray
+    positive_idx: int
+
+
+def _record_from_model(model) -> _VersionRecord:
+    classes = np.asarray(getattr(model, "classes_", np.array([0, 1])))
+    return _VersionRecord(classes, _resolve_positive_idx(model, classes))
+
+
+def _rebuild_exception(name: str, text: str) -> BaseException:
+    """Best-effort reconstruction of a worker-side exception by name."""
+    cls = getattr(_exceptions, name, None)
+    if isinstance(cls, type) and issubclass(cls, BaseException):
+        return cls(text)
+    return RuntimeError(f"worker error ({name}): {text}")
+
+
+def _worker_main(worker_id: int, model, options: Dict, req_q, res_q) -> None:
+    """One worker process: a ModelServer draining its pool queue.
+
+    Message protocol (FIFO per worker):
+      ("req", req_id, rows)        → ("ok", req_id, proba, version)
+                                     | ("err", req_id, exc_name, text)
+      ("swap", path, version)      → ("swapped", worker_id, version, err|None)
+      ("stats", token)             → ("stats", worker_id, token, payload)
+      ("stop",)                    → ("stopped", worker_id)   [terminates]
+
+    Swaps run on a side thread so the serving queue keeps draining while
+    the challenger's kernel builds; ``ModelServer.swap_model`` then flips
+    the active record atomically. Requests already dequeued keep the
+    version that was active when their batch was drained — zero drops.
+    """
+    baseline_kb = process_private_kb()
+    server = ModelServer(model, **options)
+    swap_lock = threading.Lock()  # serialise overlapping fleet swaps
+    swap_threads: List[threading.Thread] = []
+
+    def finish(req_id: int, future: Future) -> None:
+        try:
+            scored: ScoredBatch = future.result()
+        except BaseException as exc:
+            res_q.put(("err", req_id, type(exc).__name__, str(exc)))
+        else:
+            res_q.put(("ok", req_id, scored.proba, scored.model_version))
+
+    def do_swap(path: str, version: str) -> None:
+        with swap_lock:
+            try:
+                installed = server.swap_model(path, version=version)
+                res_q.put(("swapped", worker_id, installed, None))
+            except BaseException as exc:
+                res_q.put(
+                    ("swapped", worker_id, version, f"{type(exc).__name__}: {exc}")
+                )
+
+    while True:
+        msg = req_q.get()
+        kind = msg[0]
+        if kind == "req":
+            _, req_id, rows = msg
+            try:
+                future = server.submit_scored(rows)
+            except BaseException as exc:
+                res_q.put(("err", req_id, type(exc).__name__, str(exc)))
+            else:
+                future.add_done_callback(
+                    lambda f, req_id=req_id: finish(req_id, f)
+                )
+        elif kind == "swap":
+            _, path, version = msg
+            thread = threading.Thread(
+                target=do_swap, args=(path, version), daemon=True
+            )
+            swap_threads.append(thread)
+            thread.start()
+        elif kind == "stats":
+            payload = server.stats()
+            payload["private_kb"] = process_private_kb()
+            payload["baseline_private_kb"] = baseline_kb
+            res_q.put(("stats", worker_id, msg[1], payload))
+        elif kind == "stop":
+            for thread in swap_threads:
+                thread.join()
+            server.close()  # drains the internal queue; callbacks fire first
+            res_q.put(("stopped", worker_id))
+            return
+
+
+class WorkerPool:
+    """Serve one model from N forked worker processes behind one front door.
+
+    Parameters
+    ----------
+    model : artifact path, or fitted classifier
+        A path is loaded in the parent (memory-mapped when ``mmap=True``)
+        and shared with every forked worker; a live fitted model is shared
+        through fork copy-on-write directly.
+    n_workers : int, default 2
+        Worker process count.
+    threshold, max_batch, max_pending, model_version :
+        Forwarded to each worker's :class:`~repro.serving.ModelServer`;
+        ``max_pending`` also bounds each worker's pool-level request queue.
+    mmap : bool, default True
+        Memory-map artifact loads (parent *and* every worker-side swap
+        load), so the fleet shares one page-cache copy per artifact.
+
+    Examples
+    --------
+    >>> pool = WorkerPool("model.npz", n_workers=4)     # doctest: +SKIP
+    >>> proba = pool.predict_proba(X_batch)             # doctest: +SKIP
+    >>> pool.swap_model("model_v2.npz", version="v2")   # doctest: +SKIP
+    >>> pool.stats()["model_versions"]                  # doctest: +SKIP
+    >>> pool.close()                                    # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        model,
+        *,
+        n_workers: int = 2,
+        threshold: float = 0.5,
+        max_batch: int = 256,
+        max_pending: int = 1024,
+        mmap: bool = True,
+        model_version: str = "v0",
+    ):
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "WorkerPool requires the 'fork' start method (zero-copy "
+                "model inheritance); use ModelServer on this platform"
+            )
+        self.n_workers = int(n_workers)
+        self.threshold = float(threshold)
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+        self.mmap = bool(mmap)
+        model_version = str(model_version)
+
+        if isinstance(model, (str, bytes)) or hasattr(model, "__fspath__"):
+            from ..persistence import load_model
+
+            model = load_model(model, mmap_mode="r" if self.mmap else None)
+        check_is_fitted(model)
+        # Build the packed serving kernel ONCE, pre-fork: every worker's
+        # ModelServer construction hits this exact cache entry (inherited
+        # through fork) instead of building a private copy.
+        warm_serving_pack(model)
+        self._version_records: Dict[str, _VersionRecord] = {
+            model_version: _record_from_model(model)
+        }
+
+        ctx = multiprocessing.get_context("fork")
+        self._req_queues = [
+            ctx.Queue(maxsize=int(max_pending)) for _ in range(self.n_workers)
+        ]
+        self._res_q = ctx.Queue()
+        options = dict(
+            threshold=self.threshold,
+            max_batch=int(max_batch),
+            max_pending=int(max_pending),
+            model_version=model_version,
+            mmap=self.mmap,
+        )
+        self._procs = [
+            ctx.Process(
+                target=_worker_main,
+                args=(i, model, options, self._req_queues[i], self._res_q),
+                name=f"repro-pool-worker-{i}",
+                daemon=True,
+            )
+            for i in range(self.n_workers)
+        ]
+
+        self._lock = threading.Lock()
+        self._closed = False
+        self._futures: Dict[int, Tuple[Future, bool]] = {}
+        self._next_id = itertools.count()
+        self._rr = 0
+        self.n_requests_ = 0
+        self.n_overflows_ = 0
+        self.n_swaps_ = 0
+        self._requests_by_version: Counter = Counter()
+        self._worker_versions: Dict[int, str] = {
+            i: model_version for i in range(self.n_workers)
+        }
+        self._swap_waits: Dict[str, Dict] = {}
+        self._stats_waits: Dict[int, Dict] = {}
+        self._stats_tokens = itertools.count()
+
+        for proc in self._procs:
+            proc.start()
+        self._collector = threading.Thread(
+            target=self._collect, name="repro-pool-collector", daemon=True
+        )
+        self._collector.start()
+
+    # ------------------------------------------------------------------ #
+    def _collect(self) -> None:
+        """Single parent thread resolving every worker response."""
+        while True:
+            msg = self._res_q.get()
+            tag = msg[0]
+            if tag == "__close__":
+                return
+            if tag == "ok":
+                _, req_id, proba, version = msg
+                with self._lock:
+                    future, want_version = self._futures.pop(req_id)
+                    self.n_requests_ += 1
+                    self._requests_by_version[version] += 1
+                future.set_result(
+                    ScoredBatch(proba, version) if want_version else proba
+                )
+            elif tag == "err":
+                _, req_id, name, text = msg
+                with self._lock:
+                    future, _ = self._futures.pop(req_id)
+                future.set_exception(_rebuild_exception(name, text))
+            elif tag == "swapped":
+                _, worker_id, version, err = msg
+                with self._lock:
+                    if err is None:
+                        self._worker_versions[worker_id] = version
+                    wait = self._swap_waits.get(version)
+                    if wait is not None:
+                        wait["acks"] += 1
+                        if err is not None:
+                            wait["errors"].append(f"worker {worker_id}: {err}")
+                        if wait["acks"] == self.n_workers:
+                            wait["event"].set()
+            elif tag == "stats":
+                _, worker_id, token, payload = msg
+                with self._lock:
+                    wait = self._stats_waits.get(token)
+                    if wait is not None:
+                        wait["replies"][worker_id] = payload
+                        if len(wait["replies"]) == self.n_workers:
+                            wait["event"].set()
+
+    # ------------------------------------------------------------------ #
+    def submit(self, rows) -> Future:
+        """Queue rows on the next worker (round-robin); the future resolves
+        to their ``predict_proba`` matrix."""
+        return self._enqueue(rows, want_version=False)
+
+    def submit_scored(self, rows) -> Future:
+        """Like :meth:`submit`, resolving to a :class:`ScoredBatch` stamped
+        with the version of the one worker-side model that scored it."""
+        return self._enqueue(rows, want_version=True)
+
+    def _enqueue(self, rows, want_version: bool) -> Future:
+        rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+        future: Future = Future()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("WorkerPool is closed")
+            req_id = next(self._next_id)
+            worker = self._rr
+            self._rr = (self._rr + 1) % self.n_workers
+            self._futures[req_id] = (future, want_version)
+            try:
+                self._req_queues[worker].put_nowait(("req", req_id, rows))
+            except queue_mod.Full:
+                del self._futures[req_id]
+                self.n_overflows_ += 1
+                raise ServerOverloadedError(
+                    f"worker {worker} request queue is full; back off and "
+                    "retry"
+                ) from None
+        return future
+
+    def predict_proba(self, rows) -> np.ndarray:
+        """Synchronous scoring through the worker fleet."""
+        return self.submit(rows).result()
+
+    def score(self, rows) -> ScoredBatch:
+        """Synchronous scoring with the serving version stamp."""
+        return self.submit_scored(rows).result()
+
+    def predict(self, rows) -> np.ndarray:
+        """Thresholded classification, decoded with the classes of the
+        version that actually scored the rows (a mid-swap fleet can answer
+        from either side of the flip; the stamp disambiguates)."""
+        scored = self.score(rows)
+        with self._lock:
+            record = self._version_records[scored.model_version]
+        proba = scored.proba
+        if len(record.classes) != 2:
+            return record.classes[np.argmax(proba, axis=1)]
+        positive = proba[:, record.positive_idx] >= self.threshold
+        return record.classes[
+            np.where(positive, record.positive_idx, 1 - record.positive_idx)
+        ]
+
+    # ------------------------------------------------------------------ #
+    #: Fleet swaps ship artifact *paths*, not live objects — the
+    #: LifecycleController keys on this to promote through the registry's
+    #: persisted artifact instead of the in-memory challenger.
+    swaps_by_path = True
+
+    def swap_model(
+        self,
+        path,
+        *,
+        version: Optional[str] = None,
+        wait: bool = True,
+        timeout: float = 120.0,
+    ) -> str:
+        """Broadcast a new artifact to every worker; returns the version.
+
+        Each worker independently loads the artifact (mmap'd when the pool
+        is, so the fleet converges onto one shared page-cache copy of the
+        challenger), builds its packed kernel on a side thread, and flips
+        its active record — its serving queue keeps draining the whole
+        time, so zero requests are dropped or blocked fleet-wide (asserted
+        under sustained load in ``benchmarks/bench_serving.py``).
+
+        With ``wait=True`` (default) the call returns once every worker
+        acknowledged the swap — the fleet has converged — and raises if any
+        worker rejected the artifact (those workers keep serving the old
+        version; a fleet swap is per-worker atomic, not transactional).
+        ``wait=False`` returns immediately; track convergence through
+        ``stats()["model_versions"]``.
+        """
+        if not (isinstance(path, (str, bytes)) or hasattr(path, "__fspath__")):
+            raise TypeError(
+                "WorkerPool.swap_model takes an artifact path: the fleet "
+                "re-loads the model per process (save_model(...) first, or "
+                "use ArtifactRegistry.path())"
+            )
+        path = os.fspath(path)
+        # Parent-side decode record, built before the broadcast so results
+        # stamped with the new version always resolve. Also validates the
+        # artifact once up front — a bad path fails here, not in N workers.
+        from ..persistence import load_model
+
+        challenger = load_model(path, mmap_mode="r" if self.mmap else None)
+        record = _record_from_model(challenger)
+        del challenger  # only the mapping's decode identity is kept
+
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("WorkerPool is closed")
+            self.n_swaps_ += 1
+            if version is None:
+                version = f"swap-{self.n_swaps_}"
+            version = str(version)
+            self._version_records[version] = record
+            waiter = {"event": threading.Event(), "acks": 0, "errors": []}
+            self._swap_waits[version] = waiter
+        for req_q in self._req_queues:
+            req_q.put(("swap", path, version))
+        if not wait:
+            return version
+        try:
+            if not waiter["event"].wait(timeout):
+                raise TimeoutError(
+                    f"fleet swap to {version!r} did not converge within "
+                    f"{timeout}s: acked {waiter['acks']}/{self.n_workers}"
+                )
+            if waiter["errors"]:
+                raise RuntimeError(
+                    f"fleet swap to {version!r} failed on "
+                    f"{len(waiter['errors'])} worker(s): "
+                    + "; ".join(waiter["errors"])
+                )
+        finally:
+            with self._lock:
+                self._swap_waits.pop(version, None)
+        return version
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict:
+        """Pool-level health snapshot (cheap: no worker round-trip)."""
+        with self._lock:
+            return {
+                "n_workers": self.n_workers,
+                "threshold": self.threshold,
+                "n_requests": self.n_requests_,
+                "n_overflows": self.n_overflows_,
+                "n_swaps": self.n_swaps_,
+                "n_pending": len(self._futures),
+                "model_versions": dict(self._worker_versions),
+                "requests_by_version": {
+                    str(k): int(v)
+                    for k, v in sorted(self._requests_by_version.items())
+                },
+            }
+
+    def worker_stats(self, timeout: float = 30.0) -> Dict[int, Dict]:
+        """Every worker's ``ModelServer.stats()`` plus its private-memory
+        footprint (``private_kb`` now, ``baseline_private_kb`` at worker
+        start) — the numbers the zero-copy claim is verified against."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("WorkerPool is closed")
+            token = next(self._stats_tokens)
+            waiter = {"event": threading.Event(), "replies": {}}
+            self._stats_waits[token] = waiter
+        for req_q in self._req_queues:
+            req_q.put(("stats", token))
+        try:
+            if not waiter["event"].wait(timeout):
+                raise TimeoutError(
+                    f"worker stats incomplete after {timeout}s: "
+                    f"{len(waiter['replies'])}/{self.n_workers} replied"
+                )
+        finally:
+            with self._lock:
+                self._stats_waits.pop(token, None)
+        return dict(sorted(waiter["replies"].items()))
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Stop the fleet; queued requests are still served first.
+
+        Each worker's stop sentinel is FIFO behind its pending requests,
+        and the worker drains its internal server before exiting — so
+        close never drops a request either.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for req_q in self._req_queues:
+            req_q.put(("stop",))
+        for proc in self._procs:
+            proc.join()
+        self._res_q.put(("__close__",))
+        self._collector.join()
+        with self._lock:
+            leftovers = list(self._futures.values())
+            self._futures.clear()
+        for future, _ in leftovers:  # only reachable if a worker died
+            if not future.done():
+                future.set_exception(
+                    RuntimeError("WorkerPool closed before the request was served")
+                )
+        for req_q in self._req_queues:
+            req_q.close()
+        self._res_q.close()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -57,49 +57,16 @@ import numpy as np
 
 from ..exceptions import ServerOverloadedError
 from ..fastpath.codetable import warm_serving_pack
-from ..metrics.ranking import precision_recall_curve
+
+# Historical import path: threshold_for_precision grew up here but is a
+# ranking-metrics concern; it now lives in repro.metrics and is re-exported
+# so `from repro.serving import threshold_for_precision` keeps working.
+from ..metrics.ranking import threshold_for_precision
 from ..utils.validation import check_is_fitted
 
 __all__ = ["ModelServer", "ScoredBatch", "threshold_for_precision"]
 
 _STOP = object()
-
-
-def threshold_for_precision(y_true, y_score, min_precision: float) -> float:
-    """Lowest decision threshold whose precision meets ``min_precision``.
-
-    Relies on the documented length contract of
-    :func:`repro.metrics.precision_recall_curve`: ``precision[i]`` is the
-    precision when classifying positive at score ``>= thresholds[i]`` for
-    every ``i < len(thresholds)`` (the final ``(1, 0)`` anchor has no
-    threshold). Scanning from index 0 — the lowest threshold, hence the
-    highest recall — the first point meeting the precision target is the
-    highest-recall operating point that meets it.
-
-    Edge-case contract (pinned by ``tests/test_serving.py``):
-
-    * **Unreachable target** — when no real threshold reaches
-      ``min_precision``, a :class:`ValueError` is raised naming the best
-      achievable precision. The curve's trailing ``(1, 0)`` anchor is
-      *excluded* from the scan: it has no threshold (no score classifies
-      nothing as positive), so "precision 1 by predicting nothing" never
-      masquerades as an operating point.
-    * **Ties at the boundary** — equal scores collapse into a single
-      threshold whose precision already accounts for every tied row, so
-      the returned threshold always admits the whole tie group; a target
-      only separable *inside* a tie group resolves to the next threshold
-      that actually meets it (or raises).
-    """
-    precision, _, thresholds = precision_recall_curve(y_true, y_score)
-    ok = np.flatnonzero(precision[: len(thresholds)] >= min_precision)
-    if ok.size == 0:
-        achievable = precision[: len(thresholds)]
-        best = float(achievable.max()) if achievable.size else 0.0
-        raise ValueError(
-            f"no threshold reaches precision {min_precision}; max achievable "
-            f"is {best}"
-        )
-    return float(thresholds[ok[0]])
 
 
 @dataclass(frozen=True)
@@ -155,6 +122,12 @@ class ModelServer:
         Version stamp for the initial model (use the
         :class:`~repro.lifecycle.ArtifactRegistry` id when serving a
         registered artifact); :meth:`swap_model` installs new stamps.
+    mmap : bool, default False
+        Load artifact paths with ``load_model(path, mmap_mode="r")``: the
+        fitted arrays stay read-only views into the file, so co-located
+        servers (and the :class:`~repro.serving.WorkerPool` worker fleet)
+        share one page-cache copy of the model instead of one heap copy
+        each. Ignored when ``model`` is a live fitted estimator.
 
     Attributes
     ----------
@@ -182,11 +155,13 @@ class ModelServer:
         max_batch: int = 256,
         max_pending: int = 4096,
         model_version: str = "v0",
+        mmap: bool = False,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if max_pending < 1:
             raise ValueError("max_pending must be >= 1")
+        self.mmap = bool(mmap)
         self.max_batch = int(max_batch)
         self.threshold = threshold
         self._queue: "queue.Queue" = queue.Queue(maxsize=int(max_pending))
@@ -208,8 +183,7 @@ class ModelServer:
         }
 
     # ------------------------------------------------------------------ #
-    @staticmethod
-    def _make_active(model, version: str) -> _ActiveModel:
+    def _make_active(self, model, version: str) -> _ActiveModel:
         """Validate a model and build its warm serving identity.
 
         Runs *outside* any lock: the packed-kernel build (the expensive
@@ -219,7 +193,7 @@ class ModelServer:
         if isinstance(model, (str, bytes)) or hasattr(model, "__fspath__"):
             from ..persistence import load_model
 
-            model = load_model(model)
+            model = load_model(model, mmap_mode="r" if self.mmap else None)
         check_is_fitted(model)
         classes = np.asarray(getattr(model, "classes_", np.array([0, 1])))
         packed, code_table = warm_serving_pack(model)

@@ -46,6 +46,19 @@ class TestReadmeSnippets:
         exec(compile(serve_blocks[0], "<README serving>", "exec"), namespace)
         assert "server" in namespace and "labels" in namespace
 
+    def test_serve_at_scale_block_runs(self):
+        """Execute the README's multi-process serving example verbatim: the
+        serve() facade forks a WorkerPool over one mmap'd artifact, scores
+        through it, and hot-swaps the whole fleet to a new version."""
+        readme = (REPO_ROOT / "README.md").read_text()
+        blocks = re.findall(r"```python\n(.*?)```", readme, flags=re.DOTALL)
+        scale_blocks = [b for b in blocks if "ServerConfig" in b and "swap_model" in b]
+        assert scale_blocks, "README must contain a serve-it-at-scale block"
+        namespace = {}
+        exec(compile(scale_blocks[0], "<README serve-at-scale>", "exec"), namespace)
+        assert "pool" in namespace and "versions" in namespace
+        assert namespace["versions"] == {"v2"}
+
     def test_keep_it_fresh_block_runs(self):
         """Execute the README's monitoring/lifecycle example verbatim: a
         registered champion is served, drifted traffic is monitored, and

@@ -122,8 +122,17 @@ class TestFacade:
         tree = DecisionTreeClassifier(max_depth=3)
         assert get_classifier("bagging", base=tree).estimator is tree
 
-    def test_base_estimator_alias_accepted(self):
-        clf = get_classifier("spe", base_estimator="logistic")
+    def test_base_estimator_alias_accepted_but_deprecated(self):
+        with pytest.warns(DeprecationWarning, match="estimator="):
+            clf = get_classifier("spe", base_estimator="logistic")
+        assert clf.estimator == "logistic"
+
+    def test_estimator_spelling_does_not_warn(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            clf = get_classifier("spe", estimator="logistic")
         assert clf.estimator == "logistic"
 
     def test_conflicting_base_spellings_rejected(self):

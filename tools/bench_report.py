@@ -53,7 +53,8 @@ def flatten_numeric(value: Any, prefix: str = "") -> List[Tuple[str, Any]]:
             if isinstance(child, dict):
                 tags = [
                     str(child[k])
-                    for k in ("model", "mode", "backend", "n_jobs", "rows")
+                    for k in ("model", "mode", "backend", "n_jobs", "rows",
+                              "workers", "tenant")
                     if k in child
                 ]
                 if tags:
