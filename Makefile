@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast coverage bench-smoke bench-fastpath bench-serving bench-monitoring lint
+.PHONY: test test-fast coverage bench-smoke bench-fastpath bench-serving bench-monitoring bench-chaos lint
 
 # Tier-1 suite (the ROADMAP verify command). Runs everything, including
 # tests marked `slow`.
@@ -22,19 +22,23 @@ coverage:
 	$(PYTHON) tools/coverage_run.py
 
 # Fast end-to-end run of the perf benchmarks; writes BENCH_parallel.json,
-# BENCH_streaming.json, BENCH_fastpath.json, BENCH_serving.json, and
-# BENCH_monitoring.json at the repo root (uploaded as CI artifacts). The
-# fastpath smoke asserts a conservative >=1.2x speedup floor
-# (REPRO_FASTPATH_MIN_SPEEDUP) so shared runners don't flake; the serving
-# smoke asserts bit-identity of the served path and records latency
-# percentiles without a floor; the monitoring smoke asserts the hot-swap
-# zero-blocked-requests contract (a correctness property, not a timing).
+# BENCH_streaming.json, BENCH_fastpath.json, BENCH_serving.json,
+# BENCH_monitoring.json, and BENCH_chaos.json at the repo root (uploaded
+# as CI artifacts). The fastpath smoke asserts a conservative >=1.2x
+# speedup floor (REPRO_FASTPATH_MIN_SPEEDUP) so shared runners don't
+# flake; the serving smoke asserts bit-identity of the served path and
+# records latency percentiles without a floor; the monitoring smoke
+# asserts the hot-swap zero-blocked-requests contract; the chaos smoke
+# asserts the fault-tolerance SLOs (zero hung futures, zero silent drops,
+# typed failures, bounded recovery) under a seeded FaultPlan — all
+# correctness properties, not timings.
 bench-smoke:
 	REPRO_SCALE=0.25 $(PYTHON) benchmarks/bench_parallel_scaling.py
 	REPRO_SCALE=0.25 $(PYTHON) benchmarks/bench_streaming_memory.py
 	REPRO_SCALE=0.25 $(PYTHON) benchmarks/bench_fastpath.py
 	REPRO_SCALE=0.25 $(PYTHON) benchmarks/bench_serving.py
 	REPRO_SCALE=0.25 $(PYTHON) benchmarks/bench_monitoring.py
+	REPRO_SCALE=0.25 $(PYTHON) benchmarks/bench_chaos.py
 	$(PYTHON) tools/bench_report.py
 
 # Full-scale fastpath speedup benchmark (fit / score / predict, legacy vs
@@ -56,6 +60,14 @@ bench-serving:
 # concurrent traffic.
 bench-monitoring:
 	$(PYTHON) benchmarks/bench_monitoring.py
+
+# Full-scale chaos harness: replay a PaySim burst through the serve()
+# fleet while a seeded FaultPlan kills one worker mid-burst and another
+# mid-swap; asserts the SLOs (zero hung futures, zero silent drops, every
+# failure typed, recovery within the respawn-backoff bound, fleet
+# converged onto the swapped version) and writes BENCH_chaos.json.
+bench-chaos:
+	$(PYTHON) benchmarks/bench_chaos.py
 
 # No third-party linters in the toolchain: byte-compile everything so
 # syntax/undefined-future errors fail fast, then audit the classifier

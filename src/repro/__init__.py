@@ -51,8 +51,10 @@ from .serving import (
 from .monitoring import DriftMonitor, ReferenceSketch
 from .lifecycle import ArtifactRegistry, LifecycleController, RetrainPolicy
 from .exceptions import (
+    CircuitOpenError,
     ConvergenceWarning,
     DataValidationError,
+    DeadlineExceededError,
     NotEnoughSamplesError,
     NotFittedError,
     PersistenceError,
@@ -60,6 +62,7 @@ from .exceptions import (
     ReproError,
     ServerOverloadedError,
     UndefinedMetricWarning,
+    WorkerCrashedError,
 )
 
 __version__ = "1.0.0"
@@ -91,8 +94,10 @@ __all__ = [
     "ArtifactRegistry",
     "LifecycleController",
     "RetrainPolicy",
+    "CircuitOpenError",
     "ConvergenceWarning",
     "DataValidationError",
+    "DeadlineExceededError",
     "NotEnoughSamplesError",
     "NotFittedError",
     "PersistenceError",
@@ -100,5 +105,6 @@ __all__ = [
     "ReproError",
     "ServerOverloadedError",
     "UndefinedMetricWarning",
+    "WorkerCrashedError",
     "__version__",
 ]

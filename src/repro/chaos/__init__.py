@@ -1,0 +1,34 @@
+"""Deterministic chaos injection for the serving plane.
+
+Build a seeded :class:`FaultPlan` (kill worker *k* after *n* requests,
+kill it mid-swap, stall a serving loop, delay a reply, corrupt an
+artifact byte), hand it to ``ModelServer`` / ``WorkerPool`` /
+``AsyncGateway`` via their ``chaos=`` parameter, and the plane breaks the
+same way on every run — which is what lets ``benchmarks/bench_chaos.py``
+and the ``chaos``-marked tests assert hard SLOs (zero hung futures,
+bounded recovery, every request scored exactly once or failed with a
+typed error) instead of hoping the race happens. See ``DESIGN.md`` →
+"Fault tolerance".
+"""
+
+from .plan import (
+    CHAOS_EXIT_CODE,
+    CorruptArtifact,
+    DelayReply,
+    FaultPlan,
+    KillOnSwap,
+    KillWorker,
+    StallSite,
+    StallWorker,
+)
+
+__all__ = [
+    "CHAOS_EXIT_CODE",
+    "CorruptArtifact",
+    "DelayReply",
+    "FaultPlan",
+    "KillOnSwap",
+    "KillWorker",
+    "StallSite",
+    "StallWorker",
+]

@@ -1,0 +1,272 @@
+"""Deterministic fault injection for the serving plane.
+
+A :class:`FaultPlan` is a *seeded, fully deterministic* description of
+what should break and when: kill worker ``k`` after its ``n``-th request,
+kill it the moment a fleet swap reaches it, stall its serving loop, delay
+a reply on the wire, or corrupt one byte of an artifact on disk. The plan
+itself holds **no mutable trigger state** — every fire site passes its
+own local counters (request count, swap count, process generation) and
+the plan answers purely from the fault specs, so the same plan against
+the same traffic produces the same failures, run after run.
+
+Faults reach the serving plane through *explicit hooks*: ``ModelServer``,
+``WorkerPool`` and ``AsyncGateway`` each accept a ``chaos=`` plan and
+call :meth:`FaultPlan.fire` at named sites. Production code paths never
+construct a plan; with ``chaos=None`` (the default) every hook is a
+no-op branch.
+
+Fire sites
+----------
+``worker.request``   in a pool worker, before handling each request
+                     (matches :class:`KillWorker`, :class:`StallWorker`)
+``worker.reply``     in a pool worker, before posting a reply
+                     (matches :class:`DelayReply`)
+``worker.swap``      in a pool worker, on receiving a swap broadcast
+                     (matches :class:`KillOnSwap`, mid-swap crashes)
+``server.batch``     in ``ModelServer``'s batching loop, before scoring
+                     (matches :class:`StallSite`)
+``gateway.forward``  in ``AsyncGateway``'s drain, before forwarding
+                     (matches :class:`StallSite`)
+
+:class:`CorruptArtifact` is not fired — it is *applied* through
+:meth:`FaultPlan.corrupt`, which flips one byte at a seeded offset so a
+harness can hand a deterministically-damaged artifact to ``swap_model``.
+
+Worker *generations* make crash plans converge: a respawned worker
+restarts its request counter, so a ``KillWorker(0, after_requests=3)``
+would kill every incarnation forever. Kill faults therefore target one
+``generation`` (default 0, the original process); the supervisor hands
+each respawn an incremented generation and the respawned worker sails
+past the fault that killed its predecessor.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "CorruptArtifact",
+    "DelayReply",
+    "FaultPlan",
+    "KillOnSwap",
+    "KillWorker",
+    "StallSite",
+    "StallWorker",
+]
+
+#: Exit code of a chaos-killed worker — distinguishable from OOM-kill
+#: (negative signal) and clean exit (0) in supervisor logs and tests.
+CHAOS_EXIT_CODE = 86
+
+
+@dataclass(frozen=True)
+class KillWorker:
+    """Kill worker ``worker`` when it dequeues its ``after_requests``-th
+    request (1-based), in incarnation ``generation`` only."""
+
+    worker: int
+    after_requests: int
+    generation: int = 0
+
+
+@dataclass(frozen=True)
+class KillOnSwap:
+    """Kill worker ``worker`` the instant its ``on_swap``-th swap
+    broadcast (1-based) reaches it — before any ack is sent. This is the
+    deterministic mid-swap crash: the fleet swap is in flight, the worker
+    dies unacknowledged, and recovery is the supervisor's problem."""
+
+    worker: int
+    on_swap: int = 1
+    generation: int = 0
+
+
+@dataclass(frozen=True)
+class StallWorker:
+    """Freeze worker ``worker``'s serving loop for ``seconds`` when it
+    dequeues its ``after_requests``-th request: its queue backs up, its
+    in-flight deadlines expire, and the pool must keep serving around it."""
+
+    worker: int
+    after_requests: int
+    seconds: float
+    generation: Optional[int] = None  #: ``None`` = every incarnation
+
+
+@dataclass(frozen=True)
+class DelayReply:
+    """Hold worker ``worker``'s ``after_requests``-th reply for
+    ``seconds`` before it is posted back to the parent."""
+
+    worker: int
+    after_requests: int
+    seconds: float
+    generation: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class StallSite:
+    """Freeze a non-worker site (``server.batch``, ``gateway.forward``)
+    for ``seconds`` on its ``after_count``-th firing."""
+
+    site: str
+    after_count: int
+    seconds: float
+
+
+@dataclass(frozen=True)
+class CorruptArtifact:
+    """Flip one byte of an artifact file. ``offset=None`` derives the
+    offset from the plan seed (clamped inside the file, past the zip
+    header), so the damage is deterministic but not hand-picked."""
+
+    offset: Optional[int] = None
+
+
+class FaultPlan:
+    """An immutable, seeded schedule of serving-plane faults.
+
+    Parameters
+    ----------
+    faults : sequence of fault dataclasses
+        Any mix of :class:`KillWorker`, :class:`KillOnSwap`,
+        :class:`StallWorker`, :class:`DelayReply`, :class:`StallSite`,
+        :class:`CorruptArtifact`.
+    seed : int, default 0
+        Feeds the corrupt-offset derivation (and any future randomized
+        fault parameters). Two plans with the same faults and seed are
+        behaviourally identical.
+
+    The plan is safe to inherit through ``fork`` (it is plain data) and
+    safe to share across threads (``fire`` reads, never writes).
+    """
+
+    def __init__(self, faults: Sequence = (), *, seed: int = 0):
+        self.faults: Tuple = tuple(faults)
+        self.seed = int(seed)
+        self.fired_: list = []  # parent-side record; child copies diverge
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({list(self.faults)!r}, seed={self.seed})"
+
+    # ------------------------------------------------------------------ #
+    def fire(
+        self,
+        site: str,
+        *,
+        worker: Optional[int] = None,
+        count: int = 0,
+        generation: int = 0,
+    ) -> None:
+        """Evaluate every fault against one fire site; act on matches.
+
+        ``count`` is the caller-owned 1-based event counter for the site
+        (requests seen, swaps received, batches drained); ``generation``
+        is the worker's incarnation number (0 = original process). Kills
+        never return; stalls/delays sleep then return.
+        """
+        for fault in self.faults:
+            if isinstance(fault, KillWorker) and site == "worker.request":
+                if (
+                    fault.worker == worker
+                    and fault.after_requests == count
+                    and fault.generation == generation
+                ):
+                    self._die(f"KillWorker(worker={worker}, count={count})")
+            elif isinstance(fault, KillOnSwap) and site == "worker.swap":
+                if (
+                    fault.worker == worker
+                    and fault.on_swap == count
+                    and fault.generation == generation
+                ):
+                    self._die(f"KillOnSwap(worker={worker}, swap={count})")
+            elif isinstance(fault, StallWorker) and site == "worker.request":
+                if (
+                    fault.worker == worker
+                    and fault.after_requests == count
+                    and fault.generation in (None, generation)
+                ):
+                    self.fired_.append(("stall", site, worker, count))
+                    time.sleep(fault.seconds)
+            elif isinstance(fault, DelayReply) and site == "worker.reply":
+                if (
+                    fault.worker == worker
+                    and fault.after_requests == count
+                    and fault.generation in (None, generation)
+                ):
+                    self.fired_.append(("delay", site, worker, count))
+                    time.sleep(fault.seconds)
+            elif isinstance(fault, StallSite) and site == fault.site:
+                if fault.after_count == count:
+                    self.fired_.append(("stall", site, worker, count))
+                    time.sleep(fault.seconds)
+
+    @staticmethod
+    def _die(reason: str) -> None:
+        # os._exit: no atexit/finally cleanup, no queue flush — the
+        # closest deterministic stand-in for an OOM-kill/SIGKILL.
+        os._exit(CHAOS_EXIT_CODE)
+
+    # ------------------------------------------------------------------ #
+    def corrupt(self, path) -> int:
+        """Flip one byte of the file at ``path``; returns the offset.
+
+        The offset comes from the first :class:`CorruptArtifact` fault.
+        When no explicit offset is given, the seed picks a byte inside
+        the *payload of the largest zip member* (past the ``.npy``
+        header) — i.e. real model array bytes, the damage an artifact
+        checksum exists to catch — rather than zip bookkeeping that a
+        memory-mapped load might never touch. Flipping is an XOR, so
+        applying it twice restores the artifact."""
+        spec = next(
+            (f for f in self.faults if isinstance(f, CorruptArtifact)),
+            CorruptArtifact(),
+        )
+        path = os.fspath(path)
+        size = os.path.getsize(path)
+        if spec.offset is not None:
+            offset = int(spec.offset)
+            if not 0 <= offset < size:
+                raise ValueError(
+                    f"corrupt offset {offset} outside the {size}-byte file"
+                )
+        else:
+            lo, hi = self._payload_span(path, size)
+            rng = np.random.RandomState(self.seed)
+            offset = int(rng.randint(lo, hi))
+        with open(path, "r+b") as handle:
+            handle.seek(offset)
+            byte = handle.read(1)
+            handle.seek(offset)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        self.fired_.append(("corrupt", path, offset))
+        return offset
+
+    @staticmethod
+    def _payload_span(path: str, size: int) -> Tuple[int, int]:
+        """Byte range of the largest zip member's data payload, skipping
+        its ``.npy`` header; falls back to the middle 60% of the file for
+        non-zip artifacts."""
+        import struct
+        import zipfile
+
+        try:
+            with zipfile.ZipFile(path) as archive:
+                zinfo = max(archive.infolist(), key=lambda z: z.compress_size)
+            with open(path, "rb") as handle:
+                handle.seek(zinfo.header_offset)
+                header = handle.read(30)
+            name_len, extra_len = struct.unpack("<HH", header[26:30])
+            start = zinfo.header_offset + 30 + name_len + extra_len
+            end = start + zinfo.compress_size
+            start += min(128, zinfo.compress_size // 2)  # skip .npy header
+            if start < end:
+                return start, end
+        except (zipfile.BadZipFile, OSError, struct.error):
+            pass
+        return max(1, int(size * 0.2)), max(2, int(size * 0.8))

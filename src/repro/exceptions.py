@@ -28,6 +28,31 @@ class ServerOverloadedError(ReproError, RuntimeError):
     capacity; callers should back off and retry."""
 
 
+class WorkerCrashedError(ReproError, RuntimeError):
+    """Raised when a :class:`repro.serving.WorkerPool` worker process died
+    before answering a request. The pool's supervisor fails every in-flight
+    future of the crashed worker with this error immediately (no request
+    ever hangs on a dead process) and respawns the worker with capped
+    exponential backoff; callers may retry — the request was never
+    (completely) scored."""
+
+
+class DeadlineExceededError(ReproError, TimeoutError):
+    """Raised when a request's deadline expired before it could be scored.
+    Expired requests fail fast wherever they are found — at submission, in
+    a serving queue, or by the pool supervisor — instead of being scored
+    late; a request that got this error was never scored."""
+
+
+class CircuitOpenError(ReproError, RuntimeError):
+    """Raised by :class:`repro.serving.AsyncGateway` while its circuit
+    breaker is open: the backend has been crashing or overloaded for long
+    enough that sending more traffic would only deepen the outage. The
+    breaker half-opens after a cooldown and probes with a single request;
+    install an ``on_shed`` hook on the gateway to route shed traffic to a
+    fallback instead of erroring."""
+
+
 class ConvergenceWarning(UserWarning):
     """Emitted when an iterative solver stops before converging."""
 

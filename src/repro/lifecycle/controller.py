@@ -30,6 +30,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from ..exceptions import WorkerCrashedError
 from ..monitoring.drift import DriftReport
 from ..monitoring.monitor import DriftMonitor
 from ..serving import ModelServer
@@ -95,6 +96,8 @@ class LifecycleEvent:
     shadow: Optional[ShadowResult] = None
     promoted: bool = False
     promoted_version: Optional[str] = None
+    swap_retried: bool = False  #: first fleet swap attempt failed transiently
+    swap_error: Optional[str] = None  #: the transient error, if any
 
 
 class LifecycleController:
@@ -190,6 +193,8 @@ class LifecycleController:
         shadow = None
         promoted = False
         promoted_version = None
+        swap_retried = False
+        swap_error = None
         X, y, _ = self.monitor.window()
         if action is not Action.NONE and np.unique(y).size < 2:
             # A single-class window cannot train a challenger; keep the
@@ -235,11 +240,22 @@ class LifecycleController:
                     # Fleet backend (WorkerPool): broadcast the *registered
                     # artifact's path* so every worker re-loads one shared
                     # (mmap'd) copy — the registry write above is exactly
-                    # the persisted artifact the fleet converges on.
-                    self.server.swap_model(
-                        self.registry.path(promoted_version),
-                        version=promoted_version,
-                    )
+                    # the persisted artifact the fleet converges on. A
+                    # transient failure (a worker crashing mid-broadcast,
+                    # a convergence timeout) gets exactly one retry after
+                    # the fleet reports healthy: the registry is already
+                    # consistent (champion set), so the retry republishes
+                    # the same artifact — idempotent by construction.
+                    target = self.registry.path(promoted_version)
+                    try:
+                        self.server.swap_model(target, version=promoted_version)
+                    except (TimeoutError, WorkerCrashedError) as exc:
+                        swap_retried = True
+                        swap_error = f"{type(exc).__name__}: {exc}"
+                        wait_healthy = getattr(self.server, "wait_healthy", None)
+                        if wait_healthy is not None:
+                            wait_healthy()
+                        self.server.swap_model(target, version=promoted_version)
                 else:
                     self.server.swap_model(challenger, version=promoted_version)
                 # The promoted model learned the drifted distribution —
@@ -256,6 +272,8 @@ class LifecycleController:
             shadow=shadow,
             promoted=promoted,
             promoted_version=promoted_version,
+            swap_retried=swap_retried,
+            swap_error=swap_error,
         )
         self.events.append(event)
         return event

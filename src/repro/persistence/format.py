@@ -397,6 +397,18 @@ def load_model(path, *, mmap_mode: Optional[str] = None):
         data = np.load(path, allow_pickle=False)
     except (OSError, ValueError, zipfile.BadZipFile) as exc:
         raise PersistenceError(f"{path}: not a readable model artifact ({exc})") from exc
+    try:
+        return _verify_and_restore(path, data, mmap_mode)
+    except PersistenceError:
+        raise
+    except (zipfile.BadZipFile, OSError, ValueError) as exc:
+        # np.load is lazy: zip-level damage (a corrupted member header,
+        # a truncated stream) can surface only when an array is first
+        # materialised. Corruption is corruption — keep the error typed.
+        raise PersistenceError(f"{path}: corrupted artifact ({exc})") from exc
+
+
+def _verify_and_restore(path: str, data, mmap_mode: Optional[str]):
     with data:
         if "__header__" not in data:
             raise PersistenceError(f"{path}: missing artifact header")

@@ -10,14 +10,24 @@ deployment shape.
   :class:`~repro.exceptions.ServerOverloadedError` overflow, tunable
   decision threshold, zero-downtime :meth:`~ModelServer.swap_model`,
   per-request ``model_version`` stamps on :class:`ScoredBatch`.
-* :class:`WorkerPool` (``n_workers >= 1``) — N forked ``ModelServer``
-  workers sharing **one** copy of the model: the artifact is loaded
-  memory-mapped (``load_model(path, mmap_mode="r")``) and its serving
-  kernel packed *before* the fork, so worker memory is copy-on-write
-  shared, and :meth:`~WorkerPool.swap_model` broadcasts a new artifact
-  path fleet-wide with zero dropped requests.
+* :class:`WorkerPool` (``n_workers >= 1``) — N forked, *supervised*
+  ``ModelServer`` workers sharing **one** copy of the model: the artifact
+  is loaded memory-mapped (``load_model(path, mmap_mode="r")``) and its
+  serving kernel packed *before* the fork, so worker memory is
+  copy-on-write shared, and :meth:`~WorkerPool.swap_model` broadcasts a
+  new artifact path fleet-wide with zero dropped requests. Crashed
+  workers fail their in-flight futures typed
+  (:class:`~repro.exceptions.WorkerCrashedError`) and respawn with
+  capped exponential backoff onto the current version.
 * :class:`AsyncGateway` — the ``asyncio`` front door over either backend:
-  per-tenant bounded admission queues and a fair round-robin drain.
+  per-tenant bounded admission queues, a fair round-robin drain with
+  bounded-exponential overload retry, an optional circuit breaker
+  (:class:`~repro.exceptions.CircuitOpenError` / ``on_shed`` fallback),
+  and per-request deadlines.
+
+Every layer takes ``submit(rows, deadline=...)``; expired requests fail
+fast with :class:`~repro.exceptions.DeadlineExceededError`. Faults are
+injectable deterministically through :mod:`repro.chaos`.
 
 :func:`threshold_for_precision` (re-exported from
 :mod:`repro.metrics`) derives the decision threshold from a validation PR

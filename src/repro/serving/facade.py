@@ -52,6 +52,17 @@ class ServerConfig:
         :func:`serve`).
     model_version : str, default "v0"
         Version stamp for the initially served model.
+    poll_interval : float, default 0.05
+        Pool supervisor cadence (liveness checks, deadline expiry, due
+        respawns); ignored for a single in-process server.
+    respawn_backoff : float, default 0.1
+        Base delay before a crashed pool worker is respawned; doubles
+        per consecutive crash of the same slot. Pool-only.
+    respawn_backoff_cap : float, default 5.0
+        Ceiling on the exponential respawn delay. Pool-only.
+    chaos : :class:`repro.chaos.FaultPlan`, optional
+        Deterministic fault injection for tests and the chaos benchmark;
+        ``None`` (production) disables every hook.
 
     Configs are frozen; derive variants with :func:`dataclasses.replace`::
 
@@ -64,6 +75,10 @@ class ServerConfig:
     n_workers: int = 0
     mmap: Optional[bool] = None
     model_version: str = "v0"
+    poll_interval: float = 0.05
+    respawn_backoff: float = 0.1
+    respawn_backoff_cap: float = 5.0
+    chaos: Optional[object] = None
 
 
 def serve(model, config: Optional[ServerConfig] = None, **overrides):
@@ -115,6 +130,7 @@ def serve(model, config: Optional[ServerConfig] = None, **overrides):
             max_pending=config.max_pending,
             model_version=config.model_version,
             mmap=bool(config.mmap) if config.mmap is not None else False,
+            chaos=config.chaos,
         )
     return WorkerPool(
         model,
@@ -124,4 +140,8 @@ def serve(model, config: Optional[ServerConfig] = None, **overrides):
         max_pending=config.max_pending,
         model_version=config.model_version,
         mmap=bool(config.mmap) if config.mmap is not None else True,
+        poll_interval=config.poll_interval,
+        respawn_backoff=config.respawn_backoff,
+        respawn_backoff_cap=config.respawn_backoff_cap,
+        chaos=config.chaos,
     )

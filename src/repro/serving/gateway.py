@@ -3,8 +3,8 @@
 :class:`AsyncGateway` sits between ``asyncio`` application code and a
 scoring backend (a :class:`~repro.serving.ModelServer` or a
 :class:`~repro.serving.WorkerPool` — anything with ``submit(rows) ->
-concurrent.futures.Future``) and adds the two things a shared front door
-owes its tenants:
+concurrent.futures.Future``) and adds what a shared front door owes its
+tenants:
 
 * **Admission control** — each tenant gets a *bounded* gateway queue.
   A tenant whose queue is full is rejected at the door with
@@ -16,9 +16,25 @@ owes its tenants:
   request per tenant per rotation to the backend, so backend capacity is
   divided fairly across active tenants regardless of their arrival rates.
   When the *backend* pushes back (its bounded queue is full), the drain
-  holds the request and retries after ``retry_interval`` — backend
+  holds the request and retries with **bounded exponential backoff**
+  (``retry_interval`` doubling up to ``max_retry_interval``) — backend
   overload causes backpressure (requests wait at the gateway), never
-  silent drops.
+  silent drops or a hot retry spin.
+* **Per-request deadlines** — ``submit(rows, deadline=...)`` bounds how
+  long a request may wait end-to-end. A request that expires in the
+  gateway queue (or while the backend pushes back) fails fast with
+  :class:`~repro.exceptions.DeadlineExceededError`; the remaining budget
+  is forwarded to the backend, which enforces it the rest of the way.
+* **Circuit breaking + graceful degradation** — with
+  ``breaker_threshold`` set, a streak of consecutive backend failures
+  (worker crashes, overload push-backs) *opens* the breaker: new
+  submissions are shed at the door instead of deepening the outage.
+  After ``breaker_cooldown`` the breaker goes *half-open* and admits a
+  single probe; a served probe closes it, a failed one re-opens it.
+  Shed requests raise :class:`~repro.exceptions.CircuitOpenError` — or,
+  when an ``on_shed`` hook is installed, return its fallback answer
+  (degrade gracefully: a stale score or a rules answer usually beats a
+  refusal).
 
 ``await gateway.submit(rows, tenant="team-a")`` resolves to the
 ``predict_proba`` matrix. Backend futures are bridged into the event loop
@@ -29,12 +45,21 @@ gateway is single-loop: use it from one running event loop.
 from __future__ import annotations
 
 import asyncio
+import time
 from collections import Counter, deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
-from ..exceptions import ServerOverloadedError
+from ..exceptions import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    ServerOverloadedError,
+    WorkerCrashedError,
+)
 
 __all__ = ["AsyncGateway"]
+
+#: Breaker states surfaced in ``stats()["breaker"]["state"]``.
+_CLOSED, _OPEN, _HALF_OPEN = "closed", "open", "half_open"
 
 
 class AsyncGateway:
@@ -45,20 +70,39 @@ class AsyncGateway:
     backend : ModelServer or WorkerPool
         Anything exposing ``submit(rows) -> concurrent.futures.Future``
         (raising :class:`~repro.exceptions.ServerOverloadedError` when
-        its own queue is full).
+        its own queue is full). Backends whose ``submit`` accepts a
+        ``deadline=`` keyword (both library backends do) get each
+        request's remaining budget forwarded.
     max_pending_per_tenant : int, default 256
         Bound on each tenant's gateway queue; :meth:`submit` raises
         :class:`~repro.exceptions.ServerOverloadedError` beyond it.
     retry_interval : float, default 0.002
-        Seconds the drain waits before re-offering a request the backend
-        pushed back on.
+        Initial pause before re-offering a request the backend pushed
+        back on; doubles per consecutive push-back.
+    max_retry_interval : float, default 0.05
+        Ceiling on the exponential retry pause.
+    breaker_threshold : int, optional
+        Consecutive backend failures (worker crashes or overload
+        push-backs, uninterrupted by a served request) that open the
+        circuit breaker. ``None`` (default) disables the breaker.
+    breaker_cooldown : float, default 1.0
+        Seconds the breaker stays open before half-opening for a probe.
+    on_shed : callable, optional
+        ``on_shed(rows, tenant, exc) -> fallback`` invoked for requests
+        shed while the breaker is open; its return value is handed to
+        the caller in place of a score. Without it, shed requests raise
+        :class:`~repro.exceptions.CircuitOpenError`.
+    chaos : :class:`repro.chaos.FaultPlan`, optional
+        Deterministic fault injection; fired at ``gateway.forward``
+        before each backend forward attempt.
 
     Examples
     --------
-    >>> gateway = AsyncGateway(pool)                      # doctest: +SKIP
-    >>> proba = await gateway.submit(X, tenant="team-a")  # doctest: +SKIP
-    >>> gateway.stats()["tenants"]["team-a"]["served"]    # doctest: +SKIP
-    >>> await gateway.close()                             # doctest: +SKIP
+    >>> gateway = AsyncGateway(pool, breaker_threshold=5)  # doctest: +SKIP
+    >>> proba = await gateway.submit(X, tenant="team-a")   # doctest: +SKIP
+    >>> proba = await gateway.submit(X, deadline=0.050)    # doctest: +SKIP
+    >>> gateway.stats()["breaker"]["state"]                # doctest: +SKIP
+    >>> await gateway.close()                              # doctest: +SKIP
     """
 
     def __init__(
@@ -67,13 +111,34 @@ class AsyncGateway:
         *,
         max_pending_per_tenant: int = 256,
         retry_interval: float = 0.002,
+        max_retry_interval: float = 0.05,
+        breaker_threshold: Optional[int] = None,
+        breaker_cooldown: float = 1.0,
+        on_shed: Optional[Callable] = None,
+        chaos=None,
     ):
         if max_pending_per_tenant < 1:
             raise ValueError("max_pending_per_tenant must be >= 1")
+        if retry_interval <= 0 or max_retry_interval < retry_interval:
+            raise ValueError(
+                "need 0 < retry_interval <= max_retry_interval"
+            )
+        if breaker_threshold is not None and breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1 (or None)")
+        if breaker_cooldown <= 0:
+            raise ValueError("breaker_cooldown must be > 0")
         self.backend = backend
         self.max_pending_per_tenant = int(max_pending_per_tenant)
         self.retry_interval = float(retry_interval)
-        self._queues: Dict[str, Deque[Tuple[object, asyncio.Future]]] = {}
+        self.max_retry_interval = float(max_retry_interval)
+        self.breaker_threshold = (
+            None if breaker_threshold is None else int(breaker_threshold)
+        )
+        self.breaker_cooldown = float(breaker_cooldown)
+        self.on_shed = on_shed
+        self._chaos = chaos
+        #: tenant → deque of (rows, done_future, expires_at)
+        self._queues: Dict[str, Deque[Tuple[object, asyncio.Future, Optional[float]]]] = {}
         self._order: List[str] = []  # rotation order = first-seen order
         self._rr = 0
         self._wake: Optional[asyncio.Event] = None
@@ -81,21 +146,56 @@ class AsyncGateway:
         self._inflight: set = set()
         self._closed = False
         self.n_backpressure_waits_ = 0
+        self.n_deadline_expired_ = 0
+        self.n_shed_ = 0
+        self.n_breaker_opens_ = 0
+        self._breaker_state = _CLOSED
+        self._failure_streak = 0
+        self._opened_at = 0.0
+        self._probe_inflight = False
+        self._n_forwards = 0
         self._submitted: Counter = Counter()
         self._served: Counter = Counter()
         self._rejected: Counter = Counter()
 
     # ------------------------------------------------------------------ #
-    async def submit(self, rows, *, tenant: str = "default"):
+    async def submit(
+        self, rows, *, tenant: str = "default", deadline: Optional[float] = None
+    ):
         """Admit rows for tenant and await their ``predict_proba`` matrix.
 
         Raises :class:`~repro.exceptions.ServerOverloadedError`
         immediately when the tenant's gateway queue is full — the caller
         (not the gateway) decides whether to back off or shed load.
+        ``deadline`` (seconds) bounds the whole wait: expiry anywhere —
+        gateway queue, backend queue, a dead worker's wake — fails the
+        request with :class:`~repro.exceptions.DeadlineExceededError`.
+        While the circuit breaker is open the request is shed: answered
+        by ``on_shed`` if installed, failed with
+        :class:`~repro.exceptions.CircuitOpenError` otherwise.
         """
         if self._closed:
             raise RuntimeError("AsyncGateway is closed")
         tenant = str(tenant)
+        expires_at = None
+        if deadline is not None:
+            deadline = float(deadline)
+            if deadline <= 0:
+                self.n_deadline_expired_ += 1
+                raise DeadlineExceededError(
+                    f"deadline of {deadline}s already expired at submission"
+                )
+            expires_at = time.monotonic() + deadline
+        if not self._breaker_admits():
+            self.n_shed_ += 1
+            exc = CircuitOpenError(
+                f"circuit breaker is {self._breaker_state} after "
+                f"{self._failure_streak} consecutive backend failures; "
+                "shedding load until the backend recovers"
+            )
+            if self.on_shed is not None:
+                return self.on_shed(rows, tenant, exc)
+            raise exc
         self._ensure_draining()
         tenant_q = self._queues.get(tenant)
         if tenant_q is None:
@@ -109,7 +209,12 @@ class AsyncGateway:
                 f"({self.max_pending_per_tenant} pending); back off and retry"
             )
         done = asyncio.get_running_loop().create_future()
-        tenant_q.append((rows, done))
+        if self._breaker_state == _HALF_OPEN:
+            # This admission is the probe; free the slot when it settles
+            # (success/failure handlers adjust the breaker state first).
+            self._probe_inflight = True
+            done.add_done_callback(self._probe_settled)
+        tenant_q.append((rows, done, expires_at))
         self._submitted[tenant] += 1
         self._wake.set()
         return await done
@@ -123,6 +228,49 @@ class AsyncGateway:
             )
 
     # ------------------------------------------------------------------ #
+    # circuit breaker
+    # ------------------------------------------------------------------ #
+    def _breaker_admits(self) -> bool:
+        """Admission decision; may transition open → half-open."""
+        if self.breaker_threshold is None or self._breaker_state == _CLOSED:
+            return True
+        if self._breaker_state == _OPEN:
+            if time.monotonic() - self._opened_at < self.breaker_cooldown:
+                return False
+            self._breaker_state = _HALF_OPEN
+            self._probe_inflight = False
+        # Half-open: exactly one probe in flight at a time.
+        return not self._probe_inflight
+
+    def _probe_settled(self, _future) -> None:
+        self._probe_inflight = False
+
+    def _trip_breaker(self) -> None:
+        self._breaker_state = _OPEN
+        self._opened_at = time.monotonic()
+        self._probe_inflight = False
+        self.n_breaker_opens_ += 1
+
+    def _on_backend_failure(self) -> None:
+        """A crash or overload push-back: extend the streak, maybe trip."""
+        self._failure_streak += 1
+        if self.breaker_threshold is None:
+            return
+        if self._breaker_state == _HALF_OPEN:
+            self._trip_breaker()  # the probe failed: straight back open
+        elif (
+            self._breaker_state == _CLOSED
+            and self._failure_streak >= self.breaker_threshold
+        ):
+            self._trip_breaker()
+
+    def _on_backend_success(self) -> None:
+        self._failure_streak = 0
+        if self._breaker_state != _CLOSED:
+            self._breaker_state = _CLOSED  # served = backend is back
+            self._probe_inflight = False
+
+    # ------------------------------------------------------------------ #
     def _next_item(self):
         """Pop the next request fairly: one per tenant per rotation step."""
         n = len(self._order)
@@ -133,6 +281,19 @@ class AsyncGateway:
                 self._rr = (idx + 1) % n
                 return self._order[idx], tenant_q.popleft()
         return None
+
+    def _expired(self, done: asyncio.Future, expires_at: Optional[float]) -> bool:
+        """Fail ``done`` typed if its deadline passed; True if it did."""
+        if expires_at is None or time.monotonic() <= expires_at:
+            return False
+        self.n_deadline_expired_ += 1
+        if not done.done():
+            done.set_exception(
+                DeadlineExceededError(
+                    "request deadline expired in the gateway queue"
+                )
+            )
+        return True
 
     async def _drain(self) -> None:
         while True:
@@ -145,22 +306,41 @@ class AsyncGateway:
                 if item is None:
                     await self._wake.wait()
                     continue
-            tenant, (rows, done) = item
+            tenant, (rows, done, expires_at) = item
             if done.done():  # caller gave up (cancelled/timed out)
                 continue
+            if self._expired(done, expires_at):
+                continue
+            pause = self.retry_interval
             while True:
+                self._n_forwards += 1
+                if self._chaos is not None:
+                    self._chaos.fire("gateway.forward", count=self._n_forwards)
                 try:
-                    backend_future = self.backend.submit(rows)
+                    if expires_at is None:
+                        backend_future = self.backend.submit(rows)
+                    else:
+                        backend_future = self.backend.submit(
+                            rows, deadline=expires_at - time.monotonic()
+                        )
                 except ServerOverloadedError:
                     # Backend pushed back: hold the request (backpressure),
                     # never drop it. Head-of-line here is deliberate — the
                     # backend is full, so nothing else would go through
-                    # either.
+                    # either. The pause doubles up to max_retry_interval
+                    # so a long overload isn't a hot spin.
                     self.n_backpressure_waits_ += 1
-                    await asyncio.sleep(self.retry_interval)
-                    if done.done():
+                    self._on_backend_failure()
+                    await asyncio.sleep(pause)
+                    pause = min(self.max_retry_interval, pause * 2)
+                    if done.done() or self._expired(done, expires_at):
                         break
                     continue
+                except DeadlineExceededError as exc:
+                    self.n_deadline_expired_ += 1
+                    if not done.done():
+                        done.set_exception(exc)
+                    break
                 except BaseException as exc:
                     if not done.done():
                         done.set_exception(exc)
@@ -176,10 +356,15 @@ class AsyncGateway:
     async def _finish(self, tenant: str, backend_future, done) -> None:
         try:
             result = await asyncio.wrap_future(backend_future)
+        except WorkerCrashedError as exc:
+            self._on_backend_failure()
+            if not done.done():
+                done.set_exception(exc)
         except BaseException as exc:
             if not done.done():
                 done.set_exception(exc)
         else:
+            self._on_backend_success()
             self._served[tenant] += 1
             if not done.done():
                 done.set_result(result)
@@ -187,7 +372,8 @@ class AsyncGateway:
     # ------------------------------------------------------------------ #
     def stats(self) -> Dict:
         """Gateway-health snapshot: per-tenant admission/served/rejected
-        counters, queue depths, and backpressure waits."""
+        counters, queue depths, backpressure waits, deadline expiries,
+        and the circuit breaker's state and shed counts."""
         tenants = {}
         for tenant in self._order:
             tenants[tenant] = {
@@ -199,15 +385,22 @@ class AsyncGateway:
         return {
             "tenants": tenants,
             "n_backpressure_waits": self.n_backpressure_waits_,
+            "n_deadline_expired": self.n_deadline_expired_,
             "inflight": len(self._inflight),
+            "breaker": {
+                "state": self._breaker_state,
+                "failure_streak": self._failure_streak,
+                "n_opens": self.n_breaker_opens_,
+                "n_shed": self.n_shed_,
+            },
         }
 
     async def close(self) -> None:
         """Stop admitting; drain everything already queued, then return.
 
         Queued and in-flight requests are all served (or failed with
-        their real error) before close completes — the gateway never
-        drops admitted work.
+        their real, typed error) before close completes — the gateway
+        never drops admitted work.
         """
         if self._closed:
             return

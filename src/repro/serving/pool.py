@@ -1,4 +1,4 @@
-"""Multi-process serving plane: a fleet of forked ``ModelServer`` workers.
+"""Multi-process serving plane: a supervised fleet of forked workers.
 
 :class:`WorkerPool` turns the single-process micro-batcher into N worker
 *processes* that serve one model without N heap copies:
@@ -16,21 +16,43 @@
 * **Queue-fed workers** — each worker owns a bounded ``multiprocessing``
   request queue and runs a full :class:`~repro.serving.ModelServer` inside
   (micro-batching, warm kernel, version stamps). The pool dispatches
-  requests round-robin; a full worker queue raises
+  requests round-robin across *live* workers; a full worker queue raises
   :class:`~repro.exceptions.ServerOverloadedError` — the same bounded-queue
   overflow contract as the in-process server, one level up.
+* **Supervision** — the collector thread doubles as the fleet supervisor:
+  between result messages it polls every worker's liveness
+  (``Process.is_alive()``). A worker that died without sending its clean
+  ``stopped`` ack is a *crash*: every one of its in-flight futures fails
+  **immediately** with a typed
+  :class:`~repro.exceptions.WorkerCrashedError` (no future ever hangs on
+  a dead process), pending fleet swaps are acknowledged on its behalf,
+  and the worker is **respawned with capped exponential backoff**
+  (``respawn_backoff * 2**(crashes-1)``, capped at
+  ``respawn_backoff_cap``), re-warmed from the pool's *current* model
+  source — so a crash mid-swap respawns straight onto the new version.
+  Crash/respawn counters and per-worker states surface in :meth:`stats`.
+* **Per-request deadlines** — ``submit(rows, deadline=...)`` carries an
+  absolute expiry through the fork queues. Expired requests fail fast
+  with :class:`~repro.exceptions.DeadlineExceededError` wherever they are
+  found first: at submission, by the supervisor (which also covers
+  requests stuck behind a stalled or dead worker), in the worker's queue,
+  or in its serving loop — never scored late, never hung.
 * **Fleet-wide hot swap** — :meth:`swap_model` publishes a new *artifact
-  path* to every worker. Each worker loads the challenger (mmap'd again —
-  the fleet converges onto one shared copy of the *new* model), warm-packs
-  it off its serving thread, then flips its ``_ActiveModel`` record; the
-  serving queue keeps draining with the old model until the flip, so no
-  request is ever dropped or blocked. The pool tracks per-worker versions
-  from swap acknowledgements and (by default) blocks until the whole fleet
-  converged. Every result is stamped with the version that scored it, so a
-  mid-swap fleet still decodes every response correctly.
-* **Observability** — :meth:`stats` aggregates pool-level counters and
-  per-worker versions; :meth:`worker_stats` asks every worker for its full
-  :meth:`ModelServer.stats` snapshot plus its private-memory footprint.
+  path* to every live worker. Each worker loads the challenger (mmap'd
+  again — the fleet converges onto one shared copy of the *new* model),
+  warm-packs it off its serving thread, then flips its ``_ActiveModel``
+  record; the serving queue keeps draining with the old model until the
+  flip, so no request is ever dropped or blocked. Crashed workers
+  converge through respawn (the respawn source is updated before the
+  broadcast), so a swap survives a worker dying mid-broadcast. The swap
+  is validated parent-side first: a corrupt or truncated artifact raises
+  :class:`~repro.exceptions.PersistenceError` *before* anything is
+  broadcast, leaving every worker on the old version.
+* **Observability** — :meth:`stats` aggregates pool-level counters,
+  per-worker versions, states and crash counts; :meth:`worker_stats` asks
+  every live worker for its full :meth:`ModelServer.stats` snapshot plus
+  its private-memory footprint; :meth:`wait_healthy` blocks until the
+  fleet is back at full, responsive capacity.
 
 The pool requires the ``fork`` start method (Linux/macOS): zero-copy
 inheritance of the pre-built kernel is the point. Construct it before
@@ -39,11 +61,13 @@ starting heavy threads in the parent, as with any fork.
 
 from __future__ import annotations
 
+import builtins
 import itertools
 import multiprocessing
 import os
 import queue as queue_mod
 import threading
+import time
 from collections import Counter
 from concurrent.futures import Future
 from dataclasses import dataclass
@@ -52,12 +76,19 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from .. import exceptions as _exceptions
-from ..exceptions import ServerOverloadedError
+from ..exceptions import (
+    DeadlineExceededError,
+    ServerOverloadedError,
+    WorkerCrashedError,
+)
 from ..fastpath.codetable import warm_serving_pack
 from ..utils.validation import check_is_fitted
 from .server import ModelServer, ScoredBatch, _resolve_positive_idx
 
 __all__ = ["WorkerPool", "process_private_kb"]
+
+#: Worker lifecycle states surfaced in ``stats()["worker_states"]``.
+_ALIVE, _CRASHED, _STOPPED = "alive", "crashed", "stopped"
 
 
 def process_private_kb() -> Optional[float]:
@@ -95,40 +126,76 @@ def _record_from_model(model) -> _VersionRecord:
 
 
 def _rebuild_exception(name: str, text: str) -> BaseException:
-    """Best-effort reconstruction of a worker-side exception by name."""
+    """Reconstruct a worker-side exception by name, preserving its type.
+
+    Resolves library exceptions from :mod:`repro.exceptions` first, then
+    builtin exceptions (``ValueError``, ``MemoryError``, ...) — a worker
+    raising ``ValueError`` must resurface as ``ValueError``, not be
+    flattened to a bare ``RuntimeError``. Unknown or unconstructible
+    names fall back to ``RuntimeError`` with the name preserved in the
+    message.
+    """
     cls = getattr(_exceptions, name, None)
+    if not (isinstance(cls, type) and issubclass(cls, BaseException)):
+        cls = getattr(builtins, name, None)
     if isinstance(cls, type) and issubclass(cls, BaseException):
-        return cls(text)
+        try:
+            return cls(text)
+        except Exception:
+            pass  # exotic constructor signature (e.g. UnicodeDecodeError)
     return RuntimeError(f"worker error ({name}): {text}")
 
 
-def _worker_main(worker_id: int, model, options: Dict, req_q, res_q) -> None:
+def _worker_main(
+    worker_id: int, generation: int, model, options: Dict, req_q, res_q, chaos
+) -> None:
     """One worker process: a ModelServer draining its pool queue.
 
     Message protocol (FIFO per worker):
-      ("req", req_id, rows)        → ("ok", req_id, proba, version)
-                                     | ("err", req_id, exc_name, text)
-      ("swap", path, version)      → ("swapped", worker_id, version, err|None)
+      ("req", req_id, rows, expires_at)
+                                   → ("ok", req_id, proba, version)
+                                   | ("err", req_id, exc_name, text)
+      ("swap", path, version)      → ("swapped", worker_id, version,
+                                      (exc_name, text) | None)
       ("stats", token)             → ("stats", worker_id, token, payload)
       ("stop",)                    → ("stopped", worker_id)   [terminates]
 
-    Swaps run on a side thread so the serving queue keeps draining while
-    the challenger's kernel builds; ``ModelServer.swap_model`` then flips
-    the active record atomically. Requests already dequeued keep the
-    version that was active when their batch was drained — zero drops.
+    On start the worker announces ("ready", worker_id, generation) — the
+    supervisor's respawn-convergence signal. Swaps run on a side thread
+    so the serving queue keeps draining while the challenger's kernel
+    builds; ``ModelServer.swap_model`` then flips the active record
+    atomically. Requests already dequeued keep the version that was
+    active when their batch was drained — zero drops.
+
+    ``chaos`` (a :class:`repro.chaos.FaultPlan` or ``None``) is fired at
+    the ``worker.request`` / ``worker.reply`` / ``worker.swap`` sites
+    with this worker's own deterministic counters and generation.
     """
     baseline_kb = process_private_kb()
     server = ModelServer(model, **options)
     swap_lock = threading.Lock()  # serialise overlapping fleet swaps
     swap_threads: List[threading.Thread] = []
+    n_reqs_seen = 0
+    n_swaps_seen = 0
+    reply_counter = itertools.count(1)
+
+    res_q.put(("ready", worker_id, generation))
 
     def finish(req_id: int, future: Future) -> None:
         try:
             scored: ScoredBatch = future.result()
         except BaseException as exc:
-            res_q.put(("err", req_id, type(exc).__name__, str(exc)))
+            payload = ("err", req_id, type(exc).__name__, str(exc))
         else:
-            res_q.put(("ok", req_id, scored.proba, scored.model_version))
+            payload = ("ok", req_id, scored.proba, scored.model_version)
+        if chaos is not None:
+            chaos.fire(
+                "worker.reply",
+                worker=worker_id,
+                count=next(reply_counter),
+                generation=generation,
+            )
+        res_q.put(payload)
 
     def do_swap(path: str, version: str) -> None:
         with swap_lock:
@@ -137,16 +204,37 @@ def _worker_main(worker_id: int, model, options: Dict, req_q, res_q) -> None:
                 res_q.put(("swapped", worker_id, installed, None))
             except BaseException as exc:
                 res_q.put(
-                    ("swapped", worker_id, version, f"{type(exc).__name__}: {exc}")
+                    ("swapped", worker_id, version, (type(exc).__name__, str(exc)))
                 )
 
     while True:
         msg = req_q.get()
         kind = msg[0]
         if kind == "req":
-            _, req_id, rows = msg
+            _, req_id, rows, expires_at = msg
+            n_reqs_seen += 1
+            if chaos is not None:
+                chaos.fire(
+                    "worker.request",
+                    worker=worker_id,
+                    count=n_reqs_seen,
+                    generation=generation,
+                )
+            deadline = None
+            if expires_at is not None:
+                deadline = expires_at - time.monotonic()
+                if deadline <= 0:
+                    res_q.put(
+                        (
+                            "err",
+                            req_id,
+                            "DeadlineExceededError",
+                            "request expired in the worker queue; not scored",
+                        )
+                    )
+                    continue
             try:
-                future = server.submit_scored(rows)
+                future = server.submit_scored(rows, deadline=deadline)
             except BaseException as exc:
                 res_q.put(("err", req_id, type(exc).__name__, str(exc)))
             else:
@@ -155,6 +243,14 @@ def _worker_main(worker_id: int, model, options: Dict, req_q, res_q) -> None:
                 )
         elif kind == "swap":
             _, path, version = msg
+            n_swaps_seen += 1
+            if chaos is not None:
+                chaos.fire(
+                    "worker.swap",
+                    worker=worker_id,
+                    count=n_swaps_seen,
+                    generation=generation,
+                )
             thread = threading.Thread(
                 target=do_swap, args=(path, version), daemon=True
             )
@@ -164,6 +260,7 @@ def _worker_main(worker_id: int, model, options: Dict, req_q, res_q) -> None:
             payload = server.stats()
             payload["private_kb"] = process_private_kb()
             payload["baseline_private_kb"] = baseline_kb
+            payload["generation"] = generation
             res_q.put(("stats", worker_id, msg[1], payload))
         elif kind == "stop":
             for thread in swap_threads:
@@ -174,29 +271,44 @@ def _worker_main(worker_id: int, model, options: Dict, req_q, res_q) -> None:
 
 
 class WorkerPool:
-    """Serve one model from N forked worker processes behind one front door.
+    """Serve one model from N supervised forked workers behind one door.
 
     Parameters
     ----------
     model : artifact path, or fitted classifier
         A path is loaded in the parent (memory-mapped when ``mmap=True``)
         and shared with every forked worker; a live fitted model is shared
-        through fork copy-on-write directly.
+        through fork copy-on-write directly. The original path (or live
+        model) is retained as the respawn source until the first swap.
     n_workers : int, default 2
-        Worker process count.
+        Worker process count. Supervision keeps the fleet at this
+        capacity: crashed workers respawn automatically.
     threshold, max_batch, max_pending, model_version :
         Forwarded to each worker's :class:`~repro.serving.ModelServer`;
         ``max_pending`` also bounds each worker's pool-level request queue.
     mmap : bool, default True
         Memory-map artifact loads (parent *and* every worker-side swap
         load), so the fleet shares one page-cache copy per artifact.
+    poll_interval : float, default 0.05
+        Seconds between supervisor passes (liveness checks, parent-side
+        deadline expiry, due respawns).
+    respawn_backoff : float, default 0.1
+        Base respawn delay after a crash; doubles per consecutive crash
+        of the same worker slot (``backoff * 2**(crashes-1)``).
+    respawn_backoff_cap : float, default 5.0
+        Ceiling on the exponential respawn delay.
+    chaos : :class:`repro.chaos.FaultPlan`, optional
+        Deterministic fault-injection hooks, inherited by every worker
+        (see :mod:`repro.chaos`); ``None`` disables every hook.
 
     Examples
     --------
     >>> pool = WorkerPool("model.npz", n_workers=4)     # doctest: +SKIP
     >>> proba = pool.predict_proba(X_batch)             # doctest: +SKIP
+    >>> future = pool.submit(X_batch, deadline=0.050)   # 50 ms budget
+    ...                                                 # doctest: +SKIP
     >>> pool.swap_model("model_v2.npz", version="v2")   # doctest: +SKIP
-    >>> pool.stats()["model_versions"]                  # doctest: +SKIP
+    >>> pool.stats()["n_crashes"]                       # doctest: +SKIP
     >>> pool.close()                                    # doctest: +SKIP
     """
 
@@ -210,6 +322,10 @@ class WorkerPool:
         max_pending: int = 1024,
         mmap: bool = True,
         model_version: str = "v0",
+        poll_interval: float = 0.05,
+        respawn_backoff: float = 0.1,
+        respawn_backoff_cap: float = 5.0,
+        chaos=None,
     ):
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -218,42 +334,69 @@ class WorkerPool:
                 "WorkerPool requires the 'fork' start method (zero-copy "
                 "model inheritance); use ModelServer on this platform"
             )
+        if poll_interval <= 0:
+            raise ValueError("poll_interval must be > 0")
+        if respawn_backoff <= 0 or respawn_backoff_cap < respawn_backoff:
+            raise ValueError(
+                "need 0 < respawn_backoff <= respawn_backoff_cap"
+            )
         self.n_workers = int(n_workers)
         self.threshold = float(threshold)
         if not 0.0 <= self.threshold <= 1.0:
             raise ValueError(f"threshold must be in [0, 1], got {threshold}")
         self.mmap = bool(mmap)
+        self.poll_interval = float(poll_interval)
+        self.respawn_backoff = float(respawn_backoff)
+        self.respawn_backoff_cap = float(respawn_backoff_cap)
+        self._chaos = chaos
         model_version = str(model_version)
 
         if isinstance(model, (str, bytes)) or hasattr(model, "__fspath__"):
+            # Respawns re-load the artifact themselves; keep the path.
+            self._current_source = os.fspath(model)
             from ..persistence import load_model
 
             model = load_model(model, mmap_mode="r" if self.mmap else None)
+        else:
+            # Live model: respawns fork it copy-on-write, exactly like the
+            # original workers — keep the strong reference alive.
+            self._current_source = model
         check_is_fitted(model)
         # Build the packed serving kernel ONCE, pre-fork: every worker's
         # ModelServer construction hits this exact cache entry (inherited
         # through fork) instead of building a private copy.
         warm_serving_pack(model)
+        self._current_version = model_version
         self._version_records: Dict[str, _VersionRecord] = {
             model_version: _record_from_model(model)
         }
 
-        ctx = multiprocessing.get_context("fork")
+        self._ctx = multiprocessing.get_context("fork")
+        self._max_pending = int(max_pending)
         self._req_queues = [
-            ctx.Queue(maxsize=int(max_pending)) for _ in range(self.n_workers)
+            self._ctx.Queue(maxsize=self._max_pending)
+            for _ in range(self.n_workers)
         ]
-        self._res_q = ctx.Queue()
-        options = dict(
+        self._res_q = self._ctx.Queue()
+        self._options = dict(
             threshold=self.threshold,
             max_batch=int(max_batch),
-            max_pending=int(max_pending),
+            max_pending=self._max_pending,
             model_version=model_version,
             mmap=self.mmap,
         )
-        self._procs = [
-            ctx.Process(
+        self._procs: List[Optional[multiprocessing.process.BaseProcess]] = [
+            self._ctx.Process(
                 target=_worker_main,
-                args=(i, model, options, self._req_queues[i], self._res_q),
+                args=(
+                    i,
+                    0,
+                    model,
+                    self._options,
+                    self._req_queues[i],
+                    self._res_q,
+                    chaos,
+                ),
                 name=f"repro-pool-worker-{i}",
                 daemon=True,
             )
@@ -262,16 +405,32 @@ class WorkerPool:
 
         self._lock = threading.Lock()
         self._closed = False
-        self._futures: Dict[int, Tuple[Future, bool]] = {}
+        self._stop_collecting = threading.Event()
+        #: req_id → (future, want_version, worker, expires_at)
+        self._futures: Dict[int, Tuple[Future, bool, int, Optional[float]]] = {}
         self._next_id = itertools.count()
         self._rr = 0
         self.n_requests_ = 0
         self.n_overflows_ = 0
         self.n_swaps_ = 0
+        self.n_crashes_ = 0
+        self.n_respawns_ = 0
+        self.n_deadline_expired_ = 0
+        self.n_late_replies_ = 0
         self._requests_by_version: Counter = Counter()
-        self._worker_versions: Dict[int, str] = {
+        self._worker_versions: Dict[int, Optional[str]] = {
             i: model_version for i in range(self.n_workers)
         }
+        self._worker_state: Dict[int, str] = {
+            i: _ALIVE for i in range(self.n_workers)
+        }
+        self._worker_generation: Dict[int, int] = {
+            i: 0 for i in range(self.n_workers)
+        }
+        self._worker_crashes: Dict[int, int] = {
+            i: 0 for i in range(self.n_workers)
+        }
+        self._respawn_at: Dict[int, float] = {}
         self._swap_waits: Dict[str, Dict] = {}
         self._stats_waits: Dict[int, Dict] = {}
         self._stats_tokens = itertools.count()
@@ -279,76 +438,268 @@ class WorkerPool:
         for proc in self._procs:
             proc.start()
         self._collector = threading.Thread(
-            target=self._collect, name="repro-pool-collector", daemon=True
+            target=self._collect, name="repro-pool-supervisor", daemon=True
         )
         self._collector.start()
 
     # ------------------------------------------------------------------ #
+    # collector + supervisor (one parent thread)
+    # ------------------------------------------------------------------ #
     def _collect(self) -> None:
-        """Single parent thread resolving every worker response."""
-        while True:
-            msg = self._res_q.get()
-            tag = msg[0]
-            if tag == "__close__":
+        """Resolve worker responses; supervise the fleet between them."""
+        next_pass = time.monotonic() + self.poll_interval
+        while not self._stop_collecting.is_set():
+            timeout = max(0.001, next_pass - time.monotonic())
+            try:
+                msg = self._res_q.get(timeout=timeout)
+            except queue_mod.Empty:
+                msg = None
+            if msg is not None:
+                if msg[0] == "__close__":
+                    return
+                try:
+                    self._dispatch(msg)
+                except Exception:
+                    # A malformed message (e.g. a reply half-written by a
+                    # dying worker) must never kill the supervisor — the
+                    # affected request is recovered by crash detection or
+                    # deadline expiry.
+                    pass
+            if time.monotonic() >= next_pass:
+                self._supervise()
+                next_pass = time.monotonic() + self.poll_interval
+
+    def _dispatch(self, msg) -> None:
+        tag = msg[0]
+        if tag == "ok":
+            _, req_id, proba, version = msg
+            with self._lock:
+                entry = self._futures.pop(req_id, None)
+                if entry is None:  # already failed (deadline/crash)
+                    self.n_late_replies_ += 1
+                    return
+                future, want_version, _, _ = entry
+                self.n_requests_ += 1
+                self._requests_by_version[version] += 1
+            future.set_result(
+                ScoredBatch(proba, version) if want_version else proba
+            )
+        elif tag == "err":
+            _, req_id, name, text = msg
+            with self._lock:
+                entry = self._futures.pop(req_id, None)
+                if entry is None:
+                    self.n_late_replies_ += 1
+                    return
+                future = entry[0]
+            future.set_exception(_rebuild_exception(name, text))
+        elif tag == "swapped":
+            _, worker_id, version, err = msg
+            with self._lock:
+                if err is None:
+                    self._worker_versions[worker_id] = version
+                wait = self._swap_waits.get(version)
+                if wait is not None and worker_id not in wait["acked"]:
+                    wait["acked"].add(worker_id)
+                    if err is not None:
+                        wait["errors"].append((worker_id, err[0], err[1]))
+                    if len(wait["acked"]) >= self.n_workers:
+                        wait["event"].set()
+        elif tag == "stats":
+            _, worker_id, token, payload = msg
+            with self._lock:
+                wait = self._stats_waits.get(token)
+                if wait is not None:
+                    wait["replies"][worker_id] = payload
+                    if set(wait["replies"]) >= wait["expected"]:
+                        wait["event"].set()
+        elif tag == "ready":
+            _, worker_id, generation = msg
+            with self._lock:
+                # Respawn convergence confirmation; state was already set
+                # optimistically at spawn time.
+                if self._worker_generation.get(worker_id) == generation:
+                    self._worker_state.setdefault(worker_id, _ALIVE)
+        elif tag == "stopped":
+            _, worker_id = msg
+            with self._lock:
+                self._worker_state[worker_id] = _STOPPED
+
+    def _supervise(self) -> None:
+        """One supervision pass: expire deadlines, detect crashes, respawn."""
+        now = time.monotonic()
+        expired: List[Future] = []
+        crashed_futures: List[Tuple[Future, str]] = []
+        with self._lock:
+            if self._closed:
                 return
-            if tag == "ok":
-                _, req_id, proba, version = msg
-                with self._lock:
-                    future, want_version = self._futures.pop(req_id)
-                    self.n_requests_ += 1
-                    self._requests_by_version[version] += 1
-                future.set_result(
-                    ScoredBatch(proba, version) if want_version else proba
+            for req_id, (future, _, worker, expires_at) in list(
+                self._futures.items()
+            ):
+                if expires_at is not None and now > expires_at:
+                    del self._futures[req_id]
+                    self.n_deadline_expired_ += 1
+                    expired.append(future)
+            for i in range(self.n_workers):
+                proc = self._procs[i]
+                if (
+                    proc is None
+                    or self._worker_state[i] != _ALIVE
+                    or proc.is_alive()
+                ):
+                    continue
+                # A worker that never sent "stopped" and is no longer
+                # alive crashed (OOM-kill, SIGKILL, os._exit, segfault).
+                crashed_futures.extend(self._mark_crashed(i, proc.exitcode, now))
+            for i, due in list(self._respawn_at.items()):
+                if now >= due:
+                    self._respawn(i)
+        for future in expired:
+            if not future.done():
+                future.set_exception(
+                    DeadlineExceededError(
+                        "request deadline expired before a worker answered"
+                    )
                 )
-            elif tag == "err":
-                _, req_id, name, text = msg
-                with self._lock:
-                    future, _ = self._futures.pop(req_id)
-                future.set_exception(_rebuild_exception(name, text))
-            elif tag == "swapped":
-                _, worker_id, version, err = msg
-                with self._lock:
-                    if err is None:
-                        self._worker_versions[worker_id] = version
-                    wait = self._swap_waits.get(version)
-                    if wait is not None:
-                        wait["acks"] += 1
-                        if err is not None:
-                            wait["errors"].append(f"worker {worker_id}: {err}")
-                        if wait["acks"] == self.n_workers:
-                            wait["event"].set()
-            elif tag == "stats":
-                _, worker_id, token, payload = msg
-                with self._lock:
-                    wait = self._stats_waits.get(token)
-                    if wait is not None:
-                        wait["replies"][worker_id] = payload
-                        if len(wait["replies"]) == self.n_workers:
-                            wait["event"].set()
+        for future, detail in crashed_futures:
+            if not future.done():
+                future.set_exception(WorkerCrashedError(detail))
+
+    def _mark_crashed(
+        self, worker: int, exitcode, now: float
+    ) -> List[Tuple[Future, str]]:
+        """Record a crash (lock held); return the futures to fail."""
+        self.n_crashes_ += 1
+        self._worker_crashes[worker] += 1
+        self._worker_state[worker] = _CRASHED
+        self._worker_versions[worker] = None
+        detail = (
+            f"worker {worker} crashed (exit code {exitcode}) before "
+            "answering; the request was not scored — safe to retry"
+        )
+        failed = []
+        for req_id, (future, _, owner, _) in list(self._futures.items()):
+            if owner == worker:
+                del self._futures[req_id]
+                failed.append((future, detail))
+        # Pending fleet swaps: acknowledge on the dead worker's behalf.
+        # The respawn source/version were updated before the broadcast,
+        # so the respawned worker converges onto the swap target — a
+        # crash mid-swap delays convergence, it does not fail the swap.
+        for version, wait in self._swap_waits.items():
+            if worker not in wait["acked"]:
+                wait["acked"].add(worker)
+                if version != self._current_version:
+                    wait["errors"].append(
+                        (worker, "WorkerCrashedError", detail)
+                    )
+                if len(wait["acked"]) >= self.n_workers:
+                    wait["event"].set()
+        # Pending stats round-trips can no longer expect this worker.
+        for wait in self._stats_waits.values():
+            wait["expected"].discard(worker)
+            if set(wait["replies"]) >= wait["expected"]:
+                wait["event"].set()
+        backoff = min(
+            self.respawn_backoff_cap,
+            self.respawn_backoff * (2 ** (self._worker_crashes[worker] - 1)),
+        )
+        self._respawn_at[worker] = now + backoff
+        return failed
+
+    def _respawn(self, worker: int) -> None:
+        """Start a fresh process in a crashed worker's slot (lock held).
+
+        The replacement gets a *new* request queue (nothing from the dead
+        incarnation's queue can leak in — those requests already failed
+        typed), an incremented generation (so one-shot chaos kill faults
+        don't re-fire), and the pool's current model source/version.
+        """
+        del self._respawn_at[worker]
+        generation = self._worker_generation[worker] + 1
+        self._worker_generation[worker] = generation
+        old_q = self._req_queues[worker]
+        new_q = self._ctx.Queue(maxsize=self._max_pending)
+        self._req_queues[worker] = new_q
+        options = dict(self._options, model_version=self._current_version)
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                worker,
+                generation,
+                self._current_source,
+                options,
+                new_q,
+                self._res_q,
+                self._chaos,
+            ),
+            name=f"repro-pool-worker-{worker}-gen{generation}",
+            daemon=True,
+        )
+        self._procs[worker] = proc
+        proc.start()
+        self._worker_state[worker] = _ALIVE
+        self._worker_versions[worker] = self._current_version
+        self.n_respawns_ += 1
+        # The dead incarnation's queue may still hold unread messages with
+        # a feeder thread blocked on the (reader-less) pipe; never let
+        # interpreter exit wait on that flush.
+        old_q.cancel_join_thread()
+        old_q.close()
 
     # ------------------------------------------------------------------ #
-    def submit(self, rows) -> Future:
-        """Queue rows on the next worker (round-robin); the future resolves
-        to their ``predict_proba`` matrix."""
-        return self._enqueue(rows, want_version=False)
+    def submit(self, rows, *, deadline: Optional[float] = None) -> Future:
+        """Queue rows on the next live worker (round-robin); the future
+        resolves to their ``predict_proba`` matrix.
 
-    def submit_scored(self, rows) -> Future:
+        ``deadline`` is this request's scoring budget in seconds,
+        enforced end-to-end (parent supervisor, worker queue, worker
+        serving loop): an expired request fails with
+        :class:`~repro.exceptions.DeadlineExceededError`, never scored
+        late. A request on a worker that dies fails with
+        :class:`~repro.exceptions.WorkerCrashedError` — no future ever
+        hangs."""
+        return self._enqueue(rows, want_version=False, deadline=deadline)
+
+    def submit_scored(self, rows, *, deadline: Optional[float] = None) -> Future:
         """Like :meth:`submit`, resolving to a :class:`ScoredBatch` stamped
         with the version of the one worker-side model that scored it."""
-        return self._enqueue(rows, want_version=True)
+        return self._enqueue(rows, want_version=True, deadline=deadline)
 
-    def _enqueue(self, rows, want_version: bool) -> Future:
+    def _enqueue(self, rows, want_version: bool, deadline=None) -> Future:
         rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+        expires_at = None
+        if deadline is not None:
+            deadline = float(deadline)
+            if deadline <= 0:
+                with self._lock:
+                    self.n_deadline_expired_ += 1
+                raise DeadlineExceededError(
+                    f"deadline of {deadline}s already expired at submission"
+                )
+            expires_at = time.monotonic() + deadline
         future: Future = Future()
         with self._lock:
             if self._closed:
                 raise RuntimeError("WorkerPool is closed")
+            worker = None
+            for step in range(self.n_workers):
+                idx = (self._rr + step) % self.n_workers
+                if self._worker_state[idx] == _ALIVE:
+                    worker = idx
+                    break
+            if worker is None:
+                raise WorkerCrashedError(
+                    "no live workers: the whole fleet crashed and is "
+                    "respawning — back off and retry"
+                )
+            self._rr = (worker + 1) % self.n_workers
             req_id = next(self._next_id)
-            worker = self._rr
-            self._rr = (self._rr + 1) % self.n_workers
-            self._futures[req_id] = (future, want_version)
+            self._futures[req_id] = (future, want_version, worker, expires_at)
             try:
-                self._req_queues[worker].put_nowait(("req", req_id, rows))
+                self._req_queues[worker].put_nowait(
+                    ("req", req_id, rows, expires_at)
+                )
             except queue_mod.Full:
                 del self._futures[req_id]
                 self.n_overflows_ += 1
@@ -397,18 +748,29 @@ class WorkerPool:
     ) -> str:
         """Broadcast a new artifact to every worker; returns the version.
 
-        Each worker independently loads the artifact (mmap'd when the pool
-        is, so the fleet converges onto one shared page-cache copy of the
-        challenger), builds its packed kernel on a side thread, and flips
-        its active record — its serving queue keeps draining the whole
-        time, so zero requests are dropped or blocked fleet-wide (asserted
-        under sustained load in ``benchmarks/bench_serving.py``).
+        Each live worker independently loads the artifact (mmap'd when
+        the pool is, so the fleet converges onto one shared page-cache
+        copy of the challenger), builds its packed kernel on a side
+        thread, and flips its active record — its serving queue keeps
+        draining the whole time, so zero requests are dropped or blocked
+        fleet-wide (asserted under sustained load in
+        ``benchmarks/bench_serving.py``). Crashed workers converge
+        through respawn: the respawn source is repointed at the new
+        artifact *before* the broadcast, so a worker dying mid-swap comes
+        back already on the new version.
+
+        The artifact is validated in the parent first: a truncated or
+        corrupt ``.npz`` raises
+        :class:`~repro.exceptions.PersistenceError` here, before any
+        worker hears about it — every worker keeps serving the old
+        version. Worker-side rejections (a race after parent validation)
+        re-raise typed when every worker failed the same way.
 
         With ``wait=True`` (default) the call returns once every worker
-        acknowledged the swap — the fleet has converged — and raises if any
-        worker rejected the artifact (those workers keep serving the old
-        version; a fleet swap is per-worker atomic, not transactional).
-        ``wait=False`` returns immediately; track convergence through
+        acknowledged the swap (or crashed and was scheduled to respawn
+        onto it) — the fleet has converged or is converging — and raises
+        if any worker rejected the artifact. ``wait=False`` returns
+        immediately; track convergence through
         ``stats()["model_versions"]``.
         """
         if not (isinstance(path, (str, bytes)) or hasattr(path, "__fspath__")):
@@ -420,7 +782,9 @@ class WorkerPool:
         path = os.fspath(path)
         # Parent-side decode record, built before the broadcast so results
         # stamped with the new version always resolve. Also validates the
-        # artifact once up front — a bad path fails here, not in N workers.
+        # artifact once up front — a corrupt/truncated/missing artifact
+        # raises PersistenceError here, not in N workers: the broadcast
+        # never happens and the whole fleet keeps the old version.
         from ..persistence import load_model
 
         challenger = load_model(path, mmap_mode="r" if self.mmap else None)
@@ -435,9 +799,25 @@ class WorkerPool:
                 version = f"swap-{self.n_swaps_}"
             version = str(version)
             self._version_records[version] = record
-            waiter = {"event": threading.Event(), "acks": 0, "errors": []}
+            # Repoint the respawn source first: any worker that crashes
+            # from here on respawns straight onto the new artifact.
+            self._current_source = path
+            self._current_version = version
+            live = [
+                i for i in range(self.n_workers)
+                if self._worker_state[i] == _ALIVE
+            ]
+            # Workers currently down converge via respawn — pre-ack them.
+            waiter = {
+                "event": threading.Event(),
+                "acked": set(range(self.n_workers)) - set(live),
+                "errors": [],
+            }
+            if len(waiter["acked"]) >= self.n_workers:
+                waiter["event"].set()
             self._swap_waits[version] = waiter
-        for req_q in self._req_queues:
+            queues = [self._req_queues[i] for i in live]
+        for req_q in queues:
             req_q.put(("swap", path, version))
         if not wait:
             return version
@@ -445,14 +825,22 @@ class WorkerPool:
             if not waiter["event"].wait(timeout):
                 raise TimeoutError(
                     f"fleet swap to {version!r} did not converge within "
-                    f"{timeout}s: acked {waiter['acks']}/{self.n_workers}"
+                    f"{timeout}s: acked "
+                    f"{len(waiter['acked'])}/{self.n_workers}"
                 )
             if waiter["errors"]:
-                raise RuntimeError(
-                    f"fleet swap to {version!r} failed on "
-                    f"{len(waiter['errors'])} worker(s): "
-                    + "; ".join(waiter["errors"])
+                names = {name for _, name, _ in waiter["errors"]}
+                detail = "; ".join(
+                    f"worker {wid}: {name}: {text}"
+                    for wid, name, text in waiter["errors"]
                 )
+                message = (
+                    f"fleet swap to {version!r} failed on "
+                    f"{len(waiter['errors'])} worker(s): {detail}"
+                )
+                if len(names) == 1:
+                    raise _rebuild_exception(names.pop(), message)
+                raise RuntimeError(message)
         finally:
             with self._lock:
                 self._swap_waits.pop(version, None)
@@ -468,31 +856,105 @@ class WorkerPool:
                 "n_requests": self.n_requests_,
                 "n_overflows": self.n_overflows_,
                 "n_swaps": self.n_swaps_,
+                "n_crashes": self.n_crashes_,
+                "n_respawns": self.n_respawns_,
+                "n_deadline_expired": self.n_deadline_expired_,
+                "n_late_replies": self.n_late_replies_,
                 "n_pending": len(self._futures),
                 "model_versions": dict(self._worker_versions),
+                "worker_states": dict(self._worker_state),
+                "worker_crashes": dict(self._worker_crashes),
+                "worker_generations": dict(self._worker_generation),
                 "requests_by_version": {
                     str(k): int(v)
                     for k, v in sorted(self._requests_by_version.items())
                 },
             }
 
+    def worker_pids(self) -> Dict[int, Optional[int]]:
+        """PID of each live worker (``None`` for a slot awaiting respawn)
+        — what a chaos harness hands to ``os.kill``."""
+        with self._lock:
+            return {
+                i: (
+                    self._procs[i].pid
+                    if self._procs[i] is not None
+                    and self._worker_state[i] == _ALIVE
+                    else None
+                )
+                for i in range(self.n_workers)
+            }
+
+    def wait_healthy(self, timeout: float = 30.0) -> None:
+        """Block until the fleet is at full capacity *and* responsive.
+
+        Healthy means: every worker slot is alive (all due respawns
+        done), and a :meth:`worker_stats` round-trip to the whole fleet
+        answers. Raises ``TimeoutError`` otherwise — the recovery-time
+        SLO check used by tests and ``benchmarks/bench_chaos.py``.
+        """
+        limit = time.monotonic() + float(timeout)
+        while True:
+            with self._lock:
+                if self._closed:
+                    raise RuntimeError("WorkerPool is closed")
+                full = all(
+                    self._worker_state[i] == _ALIVE
+                    for i in range(self.n_workers)
+                ) and not self._respawn_at
+            if full:
+                try:
+                    # Short slices, not the whole remaining budget: a crash
+                    # landing mid-round-trip costs one slice and a retry,
+                    # not the entire wait.
+                    replies = self.worker_stats(
+                        timeout=min(1.0, max(0.1, limit - time.monotonic()))
+                    )
+                    if len(replies) == self.n_workers:
+                        return
+                except TimeoutError:
+                    pass
+            if time.monotonic() > limit:
+                raise TimeoutError(
+                    f"fleet not healthy within {timeout}s: "
+                    f"{self.stats()['worker_states']}"
+                )
+            time.sleep(self.poll_interval / 2)
+
     def worker_stats(self, timeout: float = 30.0) -> Dict[int, Dict]:
-        """Every worker's ``ModelServer.stats()`` plus its private-memory
-        footprint (``private_kb`` now, ``baseline_private_kb`` at worker
-        start) — the numbers the zero-copy claim is verified against."""
+        """Every live worker's ``ModelServer.stats()`` plus its
+        private-memory footprint (``private_kb`` now,
+        ``baseline_private_kb`` at worker start) — the numbers the
+        zero-copy claim is verified against. Workers that crash during
+        the round-trip are dropped from the expectation instead of
+        hanging the call."""
         with self._lock:
             if self._closed:
                 raise RuntimeError("WorkerPool is closed")
             token = next(self._stats_tokens)
-            waiter = {"event": threading.Event(), "replies": {}}
+            live = [
+                i for i in range(self.n_workers)
+                if self._worker_state[i] == _ALIVE
+            ]
+            if not live:
+                # Whole fleet down (e.g. a crash was detected between the
+                # caller's health check and this call): nothing will ever
+                # answer, so don't register a waiter that can't be woken.
+                return {}
+            waiter = {
+                "event": threading.Event(),
+                "replies": {},
+                "expected": set(live),
+            }
             self._stats_waits[token] = waiter
-        for req_q in self._req_queues:
+            queues = [self._req_queues[i] for i in live]
+        for req_q in queues:
             req_q.put(("stats", token))
         try:
             if not waiter["event"].wait(timeout):
                 raise TimeoutError(
                     f"worker stats incomplete after {timeout}s: "
-                    f"{len(waiter['replies'])}/{self.n_workers} replied"
+                    f"{len(waiter['replies'])}/{len(live)} replied"
                 )
         finally:
             with self._lock:
@@ -503,30 +965,65 @@ class WorkerPool:
     def close(self) -> None:
         """Stop the fleet; queued requests are still served first.
 
-        Each worker's stop sentinel is FIFO behind its pending requests,
-        and the worker drains its internal server before exiting — so
-        close never drops a request either.
+        Each live worker's stop sentinel is FIFO behind its pending
+        requests, and the worker drains its internal server before
+        exiting — so close never drops an admitted request. Requests that
+        were in flight on a worker that crashed (and whatever its
+        respawn would have served) fail typed with
+        :class:`~repro.exceptions.WorkerCrashedError` — resolved or
+        failed, never hung. Idempotent; also safe mid-swap (pending
+        swap acknowledgements drain before the supervisor exits).
         """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
-        for req_q in self._req_queues:
+            self._respawn_at.clear()  # no respawns after close
+            live = [
+                i for i in range(self.n_workers)
+                if self._worker_state[i] == _ALIVE
+            ]
+            queues = [self._req_queues[i] for i in live]
+        for req_q in queues:
             req_q.put(("stop",))
         for proc in self._procs:
-            proc.join()
+            if proc is None:
+                continue
+            proc.join(timeout=60.0)
+            if proc.is_alive():  # wedged (e.g. chaos-stalled): don't hang
+                proc.terminate()
+                proc.join()
+        # Belt and braces: the stop event bounds the supervisor's exit even
+        # if the sentinel can never be delivered (a SIGKILLed worker can die
+        # holding the result queue's shared write lock, wedging every later
+        # writer — including our own feeder thread).
+        self._stop_collecting.set()
         self._res_q.put(("__close__",))
-        self._collector.join()
+        self._collector.join(timeout=max(10.0, 4 * self.poll_interval))
+        # Unblock anyone still waiting on a fleet swap.
         with self._lock:
-            leftovers = list(self._futures.values())
+            for wait in self._swap_waits.values():
+                wait["event"].set()
+            for wait in self._stats_waits.values():
+                wait["event"].set()
+            leftovers = [entry[0] for entry in self._futures.values()]
             self._futures.clear()
-        for future, _ in leftovers:  # only reachable if a worker died
+        for future in leftovers:  # only reachable if a worker died
             if not future.done():
                 future.set_exception(
-                    RuntimeError("WorkerPool closed before the request was served")
+                    WorkerCrashedError(
+                        "WorkerPool closed before the request was served "
+                        "(its worker crashed); the request was not scored"
+                    )
                 )
-        for req_q in self._req_queues:
+        for i, req_q in enumerate(self._req_queues):
+            if self._worker_state.get(i) == _CRASHED:
+                # No reader for whatever is buffered; don't block exit on it.
+                req_q.cancel_join_thread()
             req_q.close()
+        # The only parent-side put is the close sentinel; never let a wedged
+        # feeder (poisoned shared write lock) block interpreter exit on it.
+        self._res_q.cancel_join_thread()
         self._res_q.close()
 
     def __enter__(self) -> "WorkerPool":

@@ -48,6 +48,7 @@ from __future__ import annotations
 import dataclasses
 import queue
 import threading
+import time
 from collections import Counter
 from concurrent.futures import Future
 from dataclasses import dataclass
@@ -55,7 +56,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..exceptions import ServerOverloadedError
+from ..exceptions import DeadlineExceededError, ServerOverloadedError
 from ..fastpath.codetable import warm_serving_pack
 
 # Historical import path: threshold_for_precision grew up here but is a
@@ -128,6 +129,10 @@ class ModelServer:
         servers (and the :class:`~repro.serving.WorkerPool` worker fleet)
         share one page-cache copy of the model instead of one heap copy
         each. Ignored when ``model`` is a live fitted estimator.
+    chaos : :class:`repro.chaos.FaultPlan`, optional
+        Deterministic fault-injection hooks for tests and the chaos
+        benchmark (see :mod:`repro.chaos`); ``None`` (the default)
+        disables every hook.
 
     Attributes
     ----------
@@ -156,12 +161,15 @@ class ModelServer:
         max_pending: int = 4096,
         model_version: str = "v0",
         mmap: bool = False,
+        chaos=None,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if max_pending < 1:
             raise ValueError("max_pending must be >= 1")
         self.mmap = bool(mmap)
+        self._chaos = chaos
+        self.n_deadline_expired_ = 0
         self.max_batch = int(max_batch)
         self.threshold = threshold
         self._queue: "queue.Queue" = queue.Queue(maxsize=int(max_pending))
@@ -289,18 +297,39 @@ class ModelServer:
         return active.version
 
     # ------------------------------------------------------------------ #
-    def submit(self, rows) -> Future:
+    def submit(self, rows, *, deadline: Optional[float] = None) -> Future:
         """Queue rows for scoring; the future resolves to their
-        ``predict_proba`` matrix (columns follow ``model.classes_``)."""
-        return self._enqueue(rows, want_version=False)
+        ``predict_proba`` matrix (columns follow ``model.classes_``).
 
-    def submit_scored(self, rows) -> Future:
+        ``deadline`` is this request's scoring budget in seconds. A
+        request still queued when its deadline expires fails with
+        :class:`~repro.exceptions.DeadlineExceededError` instead of
+        being scored late (an already-expired deadline raises at
+        submission); ``None`` waits indefinitely."""
+        return self._enqueue(rows, want_version=False, deadline=deadline)
+
+    def submit_scored(self, rows, *, deadline: Optional[float] = None) -> Future:
         """Like :meth:`submit`, but the future resolves to a
         :class:`ScoredBatch` carrying the serving ``model_version``."""
-        return self._enqueue(rows, want_version=True)
+        return self._enqueue(rows, want_version=True, deadline=deadline)
 
-    def _enqueue(self, rows, want_version: bool) -> Future:
+    def _resolve_deadline(self, deadline: Optional[float]) -> Optional[float]:
+        """Seconds-from-now budget → absolute ``time.monotonic`` expiry."""
+        if deadline is None:
+            return None
+        deadline = float(deadline)
+        if deadline <= 0:
+            self.n_deadline_expired_ += 1
+            raise DeadlineExceededError(
+                f"deadline of {deadline}s already expired at submission"
+            )
+        return time.monotonic() + deadline
+
+    def _enqueue(
+        self, rows, want_version: bool, deadline: Optional[float] = None
+    ) -> Future:
         rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+        expires_at = self._resolve_deadline(deadline)
         future: Future = Future()
         # Enqueue under the lock: close() also holds it while setting
         # _closed and enqueuing the stop sentinel, so a request can never
@@ -314,7 +343,7 @@ class ModelServer:
                 )
                 self._worker.start()
             try:
-                self._queue.put_nowait((rows, future, want_version))
+                self._queue.put_nowait((rows, future, want_version, expires_at))
             except queue.Full:
                 self.n_overflows_ += 1
                 raise ServerOverloadedError(
@@ -322,6 +351,20 @@ class ModelServer:
                     "back off and retry"
                 ) from None
         return future
+
+    def _expire(self, item) -> bool:
+        """Fail a dequeued request typed if its deadline already passed."""
+        rows_, future, _, expires_at = item
+        if expires_at is not None and time.monotonic() > expires_at:
+            self.n_deadline_expired_ += 1
+            future.set_exception(
+                DeadlineExceededError(
+                    f"request of {len(rows_)} row(s) expired after waiting "
+                    "in the serving queue; not scored"
+                )
+            )
+            return True
+        return False
 
     def _serve_loop(self) -> None:
         carry = None  # dequeued request deferred to the next batch
@@ -332,7 +375,9 @@ class ModelServer:
                 item = self._queue.get()
             if item is _STOP:
                 return
-            batch: List[Tuple[np.ndarray, Future, bool]] = [item]
+            if self._expire(item):
+                continue
+            batch: List[Tuple[np.ndarray, Future, bool, Optional[float]]] = [item]
             total = len(item[0])
             # Coalesce whatever is already queued, up to max_batch rows
             # per kernel call (a single larger request is the only case
@@ -345,15 +390,19 @@ class ModelServer:
                 if nxt is _STOP:
                     self._queue.put(nxt)  # re-deliver the sentinel
                     break
+                if self._expire(nxt):
+                    continue
                 if total + len(nxt[0]) > self.max_batch:
                     carry = nxt  # would overflow the bound: next batch
                     break
                 batch.append(nxt)
                 total += len(nxt[0])
+            if self._chaos is not None:
+                self._chaos.fire("server.batch", count=self.n_batches_ + 1)
             rows = (
                 batch[0][0]
                 if len(batch) == 1
-                else np.vstack([r for r, _, _ in batch])
+                else np.vstack([r for r, _, _, _ in batch])
             )
             # One read of the active record per drained batch: every
             # request in the batch is served by exactly this version,
@@ -362,7 +411,7 @@ class ModelServer:
             try:
                 proba = active.model.predict_proba(rows)
             except BaseException as exc:  # propagate per request
-                for _, future, _ in batch:
+                for _, future, _, _ in batch:
                     future.set_exception(exc)
                 continue
             self.n_batches_ += 1
@@ -371,7 +420,7 @@ class ModelServer:
             self._batch_rows[total] += 1
             self._requests_by_version[active.version] += len(batch)
             offset = 0
-            for req_rows, future, want_version in batch:
+            for req_rows, future, want_version, _ in batch:
                 out = proba[offset : offset + len(req_rows)]
                 future.set_result(
                     ScoredBatch(out, active.version) if want_version else out
@@ -430,6 +479,7 @@ class ModelServer:
             "n_batches": self.n_batches_,
             "n_rows": self.n_rows_,
             "n_overflows": self.n_overflows_,
+            "n_deadline_expired": self.n_deadline_expired_,
             "n_swaps": self.n_swaps_,
             "queue_depth": self._queue.qsize(),
             "batch_size_distribution": {

@@ -1,0 +1,168 @@
+"""The chaos subsystem on its own: :class:`repro.chaos.FaultPlan` must be
+deterministic, stateless at fire time, and surgical about what it damages.
+Faults that would kill the test process are exercised by monkeypatching the
+kill primitive; real process kills live in
+``tests/test_serving_fault_tolerance.py`` and ``benchmarks/bench_chaos.py``."""
+
+import numpy as np
+import pytest
+
+from repro.chaos import (
+    CHAOS_EXIT_CODE,
+    CorruptArtifact,
+    DelayReply,
+    FaultPlan,
+    KillOnSwap,
+    KillWorker,
+    StallSite,
+    StallWorker,
+)
+from repro.exceptions import PersistenceError
+from repro.persistence import load_model, save_model
+from repro.registry import get_classifier, toy_imbalanced_split
+
+
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory):
+    X, y = toy_imbalanced_split()
+    clf = get_classifier("spe", base="tree", n_estimators=5, random_state=0)
+    path = str(tmp_path_factory.mktemp("chaos") / "model.npz")
+    save_model(clf.fit(X, y), path)
+    return path
+
+
+@pytest.fixture()
+def deaths(monkeypatch):
+    """Record would-be process kills instead of executing them."""
+    log = []
+    monkeypatch.setattr(FaultPlan, "_die", staticmethod(log.append))
+    return log
+
+
+class TestFirePlumbing:
+    def test_empty_plan_is_a_noop_everywhere(self):
+        plan = FaultPlan()
+        for site in (
+            "worker.request",
+            "worker.reply",
+            "worker.swap",
+            "server.batch",
+            "gateway.forward",
+        ):
+            plan.fire(site, worker=0, count=1, generation=0)
+        assert plan.fired_ == []
+
+    def test_kill_worker_matches_worker_count_and_generation(self, deaths):
+        plan = FaultPlan([KillWorker(worker=1, after_requests=3)])
+        # Wrong worker, wrong count, wrong generation, wrong site: no kill.
+        plan.fire("worker.request", worker=0, count=3, generation=0)
+        plan.fire("worker.request", worker=1, count=2, generation=0)
+        plan.fire("worker.request", worker=1, count=3, generation=1)
+        plan.fire("worker.reply", worker=1, count=3, generation=0)
+        assert deaths == []
+        plan.fire("worker.request", worker=1, count=3, generation=0)
+        assert len(deaths) == 1
+
+    def test_respawned_generation_sails_past_a_kill_fault(self, deaths):
+        """The supervisor hands respawns generation+1; a one-shot kill
+        fault (generation 0 by default) must not crash-loop them."""
+        plan = FaultPlan([KillWorker(worker=0, after_requests=1)])
+        for count in range(1, 5):
+            plan.fire("worker.request", worker=0, count=count, generation=1)
+        assert deaths == []
+
+    def test_kill_on_swap_fires_on_the_swap_site_only(self, deaths):
+        plan = FaultPlan([KillOnSwap(worker=0, on_swap=1)])
+        plan.fire("worker.request", worker=0, count=1, generation=0)
+        assert deaths == []
+        plan.fire("worker.swap", worker=0, count=1, generation=0)
+        assert len(deaths) == 1
+
+    def test_stalls_and_delays_record_and_sleep(self):
+        plan = FaultPlan(
+            [
+                StallWorker(worker=0, after_requests=2, seconds=0.0),
+                DelayReply(worker=1, after_requests=1, seconds=0.0),
+                StallSite(site="gateway.forward", after_count=2, seconds=0.0),
+            ]
+        )
+        plan.fire("worker.request", worker=0, count=1, generation=0)
+        plan.fire("worker.request", worker=0, count=2, generation=0)
+        plan.fire("worker.reply", worker=1, count=1, generation=0)
+        plan.fire("gateway.forward", count=1)
+        plan.fire("gateway.forward", count=2)
+        assert plan.fired_ == [
+            ("stall", "worker.request", 0, 2),
+            ("delay", "worker.reply", 1, 1),
+            ("stall", "gateway.forward", None, 2),
+        ]
+
+    def test_stall_with_generation_none_hits_every_incarnation(self):
+        plan = FaultPlan([StallWorker(worker=0, after_requests=1, seconds=0.0)])
+        plan.fire("worker.request", worker=0, count=1, generation=0)
+        plan.fire("worker.request", worker=0, count=1, generation=3)
+        assert len(plan.fired_) == 2
+
+    def test_plan_is_plain_data(self):
+        plan = FaultPlan([KillWorker(worker=0, after_requests=1)], seed=7)
+        assert isinstance(plan.faults, tuple)
+        assert "KillWorker" in repr(plan) and "seed=7" in repr(plan)
+        assert CHAOS_EXIT_CODE == 86
+        with pytest.raises(Exception):
+            plan.faults[0].worker = 2  # frozen dataclass
+
+
+class TestCorruptArtifact:
+    def test_same_seed_same_offset_and_xor_roundtrip(self, artifact, tmp_path):
+        import shutil
+
+        copy = str(tmp_path / "copy.npz")
+        shutil.copy(artifact, copy)
+        original = open(copy, "rb").read()
+
+        offset_a = FaultPlan(seed=3).corrupt(copy)
+        assert open(copy, "rb").read() != original
+        offset_b = FaultPlan(seed=3).corrupt(copy)  # same seed: same byte
+        assert offset_a == offset_b
+        assert open(copy, "rb").read() == original  # XOR twice = restored
+
+    @pytest.mark.parametrize("mmap_mode", [None, "r"])
+    def test_corruption_is_caught_by_load_model(
+        self, artifact, tmp_path, mmap_mode
+    ):
+        """The seeded flip lands in real array payload bytes, so the
+        artifact checksum catches it in both load modes — never a clean
+        load of damaged data."""
+        import shutil
+
+        copy = str(tmp_path / f"bad-{mmap_mode}.npz")
+        shutil.copy(artifact, copy)
+        FaultPlan(seed=0).corrupt(copy)
+        with pytest.raises(PersistenceError):
+            load_model(copy, mmap_mode=mmap_mode)
+
+    def test_explicit_offset_is_honoured_and_bounds_checked(
+        self, artifact, tmp_path
+    ):
+        import shutil
+
+        copy = str(tmp_path / "explicit.npz")
+        shutil.copy(artifact, copy)
+        plan = FaultPlan([CorruptArtifact(offset=100)])
+        assert plan.corrupt(copy) == 100
+        out_of_range = FaultPlan(
+            [CorruptArtifact(offset=10**9)]
+        )
+        with pytest.raises(ValueError, match="outside"):
+            out_of_range.corrupt(copy)
+
+    def test_loadable_after_double_flip(self, artifact, tmp_path):
+        import shutil
+
+        copy = str(tmp_path / "healed.npz")
+        shutil.copy(artifact, copy)
+        X, _ = toy_imbalanced_split()
+        expected = load_model(artifact).predict_proba(X)
+        FaultPlan(seed=1).corrupt(copy)
+        FaultPlan(seed=1).corrupt(copy)
+        assert np.array_equal(load_model(copy).predict_proba(X), expected)

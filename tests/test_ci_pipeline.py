@@ -91,6 +91,7 @@ class TestWorkflowFile:
         assert "BENCH_fastpath.json" in paths
         assert "BENCH_serving.json" in paths
         assert "BENCH_monitoring.json" in paths
+        assert "BENCH_chaos.json" in paths
 
     def test_bench_smoke_runs_fastpath_bench(self, makefile_text):
         smoke = makefile_text.split("bench-smoke:")[1].split("\n\n")[0]
@@ -104,8 +105,15 @@ class TestWorkflowFile:
         smoke = makefile_text.split("bench-smoke:")[1].split("\n\n")[0]
         assert "bench_monitoring.py" in smoke
 
+    def test_bench_smoke_runs_chaos_bench(self, makefile_text):
+        smoke = makefile_text.split("bench-smoke:")[1].split("\n\n")[0]
+        assert "bench_chaos.py" in smoke
+
     def test_bench_monitoring_target_exists(self, makefile_text):
         assert "bench-monitoring:" in makefile_text
+
+    def test_bench_chaos_target_exists(self, makefile_text):
+        assert "bench-chaos:" in makefile_text
 
     def test_coverage_job_is_informational(self, workflow):
         assert workflow["jobs"]["coverage"].get("continue-on-error") is True
@@ -124,6 +132,7 @@ class TestMarkersRegistered:
         assert "[tool.pytest.ini_options]" in pyproject
         assert re.search(r'"slow:', pyproject)
         assert re.search(r'"bench:', pyproject)
+        assert re.search(r'"chaos:', pyproject)
 
     def test_slow_marker_applied_to_experiment_tests(self):
         for name in (
@@ -144,6 +153,7 @@ class TestMarkersRegistered:
         registered = "\n".join(pytestconfig.getini("markers"))
         assert "slow:" in registered
         assert "bench:" in registered
+        assert "chaos:" in registered
 
 
 class TestRegistryCompleteness:

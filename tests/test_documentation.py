@@ -59,6 +59,25 @@ class TestReadmeSnippets:
         assert "pool" in namespace and "versions" in namespace
         assert namespace["versions"] == {"v2"}
 
+    def test_when_things_break_block_runs(self):
+        """Execute the README's fault-tolerance example verbatim: a pool
+        worker is SIGKILLed, the supervisor respawns it, the crash is
+        accounted in stats, and a deadline-bounded request still scores
+        through the healed fleet."""
+        readme = (REPO_ROOT / "README.md").read_text()
+        blocks = re.findall(r"```python\n(.*?)```", readme, flags=re.DOTALL)
+        break_blocks = [
+            b for b in blocks if "wait_healthy" in b and "worker_pids" in b
+        ]
+        assert break_blocks, "README must contain a when-things-break block"
+        namespace = {}
+        exec(
+            compile(break_blocks[0], "<README when-things-break>", "exec"),
+            namespace,
+        )
+        assert namespace["stats"]["n_respawns"] >= 1
+        assert namespace["proba"].shape == (8, 2)
+
     def test_keep_it_fresh_block_runs(self):
         """Execute the README's monitoring/lifecycle example verbatim: a
         registered champion is served, drifted traffic is monitored, and

@@ -1,9 +1,9 @@
 #!/usr/bin/env python
 """Consolidate the BENCH_*.json artifacts into one trajectory report.
 
-``make bench-smoke`` writes five independent JSON artifacts (parallel
+``make bench-smoke`` writes six independent JSON artifacts (parallel
 scaling, streaming memory, fastpath speedups, serving latency, monitoring
-overhead). This tool flattens them into a single markdown document —
+overhead, chaos SLOs). This tool flattens them into a single markdown document —
 ``BENCH_report.md`` at the repo root — with a headline table up top (the
 numbers each benchmark itself calls out) and a full flattened metric
 appendix, so one file tracks the whole performance trajectory across
@@ -32,6 +32,7 @@ ARTIFACTS = (
     "BENCH_fastpath.json",
     "BENCH_serving.json",
     "BENCH_monitoring.json",
+    "BENCH_chaos.json",
 )
 
 #: Top-level keys that are configuration, not measured metrics.
