@@ -55,13 +55,17 @@ from .exceptions import (
     ConvergenceWarning,
     DataValidationError,
     DeadlineExceededError,
+    FleetTimeoutError,
     NotEnoughSamplesError,
     NotFittedError,
     PersistenceError,
     RegistryError,
     ReproError,
+    ServerClosedError,
     ServerOverloadedError,
+    SwapFailedError,
     UndefinedMetricWarning,
+    UnsupportedPlatformError,
     WorkerCrashedError,
 )
 
@@ -98,13 +102,17 @@ __all__ = [
     "ConvergenceWarning",
     "DataValidationError",
     "DeadlineExceededError",
+    "FleetTimeoutError",
     "NotEnoughSamplesError",
     "NotFittedError",
     "PersistenceError",
     "RegistryError",
     "ReproError",
+    "ServerClosedError",
     "ServerOverloadedError",
+    "SwapFailedError",
     "UndefinedMetricWarning",
+    "UnsupportedPlatformError",
     "WorkerCrashedError",
     "__version__",
 ]

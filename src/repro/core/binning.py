@@ -39,6 +39,7 @@ class HardnessBins:
 
     @property
     def k(self) -> int:
+        """Number of hardness bins."""
         return len(self.populations)
 
     @property

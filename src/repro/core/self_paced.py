@@ -522,6 +522,7 @@ class SelfPacedEnsembleClassifier(
         return self.estimators_[1:]
 
     def predict_proba(self, X) -> np.ndarray:
+        """Class probabilities, columns ordered by ``classes_``."""
         check_is_fitted(self, ["estimators_"])
         X = check_array(X)
         internal = ensemble_predict_proba(
@@ -535,6 +536,7 @@ class SelfPacedEnsembleClassifier(
         return self._decode_proba(internal)
 
     def predict(self, X) -> np.ndarray:
+        """Predicted class labels for ``X``."""
         proba = self.predict_proba(X)
         return self.classes_[np.argmax(proba, axis=1)]
 

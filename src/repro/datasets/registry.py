@@ -42,14 +42,17 @@ class Dataset:
 
     @property
     def n_samples(self) -> int:
+        """Number of rows."""
         return len(self.y)
 
     @property
     def n_features(self) -> int:
+        """Number of features."""
         return self.X.shape[1]
 
     @property
     def imbalance_ratio(self) -> float:
+        """Majority-over-minority class size ratio."""
         return imbalance_ratio(self.y)
 
     def as_source(self, block_size: Optional[int] = None):

@@ -74,6 +74,7 @@ class AdaBoostClassifier(BaseEstimator, ClassifierMixin):
         return model
 
     def fit(self, X, y) -> "AdaBoostClassifier":
+        """Fit on ``X``, ``y``; returns ``self``."""
         if self.algorithm not in ("SAMME", "SAMME.R"):
             raise ValueError(f"Unknown algorithm {self.algorithm!r}")
         if self.n_estimators < 1:
@@ -155,6 +156,7 @@ class AdaBoostClassifier(BaseEstimator, ClassifierMixin):
         return scores
 
     def predict_proba(self, X) -> np.ndarray:
+        """Class probabilities, columns ordered by ``classes_``."""
         scores = self.decision_scores(X)
         K = len(self.classes_)
         if K == 1:
@@ -174,6 +176,7 @@ class AdaBoostClassifier(BaseEstimator, ClassifierMixin):
         return e / e.sum(axis=1, keepdims=True)
 
     def predict(self, X) -> np.ndarray:
+        """Predicted class labels for ``X``."""
         scores = self.decision_scores(X)
         return self.classes_[np.argmax(scores, axis=1)]
 

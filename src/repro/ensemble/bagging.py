@@ -114,6 +114,7 @@ class BaggingClassifier(BaseEstimator, ClassifierMixin):
         self.random_state = random_state
 
     def fit(self, X, y) -> "BaggingClassifier":
+        """Fit on ``X``, ``y``; returns ``self``."""
         if self.n_estimators < 1:
             raise ValueError("n_estimators must be >= 1")
         if not 0.0 < self.max_samples <= 1.0:
@@ -146,6 +147,7 @@ class BaggingClassifier(BaseEstimator, ClassifierMixin):
         return self
 
     def predict_proba(self, X) -> np.ndarray:
+        """Class probabilities, columns ordered by ``classes_``."""
         check_is_fitted(self, ["estimators_"])
         X = check_array(X)
         return ensemble_predict_proba(
@@ -157,6 +159,7 @@ class BaggingClassifier(BaseEstimator, ClassifierMixin):
         )
 
     def predict(self, X) -> np.ndarray:
+        """Predicted class labels for ``X``."""
         proba = self.predict_proba(X)
         return self.classes_[np.argmax(proba, axis=1)]
 

@@ -89,6 +89,7 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
         self.random_state = random_state
 
     def fit(self, X, y) -> "RandomForestClassifier":
+        """Fit on ``X``, ``y``; returns ``self``."""
         if self.n_estimators < 1:
             raise ValueError("n_estimators must be >= 1")
         X, y = check_X_y(X, y)
@@ -128,6 +129,7 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
         return self
 
     def predict_proba(self, X) -> np.ndarray:
+        """Class probabilities, columns ordered by ``classes_``."""
         check_is_fitted(self, ["estimators_"])
         X = check_array(X)
         return ensemble_predict_proba(
@@ -139,6 +141,7 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
         )
 
     def predict(self, X) -> np.ndarray:
+        """Predicted class labels for ``X``."""
         proba = self.predict_proba(X)
         return self.classes_[np.argmax(proba, axis=1)]
 
@@ -162,6 +165,7 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
 
     @property
     def feature_importances_(self) -> np.ndarray:
+        """Impurity-decrease importances, normalised to sum to 1."""
         check_is_fitted(self, ["estimators_"])
         importances = np.mean(
             [tree.feature_importances_ for tree in self.estimators_], axis=0

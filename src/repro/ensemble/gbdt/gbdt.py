@@ -64,6 +64,7 @@ class GradientBoostingClassifier(BaseEstimator, ClassifierMixin):
         self.random_state = random_state
 
     def fit(self, X, y, sample_weight=None, eval_set: Optional[Tuple] = None):
+        """Fit on ``X``/``y`` (optional weights/eval set); returns ``self``."""
         if not 0.0 < self.subsample <= 1.0:
             raise ValueError("subsample must be in (0, 1]")
         X, y = check_X_y(X, y)
@@ -139,6 +140,7 @@ class GradientBoostingClassifier(BaseEstimator, ClassifierMixin):
         return self
 
     def decision_function(self, X) -> np.ndarray:
+        """Real-valued scores for the positive class."""
         check_is_fitted(self, ["trees_"])
         X = check_array(X)
         raw = np.full(X.shape[0], self.init_score_)
@@ -158,6 +160,7 @@ class GradientBoostingClassifier(BaseEstimator, ClassifierMixin):
     def predict_proba(self, X) -> np.ndarray:
         # Fitted check before touching classes_, so an unfitted model raises
         # the uniform NotFittedError rather than a bare AttributeError.
+        """Class probabilities, columns ordered by ``classes_``."""
         check_is_fitted(self, ["trees_"])
         if len(self.classes_) == 1:
             X = check_array(X)
@@ -166,6 +169,7 @@ class GradientBoostingClassifier(BaseEstimator, ClassifierMixin):
         return np.column_stack([1.0 - p1, p1])
 
     def predict(self, X) -> np.ndarray:
+        """Predicted class labels for ``X``."""
         proba = self.predict_proba(X)
         return self.classes_[np.argmax(proba, axis=1)]
 

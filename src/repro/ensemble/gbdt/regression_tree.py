@@ -71,6 +71,7 @@ class GradientRegressionTree:
         hess: np.ndarray,
         binner: FeatureBinner,
     ) -> "GradientRegressionTree":
+        """Fit on binned features and grad/hess targets; returns ``self``."""
         lam = self.reg_lambda
         arrays = _Arrays()
         stack = [_Node(np.arange(X_binned.shape[0]), 0, _LEAF, False)]
@@ -152,6 +153,7 @@ class GradientRegressionTree:
 
     @property
     def node_count(self) -> int:
+        """Number of nodes in the fitted tree."""
         return len(self.feature_)
 
     # ------------------------------------------------------------------ #

@@ -44,6 +44,33 @@ class DeadlineExceededError(ReproError, TimeoutError):
     late; a request that got this error was never scored."""
 
 
+class ServerClosedError(ReproError, RuntimeError):
+    """Raised when a request reaches a serving component —
+    :class:`repro.serving.ModelServer`, :class:`repro.serving.WorkerPool`,
+    or :class:`repro.serving.AsyncGateway` — after its ``close()``.
+    Subclasses ``RuntimeError`` so pre-typed callers keep working."""
+
+
+class UnsupportedPlatformError(ReproError, RuntimeError):
+    """Raised when the platform cannot provide a capability a component
+    requires — e.g. :class:`repro.serving.WorkerPool` needs the ``fork``
+    start method for zero-copy model inheritance."""
+
+
+class SwapFailedError(ReproError, RuntimeError):
+    """Raised when a fleet-wide :meth:`repro.serving.WorkerPool.swap_model`
+    broadcast failed on one or more workers for *heterogeneous* reasons.
+    When every failing worker reported the same exception type, that type
+    is re-raised directly instead."""
+
+
+class FleetTimeoutError(ReproError, TimeoutError):
+    """Raised when a fleet-wide wait — swap acknowledgement, stats
+    collection, or :meth:`repro.serving.WorkerPool.wait_healthy` — did
+    not complete within its timeout. Subclasses ``TimeoutError`` so
+    pre-typed callers keep working."""
+
+
 class CircuitOpenError(ReproError, RuntimeError):
     """Raised by :class:`repro.serving.AsyncGateway` while its circuit
     breaker is open: the backend has been crashing or overloaded for long

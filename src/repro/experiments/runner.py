@@ -92,6 +92,7 @@ class MethodRun:
     fit_seconds: List[float] = field(default_factory=list)
 
     def summary(self, metric_names: Sequence[str]) -> Dict[str, str]:
+        """``mean±std`` strings for ``metric_names`` plus ``#Sample``."""
         out = {m: mean_std(self.metrics.get(m, [])) for m in metric_names}
         out["#Sample"] = (
             str(int(np.mean(self.n_training_samples))) if self.n_training_samples else "-"
@@ -178,6 +179,7 @@ class MatrixResult:
     metric_names: Tuple[str, ...]
 
     def rows(self) -> List[List[str]]:
+        """Table rows (one per run) backing :meth:`render`."""
         out = []
         for run in self.runs:
             summary = run.summary(self.metric_names)
@@ -189,16 +191,19 @@ class MatrixResult:
         return out
 
     def render(self, title: str = "") -> str:
+        """Render the result matrix as an aligned text table."""
         headers = ["Classifier", "Method", *self.metric_names, "#Sample"]
         return render_table(headers, self.rows(), title=title)
 
     def get(self, classifier: str, method: str) -> MethodRun:
+        """The :class:`MethodRun` recorded for ``(classifier, method)``."""
         for run in self.runs:
             if run.classifier == classifier and run.method == method:
                 return run
         raise KeyError(f"No run for ({classifier!r}, {method!r})")
 
     def mean(self, classifier: str, method: str, metric: str) -> float:
+        """Mean of ``metric`` over the run's repeats."""
         return float(np.mean(self.get(classifier, method).metrics[metric]))
 
 

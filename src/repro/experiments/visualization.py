@@ -97,13 +97,16 @@ class RecordingClassifier(BaseEstimator, ClassifierMixin):
 
     @staticmethod
     def get_log(key: str) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Recorded per-fit log entries."""
         return _FIT_LOGS.get(key, [])
 
     @staticmethod
     def clear_log(key: str) -> None:
+        """Drop every recorded log entry."""
         _FIT_LOGS.pop(key, None)
 
     def fit(self, X, y):
+        """Fit on ``X``, ``y``; returns ``self``."""
         _FIT_LOGS.setdefault(self.log_key, []).append(
             (np.array(X, copy=True), np.array(y, copy=True))
         )
@@ -113,9 +116,11 @@ class RecordingClassifier(BaseEstimator, ClassifierMixin):
         return self
 
     def predict(self, X):
+        """Predicted class labels for ``X``."""
         check_is_fitted(self, ["model_"])
         return self.model_.predict(X)
 
     def predict_proba(self, X):
+        """Class probabilities, columns ordered by ``classes_``."""
         check_is_fitted(self, ["model_"])
         return self.model_.predict_proba(X)

@@ -101,13 +101,16 @@ class SharedBinContext:
 
     @property
     def n_rows(self) -> int:
+        """Number of training rows."""
         return self.X.shape[0]
 
     @property
     def n_features(self) -> int:
+        """Number of features."""
         return self.X.shape[1]
 
     def view(self, rows: np.ndarray) -> "BinnedSubset":
+        """A :class:`BinnedSubset` view of ``rows`` (fit-time only)."""
         if self.codes is None:
             raise ValueError(
                 "This SharedBinContext was unpickled and carries only its "
@@ -118,6 +121,7 @@ class SharedBinContext:
         return BinnedSubset(self, np.asarray(rows, dtype=np.int64))
 
     def all_rows(self) -> "BinnedSubset":
+        """A view covering every training row."""
         return self.view(np.arange(self.n_rows, dtype=np.int64))
 
     def __getstate__(self):
@@ -165,12 +169,14 @@ class BinnedSubset:
 
     @property
     def shape(self):
+        """``(n_rows, n_features)`` of this view."""
         return (len(self.rows), self.bin_context.n_features)
 
     def __getitem__(self, index) -> "BinnedSubset":
         return BinnedSubset(self.bin_context, self.rows[index])
 
     def concat(self, other: "BinnedSubset") -> "BinnedSubset":
+        """Concatenation with ``other`` (same shared context)."""
         if other.bin_context is not self.bin_context:
             raise ValueError("cannot concat views from different bin contexts")
         return BinnedSubset(

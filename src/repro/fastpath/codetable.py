@@ -113,9 +113,11 @@ class CodeTable:
         return cls(forest, binner, table, strides)
 
     def cell_ids(self, codes: np.ndarray) -> np.ndarray:
+        """Flat cell ids for bin-code rows, via the stride vector."""
         return codes.astype(np.int64) @ self.strides
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Class probabilities, columns ordered by ``classes_``."""
         codes = self.binner.transform(X)
         return self.table[self.cell_ids(codes)]
 

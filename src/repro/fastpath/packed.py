@@ -126,10 +126,12 @@ class PackedForest:
 
     @property
     def n_trees(self) -> int:
+        """Number of packed trees."""
         return len(self.roots)
 
     @property
     def n_classes(self) -> int:
+        """Number of classes."""
         return self.value.shape[1]
 
     # ------------------------------------------------------------------ #
@@ -258,6 +260,7 @@ class PackedForest:
         return total / self.n_trees
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Class probabilities, columns ordered by ``classes_``."""
         return self.proba_from_leaves(self.apply(X))
 
 

@@ -196,6 +196,7 @@ class BaseImbalanceEnsemble(BaseEstimator, ClassifierMixin, BinaryLabelEncoderMi
         )
 
     def predict_proba(self, X) -> np.ndarray:
+        """Class probabilities, columns ordered by ``classes_``."""
         check_is_fitted(self, ["estimators_"])
         X = check_array(X)
         internal = ensemble_predict_proba(
@@ -208,6 +209,7 @@ class BaseImbalanceEnsemble(BaseEstimator, ClassifierMixin, BinaryLabelEncoderMi
         return self._decode_proba(internal)
 
     def predict(self, X) -> np.ndarray:
+        """Predicted class labels for ``X``."""
         proba = self.predict_proba(X)
         return self.classes_[np.argmax(proba, axis=1)]
 
@@ -259,6 +261,7 @@ class ResampleEnsembleClassifier(BaseImbalanceEnsemble):
         self.random_state = random_state
 
     def fit(self, X, y) -> "ResampleEnsembleClassifier":
+        """Fit on ``X``, ``y``; returns ``self``."""
         if self.sampler is None:
             raise ValueError("ResampleEnsembleClassifier requires a sampler")
         X, y, rng = self._validate(X, y)

@@ -91,6 +91,7 @@ class EasyEnsembleClassifier(BaseImbalanceEnsemble):
         )
 
     def fit(self, X, y) -> "EasyEnsembleClassifier":
+        """Fit on ``X``, ``y``; returns ``self``."""
         make_model = self._member_factory()
         X, y, rng = self._validate(X, y)
         if self.shared_binning:

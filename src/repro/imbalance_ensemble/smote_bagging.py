@@ -70,6 +70,7 @@ class SMOTEBaggingClassifier(BaseImbalanceEnsemble):
         self.random_state = random_state
 
     def fit(self, X, y) -> "SMOTEBaggingClassifier":
+        """Fit on ``X``, ``y``; returns ``self``."""
         X, y, rng = self._validate(X, y)
         self.estimators_, self.n_training_samples_ = fit_resampled_ensemble(
             X,

@@ -44,6 +44,7 @@ class SMOTEBoostClassifier(BaseImbalanceEnsemble):
         self.random_state = random_state
 
     def fit(self, X, y) -> "SMOTEBoostClassifier":
+        """Fit on ``X``, ``y``; returns ``self``."""
         X, y, rng = self._validate(X, y)
         n = len(y)
         min_idx = np.flatnonzero(y == 1)
@@ -104,6 +105,7 @@ class SMOTEBoostClassifier(BaseImbalanceEnsemble):
     __serving_ensemble__ = None
 
     def predict_proba(self, X) -> np.ndarray:
+        """Class probabilities, columns ordered by ``classes_``."""
         check_is_fitted(self, ["estimators_"])
         X = check_array(X)
         votes = np.zeros((X.shape[0], 2))
@@ -115,6 +117,7 @@ class SMOTEBoostClassifier(BaseImbalanceEnsemble):
         return self._decode_proba(votes / totals)
 
     def predict(self, X) -> np.ndarray:
+        """Predicted class labels for ``X``."""
         proba = self.predict_proba(X)
         return self.classes_[np.argmax(proba, axis=1)]
 

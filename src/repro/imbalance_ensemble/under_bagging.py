@@ -44,6 +44,7 @@ class UnderBaggingClassifier(BaseImbalanceEnsemble):
         self.random_state = random_state
 
     def fit(self, X, y) -> "UnderBaggingClassifier":
+        """Fit on ``X``, ``y``; returns ``self``."""
         X, y, rng = self._validate(X, y)
         if self.shared_binning:
             check_shared_binning_backend(self.backend)

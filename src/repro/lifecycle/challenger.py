@@ -45,6 +45,7 @@ class ShadowResult:
 
     @property
     def lift(self) -> float:
+        """Challenger score minus champion score."""
         return self.challenger_score - self.champion_score
 
 

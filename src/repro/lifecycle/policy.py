@@ -75,4 +75,5 @@ class RetrainPolicy:
         return action
 
     def reset(self) -> None:
+        """Clear the retrain cooldown state."""
         self._cooldown_left = 0

@@ -174,6 +174,7 @@ class ArtifactRegistry:
         return entry
 
     def path(self, version: str) -> str:
+        """Absolute path of ``version``'s artifact file."""
         return os.path.join(self.root, self._entry(version)["file"])
 
     def describe(self, version: str) -> Dict:
@@ -191,6 +192,7 @@ class ArtifactRegistry:
 
     @property
     def latest(self) -> Optional[str]:
+        """Most recent version id, or ``None`` when empty."""
         versions = self.versions()
         return versions[-1] if versions else None
 
@@ -200,6 +202,7 @@ class ArtifactRegistry:
         return self._manifest.get("champion")
 
     def set_champion(self, version: str) -> None:
+        """Validate ``version`` and repoint the champion at it."""
         self._entry(version)  # validate
         self._manifest["champion"] = version
         self._write_manifest()

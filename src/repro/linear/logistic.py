@@ -45,6 +45,7 @@ class LogisticRegression(BaseEstimator, ClassifierMixin):
         self.fit_intercept = fit_intercept
 
     def fit(self, X, y, sample_weight=None) -> "LogisticRegression":
+        """Fit on ``X``, ``y``, ``sample_weight``; returns ``self``."""
         if self.C <= 0:
             raise ValueError("C must be positive")
         X, y = check_X_y(X, y)
@@ -100,11 +101,13 @@ class LogisticRegression(BaseEstimator, ClassifierMixin):
         return self
 
     def decision_function(self, X) -> np.ndarray:
+        """Real-valued scores for the positive class."""
         check_is_fitted(self, ["coef_"])
         X = check_array(X)
         return X @ self.coef_ + self.intercept_
 
     def predict_proba(self, X) -> np.ndarray:
+        """Class probabilities, columns ordered by ``classes_``."""
         if getattr(self, "_single_class", False):
             X = check_array(X)
             proba = np.ones((X.shape[0], 1))
@@ -113,6 +116,7 @@ class LogisticRegression(BaseEstimator, ClassifierMixin):
         return np.column_stack([1.0 - p1, p1])
 
     def predict(self, X) -> np.ndarray:
+        """Predicted class labels for ``X``."""
         proba = self.predict_proba(X)
         return self.classes_[np.argmax(proba, axis=1)]
 

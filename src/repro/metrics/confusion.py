@@ -47,10 +47,12 @@ class BinaryConfusion(NamedTuple):
 
     @property
     def n_positive(self) -> int:
+        """Number of positive-class rows (TP + FN)."""
         return self.tp + self.fn
 
     @property
     def n_negative(self) -> int:
+        """Number of negative-class rows (TN + FP)."""
         return self.fp + self.tn
 
 

@@ -105,6 +105,7 @@ class KFold:
         self.random_state = random_state
 
     def split(self, X, y=None) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(train_idx, test_idx)`` pairs for each fold."""
         n = len(X)
         if n < self.n_splits:
             raise DataValidationError(
@@ -131,6 +132,7 @@ class StratifiedKFold:
         self.random_state = random_state
 
     def split(self, X, y) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield stratified ``(train_idx, test_idx)`` pairs."""
         y = column_or_1d(y)
         rng = check_random_state(self.random_state)
         fold_of = np.empty(len(y), dtype=int)

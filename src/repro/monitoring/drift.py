@@ -92,6 +92,7 @@ class DriftReport:
 
     @property
     def drifted(self) -> bool:
+        """True when this report's level is ALARM."""
         return self.level is DriftLevel.ALARM
 
     def __str__(self) -> str:  # compact log line
@@ -259,6 +260,7 @@ class FeatureDriftDetector:
         self.ks_alarm = float(ks_alarm)
 
     def check(self, X_window) -> DriftReport:
+        """PSI + KS of ``X_window`` against the reference sketch."""
         window_counts = self.sketch.histogram(X_window)
         psi = np.empty(self.sketch.n_features_)
         ks = np.empty(self.sketch.n_features_)
@@ -405,6 +407,7 @@ class PrevalenceShiftDetector:
         self.alarm_z = float(alarm_z)
 
     def check(self, y_window) -> DriftReport:
+        """Two-proportion z-test of window prevalence vs the reference."""
         y = np.atleast_1d(np.asarray(y_window)).astype(np.int64)
         p0 = self.reference_prevalence
         if y.size == 0:

@@ -251,6 +251,7 @@ class DriftMonitor:
         return reports
 
     def worst_level(self) -> DriftLevel:
+        """Highest drift level over all detectors' current reports."""
         return max((r.level for r in self.check()), default=DriftLevel.OK)
 
     def reset_after_swap(self) -> None:

@@ -62,9 +62,11 @@ class RingWindow:
 
     @property
     def full(self) -> bool:
+        """True once the window holds ``capacity`` rows."""
         return self._filled == self.capacity
 
     def extend(self, rows) -> None:
+        """Append ``rows``, evicting the oldest once at capacity."""
         rows = np.asarray(rows, dtype=self._data.dtype)
         if rows.ndim == self._data.ndim - 1:
             rows = rows[None]
@@ -92,6 +94,7 @@ class RingWindow:
         return np.concatenate([self._data[self._pos :], self._data[: self._pos]])
 
     def clear(self) -> None:
+        """Empty the window."""
         self._pos = 0
         self._filled = 0
 
@@ -132,6 +135,7 @@ class PrequentialEvaluator:
     # ------------------------------------------------------------------ #
     @property
     def window_size(self) -> int:
+        """Capacity of the sliding evaluation window."""
         return self._scores.capacity
 
     @property

@@ -21,6 +21,7 @@ class NearestNeighbors(BaseEstimator):
         self.metric = metric
 
     def fit(self, X, y=None) -> "NearestNeighbors":
+        """Fit on ``X``, ``y``; returns ``self``."""
         self._fit_X = check_array(X)
         self.n_samples_fit_ = self._fit_X.shape[0]
         return self
@@ -64,6 +65,7 @@ class KNeighborsClassifier(BaseEstimator, ClassifierMixin):
         self.metric = metric
 
     def fit(self, X, y) -> "KNeighborsClassifier":
+        """Fit on ``X``, ``y``; returns ``self``."""
         if self.weights not in ("uniform", "distance"):
             raise ValueError(f"Unknown weights {self.weights!r}")
         X, y = check_X_y(X, y)
@@ -94,11 +96,13 @@ class KNeighborsClassifier(BaseEstimator, ClassifierMixin):
         return proba / totals
 
     def predict_proba(self, X) -> np.ndarray:
+        """Class probabilities, columns ordered by ``classes_``."""
         check_is_fitted(self, ["_fit_X"])
         X = check_array(X)
         return self._vote(X)
 
     def predict(self, X) -> np.ndarray:
+        """Predicted class labels for ``X``."""
         proba = self.predict_proba(X)
         return self.classes_[np.argmax(proba, axis=1)]
 

@@ -109,6 +109,7 @@ class MLPClassifier(BaseEstimator, ClassifierMixin):
 
     # ------------------------------------------------------------------ #
     def fit(self, X, y) -> "MLPClassifier":
+        """Fit on ``X``, ``y``; returns ``self``."""
         if self.activation not in ACTIVATIONS:
             raise ValueError(
                 f"Unknown activation {self.activation!r}; "
@@ -168,6 +169,7 @@ class MLPClassifier(BaseEstimator, ClassifierMixin):
         return self
 
     def predict_proba(self, X) -> np.ndarray:
+        """Class probabilities, columns ordered by ``classes_``."""
         check_is_fitted(self, ["_weights"])
         X = check_array(X)
         activations, _ = self._forward(X)
@@ -177,6 +179,7 @@ class MLPClassifier(BaseEstimator, ClassifierMixin):
         return proba[:, : len(self.classes_)]
 
     def predict(self, X) -> np.ndarray:
+        """Predicted class labels for ``X``."""
         proba = self.predict_proba(X)
         return self.classes_[np.argmax(proba, axis=1)]
 

@@ -19,6 +19,7 @@ class SGDOptimizer:
         self.velocities = [np.zeros_like(p) for p in params]
 
     def step(self, grads: List[np.ndarray]) -> None:
+        """Apply one gradient update to the parameters."""
         for p, g, v in zip(self.params, grads, self.velocities):
             v *= self.momentum
             v -= self.lr * g
@@ -46,6 +47,7 @@ class AdamOptimizer:
         self.t = 0
 
     def step(self, grads: List[np.ndarray]) -> None:
+        """Apply one Adam update to the parameters."""
         self.t += 1
         bias1 = 1.0 - self.beta1**self.t
         bias2 = 1.0 - self.beta2**self.t

@@ -33,6 +33,7 @@ class OrdinalEncoder(BaseEstimator):
         self.unknown_value = unknown_value
 
     def fit(self, X, y=None) -> "OrdinalEncoder":
+        """Fit on ``X``, ``y``; returns ``self``."""
         X = _to_object_2d(X)
         self.categories_: List[np.ndarray] = []
         for j in range(X.shape[1]):
@@ -41,6 +42,7 @@ class OrdinalEncoder(BaseEstimator):
         return self
 
     def transform(self, X) -> np.ndarray:
+        """Encode categories of ``X`` as ordinal codes."""
         check_is_fitted(self, ["categories_"])
         X = _to_object_2d(X)
         if X.shape[1] != self.n_features_in_:
@@ -56,9 +58,11 @@ class OrdinalEncoder(BaseEstimator):
         return out
 
     def fit_transform(self, X, y=None) -> np.ndarray:
+        """Fit to the data, then transform it in one call."""
         return self.fit(X, y).transform(X)
 
     def inverse_transform(self, X) -> np.ndarray:
+        """Map ordinal codes back to original categories."""
         check_is_fitted(self, ["categories_"])
         X = np.asarray(X)
         out = np.empty(X.shape, dtype=object)
@@ -81,6 +85,7 @@ class OneHotEncoder(BaseEstimator):
         self.drop_first = drop_first
 
     def fit(self, X, y=None) -> "OneHotEncoder":
+        """Fit on ``X``, ``y``; returns ``self``."""
         X = _to_object_2d(X)
         self.categories_: List[np.ndarray] = []
         for j in range(X.shape[1]):
@@ -93,6 +98,7 @@ class OneHotEncoder(BaseEstimator):
         return self
 
     def transform(self, X) -> np.ndarray:
+        """One-hot encode ``X`` with the fitted categories."""
         check_is_fitted(self, ["categories_"])
         X = _to_object_2d(X)
         start = 1 if self.drop_first else 0
@@ -107,4 +113,5 @@ class OneHotEncoder(BaseEstimator):
         return np.hstack(blocks) if blocks else np.empty((X.shape[0], 0))
 
     def fit_transform(self, X, y=None) -> np.ndarray:
+        """Fit to the data, then transform it in one call."""
         return self.fit(X, y).transform(X)

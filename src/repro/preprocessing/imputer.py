@@ -26,6 +26,7 @@ class SimpleImputer(BaseEstimator):
         self.fill_value = fill_value
 
     def fit(self, X, y=None) -> "SimpleImputer":
+        """Fit on ``X``, ``y``; returns ``self``."""
         if self.strategy not in _STRATEGIES:
             raise ValueError(
                 f"Unknown strategy {self.strategy!r}; expected one of {_STRATEGIES}"
@@ -58,6 +59,7 @@ class SimpleImputer(BaseEstimator):
         return self
 
     def transform(self, X) -> np.ndarray:
+        """Fill missing values in ``X`` with the fitted statistics."""
         check_is_fitted(self, ["statistics_"])
         X = check_array(X, allow_nan=True, copy=True)
         if X.shape[1] != self.n_features_in_:
@@ -71,4 +73,5 @@ class SimpleImputer(BaseEstimator):
         return X
 
     def fit_transform(self, X, y=None) -> np.ndarray:
+        """Fit to the data, then transform it in one call."""
         return self.fit(X, y).transform(X)

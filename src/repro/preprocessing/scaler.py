@@ -23,6 +23,7 @@ class StandardScaler(BaseEstimator):
         self.with_std = with_std
 
     def fit(self, X, y=None) -> "StandardScaler":
+        """Fit on ``X``, ``y``; returns ``self``."""
         X = check_array(X, allow_nan=True)
         self.mean_ = np.nanmean(X, axis=0) if self.with_mean else np.zeros(X.shape[1])
         if self.with_std:
@@ -35,6 +36,7 @@ class StandardScaler(BaseEstimator):
         return self
 
     def transform(self, X) -> np.ndarray:
+        """Standardise ``X`` with the fitted mean and scale."""
         check_is_fitted(self, ["mean_", "scale_"])
         X = check_array(X, allow_nan=True, copy=True)
         if X.shape[1] != self.n_features_in_:
@@ -45,9 +47,11 @@ class StandardScaler(BaseEstimator):
         return (X - self.mean_) / self.scale_
 
     def fit_transform(self, X, y=None) -> np.ndarray:
+        """Fit to the data, then transform it in one call."""
         return self.fit(X, y).transform(X)
 
     def inverse_transform(self, X) -> np.ndarray:
+        """Undo the standardisation of ``X``."""
         check_is_fitted(self, ["mean_", "scale_"])
         X = check_array(X, allow_nan=True)
         return X * self.scale_ + self.mean_
@@ -60,6 +64,7 @@ class MinMaxScaler(BaseEstimator):
         self.feature_range = feature_range
 
     def fit(self, X, y=None) -> "MinMaxScaler":
+        """Fit on ``X``, ``y``; returns ``self``."""
         lo, hi = self.feature_range
         if lo >= hi:
             raise ValueError(f"Invalid feature_range {self.feature_range!r}")
@@ -74,14 +79,17 @@ class MinMaxScaler(BaseEstimator):
         return self
 
     def transform(self, X) -> np.ndarray:
+        """Scale ``X`` into the fitted [0, 1] range."""
         check_is_fitted(self, ["scale_", "min_"])
         X = check_array(X, allow_nan=True)
         return X * self.scale_ + self.min_
 
     def fit_transform(self, X, y=None) -> np.ndarray:
+        """Fit to the data, then transform it in one call."""
         return self.fit(X, y).transform(X)
 
     def inverse_transform(self, X) -> np.ndarray:
+        """Undo the min-max scaling of ``X``."""
         check_is_fitted(self, ["scale_", "min_"])
         X = check_array(X, allow_nan=True)
         return (X - self.min_) / self.scale_

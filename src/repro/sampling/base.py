@@ -34,6 +34,7 @@ class BaseSampler(BaseEstimator, SamplerMixin):
     """Template: validates inputs then delegates to ``_fit_resample``."""
 
     def fit_resample(self, X, y) -> Tuple[np.ndarray, np.ndarray]:
+        """Resample ``X``/``y``; returns the resampled pair."""
         X, y = check_X_y(X, y)
         y = check_binary_labels(y)
         return self._fit_resample(X, y)

@@ -51,6 +51,7 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from ..exceptions import (
     CircuitOpenError,
+    ServerClosedError,
     DeadlineExceededError,
     ServerOverloadedError,
     WorkerCrashedError,
@@ -175,7 +176,7 @@ class AsyncGateway:
         :class:`~repro.exceptions.CircuitOpenError` otherwise.
         """
         if self._closed:
-            raise RuntimeError("AsyncGateway is closed")
+            raise ServerClosedError("AsyncGateway is closed")
         tenant = str(tenant)
         expires_at = None
         if deadline is not None:

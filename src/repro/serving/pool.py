@@ -78,7 +78,11 @@ import numpy as np
 from .. import exceptions as _exceptions
 from ..exceptions import (
     DeadlineExceededError,
+    FleetTimeoutError,
+    ServerClosedError,
     ServerOverloadedError,
+    SwapFailedError,
+    UnsupportedPlatformError,
     WorkerCrashedError,
 )
 from ..fastpath.codetable import warm_serving_pack
@@ -141,8 +145,10 @@ def _rebuild_exception(name: str, text: str) -> BaseException:
     if isinstance(cls, type) and issubclass(cls, BaseException):
         try:
             return cls(text)
-        except Exception:
-            pass  # exotic constructor signature (e.g. UnicodeDecodeError)
+        except Exception:  # repro-lint: disable=swallowed-exception
+            # Exotic constructor signature (e.g. UnicodeDecodeError):
+            # fall through to the RuntimeError wrapper below.
+            pass
     return RuntimeError(f"worker error ({name}): {text}")
 
 
@@ -201,9 +207,13 @@ def _worker_main(
         with swap_lock:
             try:
                 installed = server.swap_model(path, version=version)
-                res_q.put(("swapped", worker_id, installed, None))
+                # Acks are emitted under swap_lock on purpose: the parent
+                # records worker_versions in ack order, so overlapping
+                # swaps must ack in completion order. res_q is drained
+                # continuously by the parent collector, bounding the put.
+                res_q.put(("swapped", worker_id, installed, None))  # repro-lint: disable=lock-blocking-call
             except BaseException as exc:
-                res_q.put(
+                res_q.put(  # repro-lint: disable=lock-blocking-call
                     ("swapped", worker_id, version, (type(exc).__name__, str(exc)))
                 )
 
@@ -330,7 +340,7 @@ class WorkerPool:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         if "fork" not in multiprocessing.get_all_start_methods():
-            raise RuntimeError(
+            raise UnsupportedPlatformError(
                 "WorkerPool requires the 'fork' start method (zero-copy "
                 "model inheritance); use ModelServer on this platform"
             )
@@ -459,7 +469,7 @@ class WorkerPool:
                     return
                 try:
                     self._dispatch(msg)
-                except Exception:
+                except Exception:  # repro-lint: disable=swallowed-exception
                     # A malformed message (e.g. a reply half-written by a
                     # dying worker) must never kill the supervisor — the
                     # affected request is recovered by crash detection or
@@ -681,7 +691,7 @@ class WorkerPool:
         future: Future = Future()
         with self._lock:
             if self._closed:
-                raise RuntimeError("WorkerPool is closed")
+                raise ServerClosedError("WorkerPool is closed")
             worker = None
             for step in range(self.n_workers):
                 idx = (self._rr + step) % self.n_workers
@@ -793,7 +803,7 @@ class WorkerPool:
 
         with self._lock:
             if self._closed:
-                raise RuntimeError("WorkerPool is closed")
+                raise ServerClosedError("WorkerPool is closed")
             self.n_swaps_ += 1
             if version is None:
                 version = f"swap-{self.n_swaps_}"
@@ -823,7 +833,7 @@ class WorkerPool:
             return version
         try:
             if not waiter["event"].wait(timeout):
-                raise TimeoutError(
+                raise FleetTimeoutError(
                     f"fleet swap to {version!r} did not converge within "
                     f"{timeout}s: acked "
                     f"{len(waiter['acked'])}/{self.n_workers}"
@@ -840,7 +850,7 @@ class WorkerPool:
                 )
                 if len(names) == 1:
                     raise _rebuild_exception(names.pop(), message)
-                raise RuntimeError(message)
+                raise SwapFailedError(message)
         finally:
             with self._lock:
                 self._swap_waits.pop(version, None)
@@ -897,7 +907,7 @@ class WorkerPool:
         while True:
             with self._lock:
                 if self._closed:
-                    raise RuntimeError("WorkerPool is closed")
+                    raise ServerClosedError("WorkerPool is closed")
                 full = all(
                     self._worker_state[i] == _ALIVE
                     for i in range(self.n_workers)
@@ -915,7 +925,7 @@ class WorkerPool:
                 except TimeoutError:
                     pass
             if time.monotonic() > limit:
-                raise TimeoutError(
+                raise FleetTimeoutError(
                     f"fleet not healthy within {timeout}s: "
                     f"{self.stats()['worker_states']}"
                 )
@@ -930,7 +940,7 @@ class WorkerPool:
         hanging the call."""
         with self._lock:
             if self._closed:
-                raise RuntimeError("WorkerPool is closed")
+                raise ServerClosedError("WorkerPool is closed")
             token = next(self._stats_tokens)
             live = [
                 i for i in range(self.n_workers)
@@ -952,7 +962,7 @@ class WorkerPool:
             req_q.put(("stats", token))
         try:
             if not waiter["event"].wait(timeout):
-                raise TimeoutError(
+                raise FleetTimeoutError(
                     f"worker stats incomplete after {timeout}s: "
                     f"{len(waiter['replies'])}/{len(live)} replied"
                 )

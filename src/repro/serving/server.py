@@ -56,7 +56,11 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..exceptions import DeadlineExceededError, ServerOverloadedError
+from ..exceptions import (
+    DeadlineExceededError,
+    ServerClosedError,
+    ServerOverloadedError,
+)
 from ..fastpath.codetable import warm_serving_pack
 
 # Historical import path: threshold_for_precision grew up here but is a
@@ -239,10 +243,12 @@ class ModelServer:
 
     @property
     def packed_(self) -> bool:
+        """Whether the active model serves via a packed kernel."""
         return self._active.packed
 
     @property
     def code_table_(self) -> bool:
+        """Whether the active model serves via a code table."""
         return self._active.code_table
 
     @property
@@ -252,6 +258,7 @@ class ModelServer:
 
     @threshold.setter
     def threshold(self, value: float) -> None:
+        """Set the positive-class decision threshold."""
         value = float(value)
         if not 0.0 <= value <= 1.0:
             raise ValueError(f"threshold must be in [0, 1], got {value}")
@@ -284,7 +291,7 @@ class ModelServer:
         )
         with self._lock:
             if self._closed:
-                raise RuntimeError("ModelServer is closed")
+                raise ServerClosedError("ModelServer is closed")
             if version is None:
                 # auto-version under the lock: concurrent unnamed swaps
                 # must never install the same stamp
@@ -336,7 +343,7 @@ class ModelServer:
         # slip in after the sentinel (its future would otherwise hang).
         with self._lock:
             if self._closed:
-                raise RuntimeError("ModelServer is closed")
+                raise ServerClosedError("ModelServer is closed")
             if self._worker is None:
                 self._worker = threading.Thread(
                     target=self._serve_loop, name="repro-model-server", daemon=True
@@ -502,7 +509,7 @@ class ModelServer:
                 # Under the lock: no submit can enqueue after the sentinel.
                 # The worker drains without taking the lock, so a full
                 # queue always makes progress for the blocking put.
-                self._queue.put(_STOP)
+                self._queue.put(_STOP)  # repro-lint: disable=lock-blocking-call
         if worker is not None:
             worker.join()
 

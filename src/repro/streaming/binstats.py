@@ -91,6 +91,7 @@ class StreamingBinStats:
 
     @property
     def avg_hardness(self) -> np.ndarray:
+        """Per-bin mean hardness (0.0 for empty bins)."""
         return np.where(
             self.populations > 0, self.sums / np.maximum(self.populations, 1), 0.0
         )

@@ -64,6 +64,7 @@ class BinReservoir:
 
     @property
     def n_features(self) -> int:
+        """Number of features."""
         return self._rows.shape[2]
 
     def bin_rows(self, b: int) -> np.ndarray:

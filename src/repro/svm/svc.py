@@ -83,6 +83,7 @@ class SVC(BaseEstimator, ClassifierMixin):
         self.random_state = random_state
 
     def fit(self, X, y, sample_weight=None) -> "SVC":
+        """Fit on ``X``, ``y``, ``sample_weight``; returns ``self``."""
         if self.C <= 0:
             raise ValueError("C must be positive")
         X, y = check_X_y(X, y)
@@ -127,6 +128,7 @@ class SVC(BaseEstimator, ClassifierMixin):
         return self
 
     def decision_function(self, X) -> np.ndarray:
+        """Real-valued scores for the positive class."""
         check_is_fitted(self, ["_alpha_scaled"])
         X = check_array(X)
         # Chunk the kernel evaluation so memory stays ~32 MB per block.
@@ -141,11 +143,13 @@ class SVC(BaseEstimator, ClassifierMixin):
         return out
 
     def predict_proba(self, X) -> np.ndarray:
+        """Class probabilities, columns ordered by ``classes_``."""
         decision = self.decision_function(X)
         p1 = _platt_proba(decision, *self._platt)
         return np.column_stack([1.0 - p1, p1])
 
     def predict(self, X) -> np.ndarray:
+        """Predicted class labels for ``X``."""
         decision = self.decision_function(X)
         return self.classes_[(decision >= 0).astype(int)]
 
@@ -204,6 +208,7 @@ class LinearSVC(BaseEstimator, ClassifierMixin):
         self.random_state = random_state
 
     def fit(self, X, y, sample_weight=None) -> "LinearSVC":
+        """Fit on ``X``, ``y``, ``sample_weight``; returns ``self``."""
         if self.C <= 0:
             raise ValueError("C must be positive")
         X, y = check_X_y(X, y)
@@ -240,16 +245,19 @@ class LinearSVC(BaseEstimator, ClassifierMixin):
         return self
 
     def decision_function(self, X) -> np.ndarray:
+        """Real-valued scores for the positive class."""
         check_is_fitted(self, ["coef_"])
         X = check_array(X)
         return X @ self.coef_ + self.intercept_
 
     def predict_proba(self, X) -> np.ndarray:
+        """Class probabilities, columns ordered by ``classes_``."""
         decision = self.decision_function(X)
         p1 = _platt_proba(decision, *self._platt)
         return np.column_stack([1.0 - p1, p1])
 
     def predict(self, X) -> np.ndarray:
+        """Predicted class labels for ``X``."""
         decision = self.decision_function(X)
         return self.classes_[(decision >= 0).astype(int)]
 

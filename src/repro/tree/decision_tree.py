@@ -67,6 +67,7 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
         self.random_state = random_state
 
     def fit(self, X, y, sample_weight=None) -> "DecisionTreeClassifier":
+        """Fit on ``X``, ``y``, ``sample_weight``; returns ``self``."""
         if self.criterion not in CRITERIA:
             raise ValueError(
                 f"Unknown criterion {self.criterion!r}; expected one of {CRITERIA}"
@@ -133,6 +134,7 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
         return self
 
     def predict_proba(self, X) -> np.ndarray:
+        """Class probabilities, columns ordered by ``classes_``."""
         check_is_fitted(self, ["tree_"])
         X = check_array(X)
         if X.shape[1] != self.n_features_in_:
@@ -143,6 +145,7 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
         return self.tree_.predict_proba(X)
 
     def predict(self, X) -> np.ndarray:
+        """Predicted class labels for ``X``."""
         proba = self.predict_proba(X)
         return self.classes_[np.argmax(proba, axis=1)]
 

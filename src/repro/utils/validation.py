@@ -32,7 +32,9 @@ def check_random_state(seed) -> np.random.RandomState:
     an existing RandomState passes through unchanged.
     """
     if seed is None:
-        return np.random.RandomState()
+        # The documented escape hatch: callers that explicitly pass
+        # seed=None are asking for OS entropy.
+        return np.random.RandomState()  # repro-lint: disable=unseeded-rng
     if isinstance(seed, numbers.Integral):
         return np.random.RandomState(int(seed))
     if isinstance(seed, np.random.RandomState):

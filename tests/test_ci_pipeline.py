@@ -156,12 +156,44 @@ class TestMarkersRegistered:
         assert "chaos:" in registered
 
 
+class TestLintGate:
+    """`make lint` is a single repro-lint invocation with one exit code."""
+
+    def test_lint_target_runs_repro_lint(self, makefile_text):
+        lint = makefile_text.split("lint:")[1].split("\n\n")[0]
+        assert "repro_lint.py" in lint
+        assert "compileall" in lint
+        assert "--out LINT_report.json" in lint
+
+    def test_lint_fix_baseline_target_exists(self, makefile_text):
+        target = makefile_text.split("lint-fix-baseline:")[1].split("\n\n")[0]
+        assert "--write-baseline" in target
+
+    def test_lint_job_uploads_report_artifact(self, workflow):
+        uploads = [
+            step
+            for step in workflow["jobs"]["lint"]["steps"]
+            if "upload-artifact" in str(step.get("uses", ""))
+        ]
+        assert uploads, "lint job must upload the lint report"
+        assert "LINT_report.json" in uploads[0]["with"]["path"]
+        assert uploads[0]["with"]["if-no-files-found"] == "error"
+
+
 class TestRegistryCompleteness:
     """The classifier-registry audit is wired into the build and passes."""
 
-    def test_lint_target_runs_registry_check(self, makefile_text):
-        lint = makefile_text.split("lint:")[1].split("\n\n")[0]
-        assert "check_registry.py" in lint
+    def test_registry_audit_reachable_through_lint_runner(self):
+        """tools/check_registry.py is a shim over the repro-lint registry
+        checker — the runner must expose it by name."""
+        import sys
+
+        sys.path.insert(0, str(REPO_ROOT / "tools"))
+        try:
+            from analysis import default_checkers
+        finally:
+            sys.path.pop(0)
+        assert "registry" in {c.name for c in default_checkers()}
 
     def test_bench_smoke_runs_bench_report(self, makefile_text):
         smoke = makefile_text.split("bench-smoke:")[1].split("\n\n")[0]

@@ -112,3 +112,17 @@ class TestReadmeSnippets:
             text = script.read_text()
             assert text.lstrip().startswith('"""'), f"{script.name} needs a docstring"
             assert "__main__" in text, f"{script.name} must be runnable"
+
+    def test_lint_block_runs(self, monkeypatch):
+        """Execute the README's repro-lint example verbatim: lint_text
+        flags the unseeded np.random call at the documented line. The
+        block inserts "tools" into sys.path relative to the repo root,
+        so run it from there."""
+        monkeypatch.chdir(REPO_ROOT)
+        readme = (REPO_ROOT / "README.md").read_text()
+        blocks = re.findall(r"```python\n(.*?)```", readme, flags=re.DOTALL)
+        lint_blocks = [b for b in blocks if "lint_text" in b]
+        assert lint_blocks, "README must contain a repro-lint block"
+        namespace = {}
+        exec(compile(lint_blocks[0], "<README repro-lint>", "exec"), namespace)
+        assert [f.rule for f in namespace["findings"]] == ["unseeded-rng"]

@@ -1,0 +1,78 @@
+"""repro-lint: AST-based static analysis enforcing this codebase's
+concurrency, determinism, exception, resource-lifecycle, and API-surface
+contracts.
+
+Dependency-free (stdlib only, except the registry audit which imports
+the library itself). Entry points:
+
+* ``python tools/repro_lint.py src tests benchmarks tools`` — the CLI.
+* :func:`lint_paths` / :func:`lint_text` — the same engine from Python
+  (used by the test suite and the README example).
+
+Add a checker by subclassing :class:`Checker` (one module at a time) or
+:class:`ProjectChecker` (whole scanned set at once), declaring its
+``rules`` mapping, and appending it to :func:`default_checkers`. See
+DESIGN.md, "Static analysis: repro-lint".
+"""
+
+from .core import (
+    Checker,
+    ClassIndex,
+    Finding,
+    LintResult,
+    ProjectChecker,
+    SourceFile,
+    apply_baseline,
+    iter_python_files,
+    known_rules,
+    lint_paths,
+    lint_sources,
+    lint_text,
+    load_baseline,
+    write_baseline,
+    DEFAULT_BASELINE,
+)
+from .api_surface import ApiSurfaceChecker
+from .concurrency import ConcurrencyChecker
+from .contracts import ExceptionContractChecker, STDLIB_RAISE_ALLOWLIST
+from .determinism import DeterminismChecker
+from .lifecycle import ResourceLifecycleChecker
+from .registry_audit import RegistryChecker
+
+__all__ = [
+    "ApiSurfaceChecker",
+    "Checker",
+    "ClassIndex",
+    "ConcurrencyChecker",
+    "DEFAULT_BASELINE",
+    "DeterminismChecker",
+    "ExceptionContractChecker",
+    "Finding",
+    "LintResult",
+    "ProjectChecker",
+    "RegistryChecker",
+    "ResourceLifecycleChecker",
+    "STDLIB_RAISE_ALLOWLIST",
+    "SourceFile",
+    "apply_baseline",
+    "default_checkers",
+    "iter_python_files",
+    "known_rules",
+    "lint_paths",
+    "lint_sources",
+    "lint_text",
+    "load_baseline",
+    "write_baseline",
+]
+
+
+def default_checkers():
+    """The shipped checker suite, in reporting order."""
+    return [
+        ConcurrencyChecker(),
+        DeterminismChecker(),
+        ExceptionContractChecker(),
+        ResourceLifecycleChecker(),
+        ApiSurfaceChecker(),
+        RegistryChecker(),
+    ]

@@ -1,0 +1,176 @@
+"""API surface hygiene for ``src/``: honest ``__all__``, documented
+public callables.
+
+``all-undefined-name``
+    Every name listed in ``__all__`` is actually bound in the module
+    (def/class/assignment/import, anywhere including conditional
+    branches).
+
+``missing-reexport``
+    In a package ``__init__.py`` that declares ``__all__``, a public
+    name imported from a submodule and *used nowhere else in the module*
+    exists only to be re-exported — so it must appear in ``__all__``,
+    or the import is dead.
+
+``missing-docstring``
+    Public modules' public callables carry docstrings: module-level
+    functions and classes, and public methods/properties of public
+    classes. A method that overrides one documented on any ancestor
+    (resolved through the project-wide :class:`~tools.analysis.core.ClassIndex`)
+    inherits that contract and is exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Sequence, Set
+
+from .core import ClassIndex, Finding, ProjectChecker, SourceFile
+
+
+def _module_all(tree: ast.Module) -> "tuple[List[str], int] | None":
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets
+        ):
+            try:
+                value = ast.literal_eval(node.value)
+            except (ValueError, SyntaxError):
+                return None
+            if isinstance(value, (list, tuple)):
+                return [str(v) for v in value], node.lineno
+    return None
+
+
+def _bound_names(tree: ast.Module) -> Set[str]:
+    bound: Set[str] = set()
+
+    def scan(stmts: Sequence[ast.stmt]) -> None:
+        for node in stmts:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                bound.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    for sub in ast.walk(target):
+                        if isinstance(sub, ast.Name):
+                            bound.add(sub.id)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                if isinstance(node.target, ast.Name):
+                    bound.add(node.target.id)
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    bound.add(alias.asname or alias.name)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound.add((alias.asname or alias.name).split(".")[0])
+            elif isinstance(node, ast.If):
+                scan(node.body)
+                scan(node.orelse)
+            elif isinstance(node, ast.Try):
+                scan(node.body)
+                for handler in node.handlers:
+                    scan(handler.body)
+                scan(node.orelse)
+                scan(node.finalbody)
+            elif isinstance(node, (ast.For, ast.While, ast.With)):
+                scan(node.body)
+
+    scan(tree.body)
+    return bound
+
+
+class ApiSurfaceChecker(ProjectChecker):
+    """``__all__`` honesty and public docstrings (scoped to ``src/``)."""
+
+    name = "api"
+    scope = ("src/",)
+    rules = {
+        "all-undefined-name": "__all__ lists a name the module never binds",
+        "missing-reexport": (
+            "a public name imported only for re-export is missing from "
+            "__all__ (or the import is dead)"
+        ),
+        "missing-docstring": (
+            "public callables need docstrings; overriding a documented "
+            "ancestor method inherits its contract and is exempt"
+        ),
+    }
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        declared = _module_all(src.tree)
+        if declared is not None:
+            names, line = declared
+            bound = _bound_names(src.tree)
+            for name in names:
+                if name not in bound:
+                    yield self.finding(
+                        src, "all-undefined-name", line,
+                        f"__all__ lists {name!r} but the module never "
+                        "defines or imports it",
+                    )
+        if src.path.endswith("/__init__.py") and declared is not None:
+            yield from self._check_reexports(src, declared[0])
+
+    def _check_reexports(self, src: SourceFile, all_names: List[str]) -> Iterator[Finding]:
+        imported: Dict[str, int] = {}
+        for node in src.tree.body:
+            if isinstance(node, ast.ImportFrom) and node.level > 0:
+                for alias in node.names:
+                    name = alias.asname or alias.name
+                    if not name.startswith("_") and name != "*":
+                        imported[name] = node.lineno
+        if not imported:
+            return
+        used: Set[str] = set()
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                used.add(node.id)
+        for name, line in sorted(imported.items(), key=lambda kv: kv[1]):
+            if name not in all_names and name not in used:
+                yield self.finding(
+                    src, "missing-reexport", line,
+                    f"{name!r} is imported from a submodule but neither "
+                    "used nor re-exported via __all__",
+                )
+
+    # ------------------------------------------------------------------ #
+    # docstrings need the project-wide class index
+    # ------------------------------------------------------------------ #
+    def check_project(
+        self, sources: Sequence[SourceFile], index: ClassIndex
+    ) -> Iterator[Finding]:
+        for src in sources:
+            if src.tree is None or not self.applies_to(src):
+                continue
+            if any(part.startswith("_") for part in src.path.split("/")[:-1]):
+                continue
+            module_private = src.path.rsplit("/", 1)[-1].startswith("_") and not src.path.endswith("__init__.py")
+            if module_private:
+                continue
+            yield from self._check_docstrings(src, index)
+
+    def _check_docstrings(self, src: SourceFile, index: ClassIndex) -> Iterator[Finding]:
+        for node in src.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                if node.name.startswith("_"):
+                    continue
+                if not ast.get_docstring(node):
+                    kind = "class" if isinstance(node, ast.ClassDef) else "function"
+                    yield self.finding(
+                        src, "missing-docstring", node.lineno,
+                        f"public {kind} {node.name} has no docstring",
+                    )
+                if isinstance(node, ast.ClassDef):
+                    for sub in node.body:
+                        if not isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                            continue
+                        if sub.name.startswith("_") or ast.get_docstring(sub):
+                            continue
+                        if index.method_documented_in_ancestors(node.name, sub.name):
+                            continue
+                        yield self.finding(
+                            src, "missing-docstring", sub.lineno,
+                            f"public method {node.name}.{sub.name} has no "
+                            "docstring (and no documented ancestor to "
+                            "inherit one from)",
+                        )

@@ -1,0 +1,421 @@
+"""Concurrency discipline: what may happen while a lock is held.
+
+The serving plane's liveness argument (DESIGN.md, fault-tolerance
+section) rests on three static properties:
+
+* nothing that can block unboundedly runs while a ``threading`` lock is
+  held (``lock-blocking-call``);
+* every ``.acquire()`` is paired with a ``finally: release()`` — or,
+  preferably, rewritten as a ``with`` block (``lock-acquire-discipline``);
+* the cross-module lock-acquisition-order graph is acyclic, including
+  the degenerate cycle of re-acquiring a non-reentrant ``Lock`` you
+  already hold (``lock-order-cycle``).
+
+Lock identification is lexical: a ``with`` context expression that is a
+name or attribute containing ``lock`` / ``mutex`` (``self._lock``,
+``swap_lock``, ...). Blocking calls are recognised structurally:
+``time.sleep``, thread/process ``.join()``, un-timed ``Queue.put/get``
+on queue-named receivers, ``subprocess`` invocations, ``os.fork``, and
+``multiprocessing`` ``Process(...)`` spawns. Nested ``def``/``lambda``
+bodies are excluded — they execute later, not under the lock.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .core import Checker, ClassIndex, Finding, ProjectChecker, SourceFile
+
+_LOCKISH_RE = re.compile(r"lock|mutex", re.IGNORECASE)
+_QUEUEISH_RE = re.compile(r"^(q|.*_q|.*queue.*)$", re.IGNORECASE)
+_THREADISH_RE = re.compile(
+    r"thread|proc|process|worker|collector|supervisor|child", re.IGNORECASE
+)
+
+
+def _name_of(node: ast.AST) -> str:
+    """Trailing identifier of a Name/Attribute, else ''."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ""
+
+
+def _dotted(node: ast.AST) -> str:
+    """Best-effort dotted rendering (``self._lock``, ``np.random.rand``)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    elif isinstance(node, ast.Call):
+        parts.append(_dotted(node.func) + "()")
+    else:
+        parts.append("?")
+    return ".".join(reversed(parts))
+
+
+def is_lockish(expr: ast.AST) -> bool:
+    """Does this ``with`` context expression look like a lock?
+
+    Accepts bare lock names/attributes and ``lock.acquire_timeout()``-style
+    wrapper calls whose receiver is lockish.
+    """
+    if isinstance(expr, ast.Call):
+        return is_lockish(expr.func.value) if isinstance(expr.func, ast.Attribute) else False
+    name = _name_of(expr)
+    return bool(name) and bool(_LOCKISH_RE.search(name)) and not name.startswith("unlock")
+
+
+def _has_kwarg(call: ast.Call, name: str) -> bool:
+    return any(kw.arg == name for kw in call.keywords)
+
+
+def _blocking_reason(call: ast.Call) -> Optional[str]:
+    """Why this call may block unboundedly, or ``None``."""
+    func = call.func
+    tail = _name_of(func)
+    dotted = _dotted(func) if isinstance(func, (ast.Name, ast.Attribute)) else tail
+
+    if tail == "sleep" and isinstance(func, ast.Attribute) and _name_of(func.value) == "time":
+        return "time.sleep() while holding a lock stalls every waiter"
+    if tail == "fork" and dotted.endswith("os.fork"):
+        return "os.fork() while holding a lock duplicates the held lock state"
+    if isinstance(func, ast.Attribute) and _name_of(func.value) == "subprocess":
+        return "subprocess call under a lock blocks on an external process"
+    if tail == "Process":
+        return "process spawn under a lock serialises the fleet behind it"
+    if tail == "join" and isinstance(func, ast.Attribute):
+        receiver = func.value
+        # Exclude str.join: a string-literal receiver, or a 1-arg call on a
+        # non-thread-named receiver (thread joins take 0 args or a timeout).
+        if isinstance(receiver, ast.Constant):
+            return None
+        # A bounded join (explicit timeout) is accepted, like a timed
+        # queue put/get.
+        if _has_kwarg(call, "timeout") or (
+            len(call.args) == 1
+            and isinstance(call.args[0], ast.Constant)
+            and isinstance(call.args[0].value, (int, float))
+        ):
+            return None
+        looks_threadish = bool(_THREADISH_RE.search(_dotted(receiver)))
+        if looks_threadish or (not call.args and not call.keywords):
+            return (
+                f"{_dotted(receiver)}.join() under a lock can deadlock with "
+                "the joined task needing that lock"
+            )
+        return None
+    if tail in ("put", "get") and isinstance(func, ast.Attribute):
+        receiver_name = _name_of(func.value)
+        if _QUEUEISH_RE.match(receiver_name):
+            if _has_kwarg(call, "timeout"):
+                return None
+            for kw in call.keywords:
+                if kw.arg == "block" and isinstance(kw.value, ast.Constant) and kw.value.value is False:
+                    return None
+            return (
+                f"{_dotted(func)}() without a timeout under a lock blocks "
+                "every other lock user on queue capacity"
+            )
+    return None
+
+
+def _module_globals(src: SourceFile) -> Set[str]:
+    """Names bound by assignments at module top level."""
+    names: Set[str] = set()
+    for node in src.tree.body if src.tree else ():
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+def _lock_label(
+    src: SourceFile,
+    expr: ast.AST,
+    class_name: Optional[str],
+    func_name: Optional[str],
+    module_globals: Set[str] = frozenset(),
+) -> str:
+    """Stable identity for a lock expression, for the order graph.
+
+    ``self._lock`` inside class ``C`` -> ``module.C._lock`` (shared by
+    every method of the class); a module-global lock -> module-scoped
+    (shared by every function that acquires it); any other local lock ->
+    scoped to its function.
+    """
+    module = src.path.rsplit("/", 1)[-1].removesuffix(".py")
+    dotted = _dotted(expr.func.value) if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Attribute) else _dotted(expr)
+    if dotted.startswith("self.") and class_name:
+        return f"{module}.{class_name}.{dotted[5:]}"
+    if "." not in dotted and dotted not in module_globals and func_name:
+        return f"{module}.{func_name}.{dotted}"
+    return f"{module}.{dotted}"
+
+
+class ConcurrencyChecker(ProjectChecker):
+    """Lock discipline: blocking-under-lock, acquire pairing, lock order."""
+
+    name = "concurrency"
+    rules = {
+        "lock-blocking-call": (
+            "a call that can block unboundedly (sleep, join, un-timed "
+            "queue put/get, process spawn) runs while a lock is held"
+        ),
+        "lock-acquire-discipline": (
+            ".acquire() outside a with-statement must sit in a try whose "
+            "finally releases the same lock"
+        ),
+        "lock-order-cycle": (
+            "the cross-module lock-acquisition-order graph has a cycle "
+            "(or a non-reentrant lock is re-acquired while held)"
+        ),
+    }
+
+    # ------------------------------------------------------------------ #
+    # per-file rules
+    # ------------------------------------------------------------------ #
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        yield from self._check_blocking(src)
+        yield from self._check_acquire(src)
+
+    def _check_blocking(self, src: SourceFile) -> Iterator[Finding]:
+        findings: List[Finding] = []
+
+        def walk(node: ast.AST, lock_depth: int) -> None:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                # A nested def runs later, not under the current lock.
+                for child in ast.iter_child_nodes(node):
+                    walk(child, 0)
+                return
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                entered = sum(1 for item in node.items if is_lockish(item.context_expr))
+                for item in node.items:
+                    walk(item.context_expr, lock_depth)
+                for child in node.body:
+                    walk(child, lock_depth + entered)
+                return
+            if isinstance(node, ast.Call) and lock_depth > 0:
+                reason = _blocking_reason(node)
+                if reason is not None:
+                    findings.append(
+                        self.finding(src, "lock-blocking-call", node.lineno, reason)
+                    )
+            for child in ast.iter_child_nodes(node):
+                walk(child, lock_depth)
+
+        walk(src.tree, 0)
+        yield from findings
+
+    def _check_acquire(self, src: SourceFile) -> Iterator[Finding]:
+        # Find every .acquire() call on a lockish receiver and test whether
+        # it is covered by a try/finally releasing the same receiver —
+        # either enclosing it or immediately following it.
+        parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(src.tree):
+            for child in ast.iter_child_nodes(parent):
+                parents[child] = parent
+        for node in ast.walk(src.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "acquire"
+                and is_lockish(node.func.value)
+            ):
+                continue
+            receiver = _dotted(node.func.value)
+            if self._release_guarded(node, receiver, parents):
+                continue
+            yield self.finding(
+                src,
+                "lock-acquire-discipline",
+                node.lineno,
+                f"{receiver}.acquire() without a with-block or a "
+                f"try/finally releasing {receiver} leaks the lock on error",
+            )
+
+    @staticmethod
+    def _release_guarded(
+        node: ast.AST, receiver: str, parents: Dict[ast.AST, ast.AST]
+    ) -> bool:
+        """Is ``node`` adjacent to a Try whose finally releases ``receiver``?
+
+        Covers both shapes: ``acquire()`` as the statement *before* the
+        try, and ``acquire()`` inside the try body.
+        """
+
+        def finally_releases(try_node: ast.Try) -> bool:
+            for stmt in try_node.finalbody:
+                for sub in ast.walk(stmt):
+                    if (
+                        isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr == "release"
+                        and _dotted(sub.func.value) == receiver
+                    ):
+                        return True
+            return False
+
+        current: Optional[ast.AST] = node
+        while current is not None:
+            parent = parents.get(current)
+            if isinstance(parent, ast.Try) and current in parent.body and finally_releases(parent):
+                return True
+            if parent is not None and hasattr(parent, "body") and isinstance(getattr(parent, "body"), list):
+                body = getattr(parent, "body")
+                if current in body:
+                    idx = body.index(current)
+                    nxt = body[idx + 1] if idx + 1 < len(body) else None
+                    if isinstance(nxt, ast.Try) and finally_releases(nxt):
+                        return True
+            current = parent
+        return False
+
+    # ------------------------------------------------------------------ #
+    # project rule: lock-acquisition-order graph
+    # ------------------------------------------------------------------ #
+    def check_project(
+        self, sources: Sequence[SourceFile], index: ClassIndex
+    ) -> Iterator[Finding]:
+        edges: Dict[str, Set[str]] = {}
+        edge_sites: Dict[Tuple[str, str], Tuple[str, int]] = {}
+        reentrant: Set[str] = set()
+
+        for src in sources:
+            if src.tree is None:
+                continue
+            module_globals = _module_globals(src)
+            # Locks constructed as RLock() are re-entrant: a self-edge on
+            # them is legal.
+            for node in ast.walk(src.tree):
+                if (
+                    isinstance(node, ast.Assign)
+                    and isinstance(node.value, ast.Call)
+                    and _name_of(node.value.func) == "RLock"
+                ):
+                    for target in node.targets:
+                        class_name = self._enclosing_class(src, node)
+                        reentrant.add(
+                            _lock_label(src, target, class_name, None, module_globals)
+                        )
+            self._collect_edges(src, edges, edge_sites, module_globals)
+
+        for finding in self._cycles(edges, edge_sites, reentrant):
+            yield finding
+
+    @staticmethod
+    def _enclosing_class(src: SourceFile, node: ast.AST) -> Optional[str]:
+        for cls in ast.walk(src.tree):
+            if isinstance(cls, ast.ClassDef):
+                for sub in ast.walk(cls):
+                    if sub is node:
+                        return cls.name
+        return None
+
+    def _collect_edges(
+        self,
+        src: SourceFile,
+        edges: Dict[str, Set[str]],
+        edge_sites: Dict[Tuple[str, str], Tuple[str, int]],
+        module_globals: Set[str] = frozenset(),
+    ) -> None:
+        def walk(
+            node: ast.AST,
+            held: List[str],
+            class_name: Optional[str],
+            func_name: Optional[str],
+        ) -> None:
+            if isinstance(node, ast.ClassDef):
+                for child in ast.iter_child_nodes(node):
+                    walk(child, held, node.name, func_name)
+                return
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Conservative: a nested def may run on another thread, so
+                # locks held lexically outside it are not held inside.
+                for child in ast.iter_child_nodes(node):
+                    walk(child, [], class_name, node.name)
+                return
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                entered: List[str] = []
+                for item in node.items:
+                    if is_lockish(item.context_expr):
+                        label = _lock_label(
+                            src, item.context_expr, class_name, func_name,
+                            module_globals,
+                        )
+                        for holder in held + entered:
+                            edges.setdefault(holder, set()).add(label)
+                            edge_sites.setdefault(
+                                (holder, label), (src.path, node.lineno)
+                            )
+                        entered.append(label)
+                for child in node.body:
+                    walk(child, held + entered, class_name, func_name)
+                return
+            for child in ast.iter_child_nodes(node):
+                walk(child, held, class_name, func_name)
+
+        walk(src.tree, [], None, None)
+
+    def _cycles(
+        self,
+        edges: Dict[str, Set[str]],
+        edge_sites: Dict[Tuple[str, str], Tuple[str, int]],
+        reentrant: Set[str],
+    ) -> Iterator[Finding]:
+        reported: Set[Tuple[str, ...]] = set()
+
+        # Self-edges: re-acquiring a held non-reentrant lock.
+        for lock, targets in sorted(edges.items()):
+            if lock in targets and lock not in reentrant:
+                path, line = edge_sites[(lock, lock)]
+                yield Finding(
+                    "lock-order-cycle",
+                    path,
+                    line,
+                    f"lock {lock} is re-acquired while already held "
+                    "(non-reentrant Lock: guaranteed deadlock)",
+                )
+
+        # Proper cycles via DFS with an explicit stack.
+        state: Dict[str, int] = {}
+        stack: List[str] = []
+
+        def visit(lock: str) -> Iterator[Tuple[str, ...]]:
+            state[lock] = 1
+            stack.append(lock)
+            for target in sorted(edges.get(lock, ())):
+                if target == lock:
+                    continue
+                if state.get(target, 0) == 1:
+                    cycle = tuple(stack[stack.index(target) :] + [target])
+                    canon = tuple(sorted(set(cycle)))
+                    if canon not in reported:
+                        reported.add(canon)
+                        yield cycle
+                elif state.get(target, 0) == 0:
+                    yield from visit(target)
+            stack.pop()
+            state[lock] = 2
+
+        for lock in sorted(edges):
+            if state.get(lock, 0) == 0:
+                for cycle in visit(lock):
+                    first_edge = (cycle[0], cycle[1])
+                    path, line = edge_sites.get(first_edge, ("", 1))
+                    yield Finding(
+                        "lock-order-cycle",
+                        path,
+                        line,
+                        "lock acquisition order cycle: " + " -> ".join(cycle),
+                    )

@@ -1,0 +1,175 @@
+"""Exception contract: failures are typed, never swallowed.
+
+The serving plane's "every failure is typed, no future ever hangs"
+guarantee (DESIGN.md fault-tolerance section) has a static counterpart:
+
+``bare-except``
+    ``except:`` catches ``KeyboardInterrupt``/``SystemExit`` too and
+    hides the type; name the exception.
+
+``swallowed-exception``
+    ``except Exception: pass`` (or ``...``/``continue``) drops a failure
+    on the floor. Where that is genuinely the right call (a supervisor
+    that must never die), the site must say so with a pragma.
+
+``untyped-public-raise``
+    A *public* callable in ``src/repro`` may only raise library
+    exceptions (anything defined in ``repro/exceptions.py``) or a small
+    stdlib allowlist of semantically precise types. ``RuntimeError`` and
+    ``TimeoutError`` are deliberately **not** allowlisted: the serving
+    API's callers dispatch on exception type, so those must be wrapped
+    in (or subclassed by) a ``repro.exceptions`` type.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterator, List, Optional, Set
+
+from .core import Checker, Finding, REPO_ROOT, SourceFile
+
+#: Precise stdlib types public APIs may raise directly.
+STDLIB_RAISE_ALLOWLIST = {
+    "ValueError",
+    "TypeError",
+    "KeyError",
+    "IndexError",
+    "AttributeError",
+    "NotImplementedError",
+    "StopIteration",
+    "FileNotFoundError",
+    "FileExistsError",
+    "IsADirectoryError",
+    "PermissionError",
+    "OSError",
+    "ImportError",
+    "OverflowError",
+    "ZeroDivisionError",
+    "DeprecationWarning",
+    "UserWarning",
+}
+
+#: Fallback when repro/exceptions.py is not on disk (snippet linting in
+#: a scratch tree). Kept loose on purpose — the real list is parsed.
+_FALLBACK_LIBRARY_EXCEPTIONS = {"ReproError"}
+
+
+def library_exception_names() -> Set[str]:
+    """Class names defined in ``src/repro/exceptions.py`` (parsed, not
+    imported — the linter must run without the library importable)."""
+    path = os.path.join(REPO_ROOT, "src", "repro", "exceptions.py")
+    if not os.path.exists(path):
+        return set(_FALLBACK_LIBRARY_EXCEPTIONS)
+    with open(path, "r", encoding="utf-8") as handle:
+        tree = ast.parse(handle.read())
+    return {
+        node.name for node in tree.body if isinstance(node, ast.ClassDef)
+    } | {"ReproError"}
+
+
+def _is_swallow_body(body: List[ast.stmt]) -> bool:
+    for stmt in body:
+        if isinstance(stmt, ast.Pass) or isinstance(stmt, ast.Continue):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # a docstring/ellipsis is still silence
+        return False
+    return True
+
+
+def _broad_handler_name(handler: ast.ExceptHandler) -> Optional[str]:
+    """'Exception'/'BaseException' if the handler catches that broadly."""
+    node = handler.type
+    if node is None:
+        return "bare"
+    names = []
+    if isinstance(node, ast.Tuple):
+        names = [n.id for n in node.elts if isinstance(n, ast.Name)]
+    elif isinstance(node, ast.Name):
+        names = [node.id]
+    for name in names:
+        if name in ("Exception", "BaseException"):
+            return name
+    return None
+
+
+class ExceptionContractChecker(Checker):
+    """Bare excepts, silent swallows, untyped public raises."""
+
+    name = "exceptions"
+    rules = {
+        "bare-except": (
+            "except: catches KeyboardInterrupt/SystemExit and hides the "
+            "failure type; catch a named exception"
+        ),
+        "swallowed-exception": (
+            "a broad except whose body is only pass/continue silently "
+            "drops the failure; handle, log, re-raise — or pragma why not"
+        ),
+        "untyped-public-raise": (
+            "public src/repro callables must raise repro.exceptions "
+            "types or precise stdlib types, never bare "
+            "RuntimeError/TimeoutError/Exception"
+        ),
+    }
+
+    def __init__(self) -> None:
+        self.library_exceptions = library_exception_names()
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        yield from self._check_handlers(src)
+        if src.path.startswith("src/"):
+            yield from self._check_raises(src)
+
+    def _check_handlers(self, src: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = _broad_handler_name(node)
+            if broad == "bare":
+                yield self.finding(
+                    src, "bare-except", node.lineno,
+                    "bare `except:` — name the exception type "
+                    "(`except Exception:` at minimum)",
+                )
+            if broad is not None and _is_swallow_body(node.body):
+                caught = "except:" if broad == "bare" else f"except {broad}:"
+                yield self.finding(
+                    src, "swallowed-exception", node.lineno,
+                    f"`{caught} pass` silently swallows the failure",
+                )
+
+    def _check_raises(self, src: SourceFile) -> Iterator[Finding]:
+        # Walk with a public/private visibility stack: a raise is "public"
+        # when every enclosing function and class is public-named.
+        findings: List[Finding] = []
+        allow = self.library_exceptions | STDLIB_RAISE_ALLOWLIST
+
+        def walk(node: ast.AST, public: bool) -> None:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                public = public and not node.name.startswith("_")
+            if isinstance(node, ast.Raise) and public and node.exc is not None:
+                exc = node.exc
+                name: Optional[str] = None
+                if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+                    name = exc.func.id
+                elif isinstance(exc, ast.Name):
+                    name = exc.id
+                    # `raise exc` re-raising a bound variable is fine.
+                    if name and name[:1].islower():
+                        name = None
+                if name is not None and name not in allow and name[0].isupper():
+                    findings.append(
+                        self.finding(
+                            src, "untyped-public-raise", node.lineno,
+                            f"public API raises {name}; use a typed "
+                            "repro.exceptions class (or subclass it into "
+                            "one) so callers can dispatch",
+                        )
+                    )
+            for child in ast.iter_child_nodes(node):
+                walk(child, public)
+
+        walk(src.tree, True)
+        yield from findings

@@ -1,0 +1,445 @@
+"""Core of the repro-lint static-analysis framework.
+
+Everything in :mod:`tools.analysis` is dependency-free (stdlib ``ast`` +
+``tokenize`` only) so the lint gate runs on a bare Python, before any of
+the library's own imports succeed.
+
+The moving parts:
+
+``Finding``
+    One rule violation: rule id, severity, repo-relative ``path:line``,
+    and a human message. Findings are value objects — the baseline and
+    the pragma machinery both work on them.
+
+``SourceFile``
+    A parsed module: source text, AST, and the ``# repro-lint:`` pragma
+    map extracted from its comment tokens.
+
+``Checker`` / ``ProjectChecker``
+    The extension points. A ``Checker`` sees one ``SourceFile`` at a
+    time; a ``ProjectChecker`` additionally sees the whole scanned set
+    at once (plus a :class:`ClassIndex`) for cross-module rules such as
+    lock-acquisition-order cycles or registry drift.
+
+``lint_paths`` / ``lint_text``
+    The engine: discover files, parse once, run every applicable
+    checker, apply pragmas, and return a :class:`LintResult`.
+
+Baselines (:func:`load_baseline` / :func:`write_baseline` /
+:func:`apply_baseline`) grandfather pre-existing findings: a baseline
+entry is ``rule::path::message`` (line numbers are deliberately *not*
+part of the key so unrelated edits don't invalidate it) with a count.
+The shipped baseline lives at ``tools/analysis/baseline.json`` and is
+empty — regenerating it is a deliberate act (``make lint-fix-baseline``),
+never something the runner does implicitly.
+
+Suppression pragmas:
+
+``# repro-lint: disable=rule-a,rule-b``
+    On the line a finding is reported at — suppresses those rules there.
+
+``# repro-lint: disable-file=rule-a``
+    On a comment-only line — suppresses the rules for the whole file.
+
+Unknown rule names in a pragma are themselves reported (``bad-pragma``)
+so suppressions cannot rot silently.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+#: Rules emitted by the engine itself (always considered "known").
+ENGINE_RULES = {
+    "syntax-error": "file does not parse; nothing else can be checked",
+    "bad-pragma": "a repro-lint pragma names a rule that does not exist",
+}
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro-lint:\s*(disable|disable-file)\s*=\s*([A-Za-z0-9_,\- ]+)"
+)
+
+
+def relpath(path: str) -> str:
+    """Repo-relative POSIX path for stable finding/baseline keys."""
+    ap = os.path.abspath(path)
+    if ap.startswith(REPO_ROOT + os.sep):
+        ap = ap[len(REPO_ROOT) + 1 :]
+    return ap.replace(os.sep, "/")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at ``path:line``."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    severity: str = "error"
+
+    @property
+    def key(self) -> str:
+        """Baseline identity: stable across line-number drift."""
+        return f"{self.rule}::{self.path}::{self.message}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+
+class SourceFile:
+    """A parsed Python module plus its suppression pragmas."""
+
+    def __init__(self, path: str, text: str):
+        self.path = relpath(path)
+        self.text = text
+        self.parse_error: Optional[Finding] = None
+        #: line number -> rules disabled on that line
+        self.line_pragmas: Dict[int, Set[str]] = {}
+        #: rules disabled for the whole file
+        self.file_pragmas: Set[str] = set()
+        #: (line, rule) pairs named by pragmas, for bad-pragma validation
+        self.pragma_mentions: List[Tuple[int, str]] = []
+        try:
+            self.tree: Optional[ast.Module] = ast.parse(text)
+        except SyntaxError as exc:
+            self.tree = None
+            self.parse_error = Finding(
+                "syntax-error", self.path, exc.lineno or 1, exc.msg or "syntax error"
+            )
+            return
+        self._scan_pragmas()
+
+    @classmethod
+    def from_path(cls, path: str) -> "SourceFile":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls(path, handle.read())
+
+    def _scan_pragmas(self) -> None:
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(self.text).readline))
+        except tokenize.TokenError:
+            return
+        code_lines: Set[int] = set()
+        comments: List[Tuple[int, str]] = []
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                comments.append((tok.start[0], tok.string))
+            elif tok.type not in (
+                tokenize.NL,
+                tokenize.NEWLINE,
+                tokenize.INDENT,
+                tokenize.DEDENT,
+                tokenize.ENDMARKER,
+            ):
+                for line in range(tok.start[0], tok.end[0] + 1):
+                    code_lines.add(line)
+        for line, comment in comments:
+            match = _PRAGMA_RE.search(comment)
+            if not match:
+                continue
+            kind = match.group(1)
+            rules = {r.strip() for r in match.group(2).split(",") if r.strip()}
+            for rule in rules:
+                self.pragma_mentions.append((line, rule))
+            if kind == "disable-file" and line not in code_lines:
+                self.file_pragmas |= rules
+            else:
+                self.line_pragmas.setdefault(line, set()).update(rules)
+
+    def suppressed(self, finding: Finding) -> bool:
+        if finding.rule in self.file_pragmas or "all" in self.file_pragmas:
+            return True
+        on_line = self.line_pragmas.get(finding.line, ())
+        return finding.rule in on_line or "all" in on_line
+
+
+class ClassIndex:
+    """Project-wide class hierarchy: name -> (base names, method docs).
+
+    Base resolution is by class *name* (last attribute segment for
+    ``module.Class`` bases). That is deliberately approximate — good
+    enough for the docstring-inheritance exemption and cheap enough to
+    build on every run.
+    """
+
+    def __init__(self) -> None:
+        self._classes: Dict[str, Tuple[List[str], Dict[str, bool]]] = {}
+
+    def add_source(self, src: SourceFile) -> None:
+        if src.tree is None:
+            return
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bases: List[str] = []
+            for base in node.bases:
+                if isinstance(base, ast.Name):
+                    bases.append(base.id)
+                elif isinstance(base, ast.Attribute):
+                    bases.append(base.attr)
+            methods: Dict[str, bool] = {}
+            for sub in node.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    methods[sub.name] = bool(ast.get_docstring(sub))
+            self._classes.setdefault(node.name, (bases, methods))
+
+    def method_documented_in_ancestors(
+        self, class_name: str, method: str, _seen: Optional[Set[str]] = None
+    ) -> bool:
+        """True when any (transitive, name-resolved) base documents ``method``."""
+        seen = _seen if _seen is not None else set()
+        if class_name in seen or class_name not in self._classes:
+            return False
+        seen.add(class_name)
+        for base in self._classes[class_name][0]:
+            entry = self._classes.get(base)
+            if entry is not None and entry[1].get(method):
+                return True
+            if self.method_documented_in_ancestors(base, method, seen):
+                return True
+        return False
+
+
+class Checker:
+    """Base class: one module at a time.
+
+    Subclasses set ``name`` (checker id for ``--skip``/``--only``),
+    ``rules`` (rule id -> one-line description; every Finding's rule must
+    be listed here), and optionally ``scope`` — path prefixes the checker
+    applies to (``None`` = every scanned file).
+    """
+
+    name: str = "base"
+    rules: Dict[str, str] = {}
+    scope: Optional[Tuple[str, ...]] = None
+
+    def applies_to(self, src: SourceFile) -> bool:
+        if self.scope is None:
+            return True
+        return any(src.path.startswith(prefix) for prefix in self.scope)
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, src: SourceFile, rule: str, line: int, message: str) -> Finding:
+        assert rule in self.rules, f"{self.name}: unregistered rule {rule!r}"
+        return Finding(rule, src.path, line, message)
+
+
+class ProjectChecker(Checker):
+    """A checker that needs the whole scanned set at once."""
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(
+        self, sources: Sequence[SourceFile], index: ClassIndex
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+@dataclass
+class LintResult:
+    """Outcome of one engine run (before baseline subtraction)."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    pragma_suppressed: int = 0
+    checkers_run: List[str] = field(default_factory=list)
+
+    def by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    """Yield every ``.py`` file under ``paths`` (files or directories)."""
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                yield path
+            continue
+        for root, dirs, files in os.walk(path):
+            dirs[:] = sorted(
+                d for d in dirs if d not in ("__pycache__", ".git", ".pytest_cache")
+            )
+            for name in sorted(files):
+                if name.endswith(".py"):
+                    yield os.path.join(root, name)
+
+
+def known_rules(checkers: Sequence[Checker]) -> Dict[str, str]:
+    """Rule id -> description over ``checkers`` plus the engine's own."""
+    rules = dict(ENGINE_RULES)
+    for checker in checkers:
+        rules.update(checker.rules)
+    return rules
+
+
+def lint_sources(
+    sources: Sequence[SourceFile], checkers: Sequence[Checker]
+) -> LintResult:
+    """Run ``checkers`` over parsed ``sources``; apply pragmas."""
+    result = LintResult(files_scanned=len(sources))
+    result.checkers_run = [c.name for c in checkers]
+    # Pragma validation runs against EVERY registered rule, not just the
+    # selected checkers' — `--only api` must not turn a valid
+    # `disable=unseeded-rng` pragma into a bad-pragma finding.
+    from . import default_checkers
+
+    rules = known_rules(list(checkers) + default_checkers())
+
+    index = ClassIndex()
+    for src in sources:
+        index.add_source(src)
+
+    raw: List[Finding] = []
+    for src in sources:
+        if src.parse_error is not None:
+            raw.append(src.parse_error)
+            continue
+        for line, rule in src.pragma_mentions:
+            if rule != "all" and rule not in rules:
+                raw.append(
+                    Finding(
+                        "bad-pragma",
+                        src.path,
+                        line,
+                        f"pragma disables unknown rule {rule!r}",
+                    )
+                )
+        for checker in checkers:
+            if not checker.applies_to(src):
+                continue
+            raw.extend(checker.check(src))
+    for checker in checkers:
+        if isinstance(checker, ProjectChecker):
+            scoped = [s for s in sources if checker.applies_to(s)]
+            raw.extend(checker.check_project(scoped, index))
+
+    by_path = {src.path: src for src in sources}
+    for finding in raw:
+        src = by_path.get(finding.path)
+        if src is not None and src.suppressed(finding):
+            result.pragma_suppressed += 1
+        else:
+            result.findings.append(finding)
+    result.findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return result
+
+
+def lint_paths(
+    paths: Iterable[str], checkers: Optional[Sequence[Checker]] = None
+) -> LintResult:
+    """Discover, parse, and lint every Python file under ``paths``."""
+    if checkers is None:
+        from . import default_checkers
+
+        checkers = default_checkers()
+    sources = [SourceFile.from_path(p) for p in iter_python_files(paths)]
+    return lint_sources(sources, checkers)
+
+
+def lint_text(
+    text: str,
+    path: str = "src/repro/_snippet.py",
+    checkers: Optional[Sequence[Checker]] = None,
+) -> List[Finding]:
+    """Lint a source string (tests, docs). Default ``path`` sits inside
+    ``src/repro`` so path-scoped checkers apply."""
+    if checkers is None:
+        from . import default_checkers
+
+        # Everything except the registry audit, which imports the library
+        # and fits presets — far too heavy for a snippet.
+        checkers = [c for c in default_checkers() if c.name != "registry"]
+    return lint_sources([SourceFile(path, text)], checkers).findings
+
+
+# --------------------------------------------------------------------- #
+# baseline
+# --------------------------------------------------------------------- #
+BASELINE_VERSION = 1
+DEFAULT_BASELINE = os.path.join(
+    REPO_ROOT, "tools", "analysis", "baseline.json"
+)
+
+
+def load_baseline(path: str = DEFAULT_BASELINE) -> Dict[str, int]:
+    """``finding.key -> grandfathered count``; missing file = empty."""
+    if not os.path.exists(path):
+        return {}
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path} has unsupported version {data.get('version')!r}"
+        )
+    entries = data.get("entries", {})
+    if not isinstance(entries, dict):
+        raise ValueError(f"baseline {path} entries must be an object")
+    return {str(k): int(v) for k, v in entries.items()}
+
+
+def write_baseline(
+    findings: Sequence[Finding], path: str = DEFAULT_BASELINE
+) -> Dict[str, int]:
+    """Persist ``findings`` as the new grandfathered set (sorted keys)."""
+    entries: Dict[str, int] = {}
+    for finding in findings:
+        entries[finding.key] = entries.get(finding.key, 0) + 1
+    payload = {
+        "version": BASELINE_VERSION,
+        "comment": (
+            "Grandfathered repro-lint findings. Regenerate ONLY via "
+            "`make lint-fix-baseline`; keep empty for src/repro."
+        ),
+        "entries": dict(sorted(entries.items())),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return entries
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Dict[str, int]
+) -> Tuple[List[Finding], int, List[str]]:
+    """Subtract baselined findings.
+
+    Returns ``(remaining, n_suppressed, stale_keys)`` where ``stale_keys``
+    are baseline entries that no longer match anything (candidates for a
+    deliberate regeneration — reported, never fatal).
+    """
+    budget = dict(baseline)
+    remaining: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        if budget.get(finding.key, 0) > 0:
+            budget[finding.key] -= 1
+            suppressed += 1
+        else:
+            remaining.append(finding)
+    stale = sorted(key for key, count in budget.items() if count > 0)
+    return remaining, suppressed, stale

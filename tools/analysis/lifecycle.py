@@ -1,0 +1,262 @@
+"""Resource lifecycle: every thread and process has a shutdown story.
+
+``unjoined-thread``
+    A ``threading.Thread(...)`` that is neither ``daemon=True`` nor
+    ``.join()``-ed anywhere in its owning scope outlives its creator
+    silently and blocks interpreter exit.
+
+``unreaped-process``
+    A class that spawns ``multiprocessing`` ``Process`` objects must
+    have a teardown method (``close``/``shutdown``/``stop``/``__exit__``/
+    ``__del__``) from which a ``.terminate()`` or ``.join()`` on them is
+    reachable (directly or through one ``self._helper()`` hop) —
+    otherwise worker processes leak past the object's lifetime.
+
+Both rules are ownership heuristics over names: a thread assigned to
+``self._collector`` is searched for ``self._collector.join(...)`` over
+the whole class; a local is searched over its enclosing function.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .core import Checker, Finding, SourceFile
+
+_TEARDOWN_METHODS = ("close", "shutdown", "stop", "terminate", "__exit__", "__del__")
+
+
+def _is_thread_ctor(call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id == "Thread"
+    if isinstance(func, ast.Attribute):
+        return func.attr == "Thread"
+    return False
+
+
+def _is_process_ctor(call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id == "Process"
+    if isinstance(func, ast.Attribute):
+        return func.attr == "Process"
+    return False
+
+
+def _kwarg_is_true(call: ast.Call, name: str) -> bool:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return isinstance(kw.value, ast.Constant) and kw.value.value is True
+    return False
+
+
+def _target_repr(node: ast.AST) -> Optional[str]:
+    """``self._x`` / ``name`` assignment target as a string, else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return f"self.{node.attr}"
+    return None
+
+
+def _receiver_repr(node: ast.AST) -> Optional[str]:
+    return _target_repr(node)
+
+
+class ResourceLifecycleChecker(Checker):
+    """Threads daemonized-or-joined; processes reaped from teardown."""
+
+    name = "lifecycle"
+    rules = {
+        "unjoined-thread": (
+            "a Thread that is neither daemon=True nor joined in its "
+            "owning scope leaks and blocks interpreter exit"
+        ),
+        "unreaped-process": (
+            "a class spawning multiprocessing Processes needs a teardown "
+            "method (close/shutdown/stop/__exit__) that joins or "
+            "terminates them"
+        ),
+    }
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        yield from self._check_threads(src)
+        yield from self._check_processes(src)
+
+    # ------------------------------------------------------------------ #
+    # threads
+    # ------------------------------------------------------------------ #
+    def _check_threads(self, src: SourceFile) -> Iterator[Finding]:
+        # scope = enclosing ClassDef for self.X targets, else enclosing
+        # FunctionDef, else the module.
+        scopes: List[Tuple[ast.AST, ast.Call, Optional[str]]] = []
+
+        def owner_scope(stack: List[ast.AST], target: Optional[str]) -> ast.AST:
+            if target is not None and target.startswith("self."):
+                for node in reversed(stack):
+                    if isinstance(node, ast.ClassDef):
+                        return node
+            for node in reversed(stack):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    return node
+            return src.tree
+
+        def walk(node: ast.AST, stack: List[ast.AST]) -> None:
+            if isinstance(node, ast.Call) and _is_thread_ctor(node):
+                if not _kwarg_is_true(node, "daemon"):
+                    target = None
+                    collection = False
+                    parent = stack[-1] if stack else None
+                    if isinstance(parent, ast.Assign) and len(parent.targets) == 1:
+                        target = _target_repr(parent.targets[0])
+                    elif (
+                        # threads = [Thread(...) for _ in range(n)]
+                        isinstance(parent, (ast.ListComp, ast.SetComp, ast.GeneratorExp))
+                        and len(stack) >= 2
+                        and isinstance(stack[-2], ast.Assign)
+                        and len(stack[-2].targets) == 1
+                    ):
+                        target = _target_repr(stack[-2].targets[0])
+                        collection = True
+                    elif (
+                        # pool.append(Thread(...))
+                        isinstance(parent, ast.Call)
+                        and isinstance(parent.func, ast.Attribute)
+                        and parent.func.attr == "append"
+                    ):
+                        target = _target_repr(parent.func.value)
+                        collection = True
+                    scopes.append(
+                        (owner_scope(stack, target), node, target, collection)
+                    )
+            stack.append(node)
+            for child in ast.iter_child_nodes(node):
+                walk(child, stack)
+            stack.pop()
+
+        walk(src.tree, [])
+
+        for scope, ctor, target, collection in scopes:
+            if target is None:
+                yield self.finding(
+                    src, "unjoined-thread", ctor.lineno,
+                    "Thread is neither daemon=True nor assigned anywhere "
+                    "it could be joined",
+                )
+                continue
+            joined = (
+                self._collection_joined_in_scope(scope, target)
+                if collection
+                else self._joined_in_scope(scope, target)
+            )
+            if not joined:
+                yield self.finding(
+                    src, "unjoined-thread", ctor.lineno,
+                    f"Thread assigned to {target} is neither daemon=True "
+                    f"nor joined in its owning scope",
+                )
+
+    @staticmethod
+    def _joined_in_scope(scope: ast.AST, target: str) -> bool:
+        for node in ast.walk(scope):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "join"
+                and _receiver_repr(node.func.value) == target
+            ):
+                return True
+            # joined through an intermediate local: `t = self._x; t.join()`
+            # is common after dropping a lock — accept any bare `.join()`
+            # on a local that was assigned from the target.
+            if (
+                isinstance(node, ast.Assign)
+                and _target_repr(node.value) == target
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+            ):
+                alias = node.targets[0].id
+                for sub in ast.walk(scope):
+                    if (
+                        isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr == "join"
+                        and _receiver_repr(sub.func.value) == alias
+                    ):
+                        return True
+        return False
+
+    @staticmethod
+    def _collection_joined_in_scope(scope: ast.AST, target: str) -> bool:
+        """``for t in <target>: t.join()`` anywhere in the owning scope."""
+        for node in ast.walk(scope):
+            if not isinstance(node, (ast.For, ast.AsyncFor)):
+                continue
+            if _receiver_repr(node.iter) != target or not isinstance(
+                node.target, ast.Name
+            ):
+                continue
+            loop_var = node.target.id
+            for sub in ast.walk(node):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr == "join"
+                    and _receiver_repr(sub.func.value) == loop_var
+                ):
+                    return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # processes
+    # ------------------------------------------------------------------ #
+    def _check_processes(self, src: SourceFile) -> Iterator[Finding]:
+        for node in src.tree.body if src.tree else ():
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(src, node)
+
+    def _check_class(self, src: SourceFile, cls: ast.ClassDef) -> Iterator[Finding]:
+        spawn_sites: List[ast.Call] = []
+        for node in ast.walk(cls):
+            if isinstance(node, ast.Call) and _is_process_ctor(node):
+                spawn_sites.append(node)
+        if not spawn_sites:
+            return
+
+        methods: Dict[str, ast.AST] = {
+            sub.name: sub
+            for sub in cls.body
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+
+        def reaps(method: ast.AST, hops: int) -> bool:
+            for node in ast.walk(method):
+                if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                    if node.func.attr in ("terminate", "join", "kill"):
+                        return True
+                    # one self-call hop: close() -> self._teardown_fleet()
+                    if (
+                        hops > 0
+                        and isinstance(node.func.value, ast.Name)
+                        and node.func.value.id == "self"
+                        and node.func.attr in methods
+                    ):
+                        if reaps(methods[node.func.attr], hops - 1):
+                            return True
+            return False
+
+        for name in _TEARDOWN_METHODS:
+            if name in methods and reaps(methods[name], hops=1):
+                return
+        yield self.finding(
+            src, "unreaped-process", spawn_sites[0].lineno,
+            f"class {cls.name} spawns Process objects but no teardown "
+            f"method ({'/'.join(_TEARDOWN_METHODS)}) joins or terminates "
+            "them",
+        )

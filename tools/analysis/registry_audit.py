@@ -1,0 +1,51 @@
+"""Classifier-registry completeness as a repro-lint checker.
+
+Wraps :func:`repro.registry.registry_problems` — every exported
+classifier registered, every registered class honouring the estimator
+contract, every named preset constructing and fitting — so ``make lint``
+is a single runner invocation with one exit code. This is the one
+checker that imports the library (and fits presets), so it is a
+:class:`~tools.analysis.core.ProjectChecker` the runner can ``--skip``
+for fast editor loops; the AST checkers never need an importable tree.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Iterator, Sequence
+
+from .core import ClassIndex, Finding, ProjectChecker, REPO_ROOT, SourceFile
+
+REGISTRY_PATH = "src/repro/registry/core.py"
+
+
+class RegistryChecker(ProjectChecker):
+    """Registry drift audit (imports the library; skippable)."""
+
+    name = "registry"
+    scope = ("src/",)
+    rules = {
+        "registry-drift": (
+            "the classifier registry disagrees with the zoo: unregistered "
+            "export, contract violation, or a preset that no longer fits"
+        ),
+    }
+
+    def __init__(self, check_presets: bool = True):
+        self.check_presets = check_presets
+
+    def check_project(
+        self, sources: Sequence[SourceFile], index: ClassIndex
+    ) -> Iterator[Finding]:
+        # Only audit when the scanned set actually contains the registry —
+        # linting a scratch snippet tree must not import the library.
+        if not any(src.path == REGISTRY_PATH for src in sources):
+            return
+        src_dir = os.path.join(REPO_ROOT, "src")
+        if src_dir not in sys.path:
+            sys.path.insert(0, src_dir)
+        from repro.registry import registry_problems
+
+        for problem in registry_problems(check_presets=self.check_presets):
+            yield Finding("registry-drift", REGISTRY_PATH, 1, str(problem))

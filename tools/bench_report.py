@@ -38,6 +38,31 @@ ARTIFACTS = (
 #: Top-level keys that are configuration, not measured metrics.
 _NON_METRIC_KEYS = {"benchmark", "dataset", "config", "headline", "memory_metric"}
 
+#: repro-lint report written by `make lint`; summarised in the headline.
+LINT_REPORT = "LINT_report.json"
+
+
+def lint_summary_line(root: str = REPO_ROOT) -> str:
+    """One-line repro-lint summary from ``LINT_report.json``, if present."""
+    path = os.path.join(root, LINT_REPORT)
+    if not os.path.exists(path):
+        return f"Lint: no `{LINT_REPORT}` found — run `make lint`."
+    try:
+        with open(path) as handle:
+            doc = json.load(handle)
+        summary = doc.get("summary", {})
+        total = summary.get("total", "?")
+        suppressed = summary.get("pragma_suppressed", 0)
+        baselined = summary.get("baseline_suppressed", 0)
+        files = doc.get("files_scanned", "?")
+        status = "clean" if total == 0 else f"**{total} finding(s)**"
+    except (ValueError, OSError):
+        return f"Lint: `{LINT_REPORT}` unreadable — rerun `make lint`."
+    return (
+        f"Lint: repro-lint {status} over {files} files "
+        f"({suppressed} pragma-suppressed, {baselined} baselined)."
+    )
+
 
 def flatten_numeric(value: Any, prefix: str = "") -> List[Tuple[str, Any]]:
     """Depth-first (dotted-path, scalar) pairs for every numeric/bool leaf."""
@@ -119,6 +144,8 @@ def build_report(root: str = REPO_ROOT) -> Tuple[str, List[str]]:
         "",
         "Consolidated from the `BENCH_*.json` artifacts written by",
         "`make bench-smoke` (regenerate with `python tools/bench_report.py`).",
+        "",
+        lint_summary_line(root),
         "",
         "## Headlines",
         "",

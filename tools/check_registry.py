@@ -1,11 +1,12 @@
 #!/usr/bin/env python
-"""Registry completeness gate, run by ``make lint``.
+"""Registry completeness gate — thin shim over repro-lint's ``registry``
+checker.
 
-Fails (exit 1) when the classifier registry has drifted from the zoo:
-an exported classifier missing a ``register_classifier`` entry, a
-registered class violating the estimator contract, or a named preset that
-no longer constructs and fits. See
-:func:`repro.registry.registry_problems` for the exact audit.
+Historically ``make lint`` called this script directly; the audit now
+lives in :mod:`tools.analysis.registry_audit` and runs as part of the
+single ``tools/repro_lint.py`` invocation. This entrypoint is kept for
+muscle memory and scripts that still call it: it delegates to the same
+checker and exits with the same semantics (0 clean, 1 on drift).
 """
 
 from __future__ import annotations
@@ -13,22 +14,16 @@ from __future__ import annotations
 import os
 import sys
 
-sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+if TOOLS_DIR not in sys.path:
+    sys.path.insert(0, TOOLS_DIR)
 
 
 def main() -> int:
-    from repro.registry import list_classifiers, registry_problems
+    from repro_lint import main as lint_main
 
-    problems = registry_problems(check_presets=True)
-    if problems:
-        print(f"registry check FAILED ({len(problems)} problem(s)):")
-        for problem in problems:
-            print(f"  - {problem}")
-        return 1
-    names = list_classifiers()
-    print(f"registry check OK: {len(names)} classifiers registered, all "
-          f"contracts hold, all presets fit")
-    return 0
+    src = os.path.join(os.path.dirname(TOOLS_DIR), "src")
+    return lint_main([src, "--only", "registry", "--no-baseline"])
 
 
 if __name__ == "__main__":

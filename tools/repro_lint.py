@@ -1,0 +1,183 @@
+#!/usr/bin/env python
+"""repro-lint runner: the repo's static-analysis gate (``make lint``).
+
+Runs every checker in :mod:`tools.analysis` over the given paths,
+subtracts the checked-in baseline (``tools/analysis/baseline.json``),
+and exits non-zero when any finding remains. The shipped baseline is
+empty for ``src/repro`` — new violations there fail the build outright.
+
+Usage::
+
+    python tools/repro_lint.py [paths...]             # text findings
+    python tools/repro_lint.py --format=json --out LINT_report.json
+    python tools/repro_lint.py --list-rules
+    python tools/repro_lint.py --write-baseline       # deliberate only:
+                                                      # `make lint-fix-baseline`
+
+Default paths: ``src tests benchmarks tools``. ``--skip registry``
+drops the (slow, library-importing) registry audit for editor loops;
+every other checker is pure-AST and needs nothing importable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List
+
+TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(TOOLS_DIR)
+if TOOLS_DIR not in sys.path:
+    sys.path.insert(0, TOOLS_DIR)
+
+from analysis import (  # noqa: E402 — sys.path bootstrap above
+    apply_baseline,
+    default_checkers,
+    known_rules,
+    lint_paths,
+    load_baseline,
+    write_baseline,
+    DEFAULT_BASELINE,
+)
+
+DEFAULT_PATHS = ("src", "tests", "benchmarks", "tools")
+REPORT_VERSION = 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro_lint.py", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help="files/directories to lint (default: src tests benchmarks tools)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="stdout format; json prints the full report object",
+    )
+    parser.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="also write the JSON report to FILE (any --format)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=DEFAULT_BASELINE,
+        help="baseline file of grandfathered findings",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline (report everything)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="regenerate the baseline from current findings and exit 0 "
+             "(deliberate act: `make lint-fix-baseline`)",
+    )
+    parser.add_argument(
+        "--skip", metavar="CHECKER", action="append", default=[],
+        help="drop a checker by name (repeatable); e.g. --skip registry",
+    )
+    parser.add_argument(
+        "--only", metavar="CHECKER", action="append", default=[],
+        help="run only these checkers (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print every checker and rule, then exit",
+    )
+    return parser
+
+
+def main(argv: List[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    checkers = default_checkers()
+    names = {c.name for c in checkers}
+    for requested in list(args.only) + list(args.skip):
+        if requested not in names:
+            print(f"repro-lint: unknown checker {requested!r} "
+                  f"(known: {', '.join(sorted(names))})", file=sys.stderr)
+            return 2
+    if args.only:
+        checkers = [c for c in checkers if c.name in args.only]
+    checkers = [c for c in checkers if c.name not in args.skip]
+
+    if args.list_rules:
+        for checker in checkers:
+            print(f"{checker.name}:")
+            for rule, description in sorted(checker.rules.items()):
+                print(f"  {rule:26s} {description}")
+        return 0
+
+    paths = args.paths or [os.path.join(REPO_ROOT, p) for p in DEFAULT_PATHS]
+    result = lint_paths(paths, checkers)
+
+    if args.write_baseline:
+        entries = write_baseline(result.findings, args.baseline)
+        print(f"repro-lint: baseline regenerated with {sum(entries.values())} "
+              f"finding(s) ({len(entries)} distinct) at {args.baseline}")
+        return 0
+
+    baseline = {} if args.no_baseline else load_baseline(args.baseline)
+    remaining, baseline_suppressed, stale = apply_baseline(result.findings, baseline)
+
+    report = {
+        "version": REPORT_VERSION,
+        "tool": "repro-lint",
+        "paths": [os.path.relpath(p, REPO_ROOT) for p in paths],
+        "checkers": result.checkers_run,
+        "files_scanned": result.files_scanned,
+        "rules": known_rules(checkers),
+        "findings": [f.to_json() for f in remaining],
+        "summary": {
+            "total": len(remaining),
+            "by_rule": {},
+            "pragma_suppressed": result.pragma_suppressed,
+            "baseline_suppressed": baseline_suppressed,
+            "baseline_stale": stale,
+        },
+    }
+    for finding in remaining:
+        by_rule = report["summary"]["by_rule"]
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+
+    if args.format == "json":
+        if not args.out:
+            json.dump(report, sys.stdout, indent=2)
+            sys.stdout.write("\n")
+        # Humans still get the findings on stderr when the gate fails.
+        for finding in remaining:
+            print(finding.render(), file=sys.stderr)
+    else:
+        for finding in remaining:
+            print(finding.render())
+
+    status = "FAILED" if remaining else "OK"
+    summary = (
+        f"repro-lint {status}: {len(remaining)} finding(s) over "
+        f"{result.files_scanned} file(s) "
+        f"[{len(result.checkers_run)} checkers; "
+        f"{result.pragma_suppressed} pragma-suppressed, "
+        f"{baseline_suppressed} baselined]"
+    )
+    print(summary, file=sys.stderr if args.format == "json" and not args.out else sys.stdout)
+    if stale:
+        print(
+            f"repro-lint: note: {len(stale)} stale baseline entr"
+            f"{'y' if len(stale) == 1 else 'ies'} no longer match anything "
+            "— regenerate deliberately with `make lint-fix-baseline`",
+            file=sys.stderr,
+        )
+    return 1 if remaining else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
