@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast coverage bench-smoke bench-fastpath bench-serving bench-monitoring bench-chaos lint lint-fix-baseline
+.PHONY: test test-fast coverage bench-smoke bench-fastpath bench-serving bench-monitoring bench-chaos bench-telemetry lint lint-fix-baseline
 
 # Tier-1 suite (the ROADMAP verify command). Runs everything, including
 # tests marked `slow`.
@@ -23,15 +23,18 @@ coverage:
 
 # Fast end-to-end run of the perf benchmarks; writes BENCH_parallel.json,
 # BENCH_streaming.json, BENCH_fastpath.json, BENCH_serving.json,
-# BENCH_monitoring.json, and BENCH_chaos.json at the repo root (uploaded
-# as CI artifacts). The fastpath smoke asserts a conservative >=1.2x
-# speedup floor (REPRO_FASTPATH_MIN_SPEEDUP) so shared runners don't
-# flake; the serving smoke asserts bit-identity of the served path and
-# records latency percentiles without a floor; the monitoring smoke
-# asserts the hot-swap zero-blocked-requests contract; the chaos smoke
-# asserts the fault-tolerance SLOs (zero hung futures, zero silent drops,
-# typed failures, bounded recovery) under a seeded FaultPlan — all
-# correctness properties, not timings.
+# BENCH_monitoring.json, BENCH_chaos.json, and BENCH_telemetry.json at
+# the repo root (uploaded as CI artifacts). The fastpath smoke asserts a
+# conservative >=1.2x speedup floor (REPRO_FASTPATH_MIN_SPEEDUP) so
+# shared runners don't flake; the serving smoke asserts bit-identity of
+# the served path and records latency percentiles without a floor; the
+# monitoring smoke asserts the hot-swap zero-blocked-requests contract;
+# the chaos smoke asserts the fault-tolerance SLOs (zero hung futures,
+# zero silent drops, typed failures, bounded recovery) under a seeded
+# FaultPlan plus telemetry-vs-stats() reconciliation; the telemetry
+# smoke asserts the <5% sampling-overhead budget, histogram quantile
+# accuracy, and registry/stats()/span agreement — all correctness
+# properties, not timings.
 bench-smoke:
 	REPRO_SCALE=0.25 $(PYTHON) benchmarks/bench_parallel_scaling.py
 	REPRO_SCALE=0.25 $(PYTHON) benchmarks/bench_streaming_memory.py
@@ -39,6 +42,7 @@ bench-smoke:
 	REPRO_SCALE=0.25 $(PYTHON) benchmarks/bench_serving.py
 	REPRO_SCALE=0.25 $(PYTHON) benchmarks/bench_monitoring.py
 	REPRO_SCALE=0.25 $(PYTHON) benchmarks/bench_chaos.py
+	REPRO_SCALE=0.25 $(PYTHON) benchmarks/bench_telemetry.py
 	$(PYTHON) tools/bench_report.py
 
 # Full-scale fastpath speedup benchmark (fit / score / predict, legacy vs
@@ -68,6 +72,14 @@ bench-monitoring:
 # converged onto the swapped version) and writes BENCH_chaos.json.
 bench-chaos:
 	$(PYTHON) benchmarks/bench_chaos.py
+
+# Full-scale telemetry-plane benchmark: sampling-overhead bound (<5% on
+# a production-shaped serving workload, interleaved on/off trials),
+# histogram p50/p99 accuracy against exact percentiles of a seeded
+# sample, and the registry/stats()/span reconciliation; writes
+# BENCH_telemetry.json.
+bench-telemetry:
+	$(PYTHON) benchmarks/bench_telemetry.py
 
 # No third-party linters in the toolchain: byte-compile everything so
 # syntax/undefined-future errors fail fast, then run repro-lint — the

@@ -40,6 +40,7 @@ import numpy as np
 
 from conftest import bench_scale, save_result
 
+from repro import telemetry
 from repro.chaos import FaultPlan, KillOnSwap, KillWorker, StallWorker
 from repro.core import SelfPacedEnsembleClassifier
 from repro.datasets import make_payment_simulation
@@ -59,6 +60,42 @@ REQUEST_DEADLINE_S = 10.0  # generous per-request budget; expiry = failure
 HANG_GRACE_S = 30.0  # a future unresolved this long after the burst hung
 RECOVERY_BOUND_S = 15.0
 RESPAWN_BACKOFF_S = 0.1
+
+
+def _reconcile_telemetry(pool, stats: dict) -> dict:
+    """One ``telemetry.snapshot()`` after the burst must tell the same
+    story as the legacy ``stats()`` dict — the registry is the source of
+    truth and ``stats()`` a view, so any disagreement is a bug."""
+    label = {"pool": pool.telemetry_label_}
+    counters = {
+        "n_requests": "repro_pool_requests_total",
+        "n_crashes": "repro_pool_crashes_total",
+        "n_respawns": "repro_pool_respawns_total",
+        "n_deadline_expired": "repro_pool_deadline_expired_total",
+        "n_swaps": "repro_pool_swaps_total",
+    }
+    reconciled = {}
+    for stat_key, metric in counters.items():
+        registry_value = int(telemetry.metric_value(metric, label))
+        assert registry_value == stats[stat_key], (
+            f"{metric}={registry_value} disagrees with "
+            f"stats()[{stat_key!r}]={stats[stat_key]}"
+        )
+        reconciled[metric] = registry_value
+    roundtrip = telemetry.metric_value("repro_pool_roundtrip_seconds", label)
+    swap = telemetry.metric_value("repro_pool_swap_seconds", label)
+    assert roundtrip["count"] > 0, "no roundtrip latencies recorded"
+    assert swap["count"] >= 1, "the mid-burst fleet swap left no duration"
+    snap = telemetry.snapshot()
+    assert "repro_pool_requests_total" in snap["metrics"]
+    return {
+        "stats_match_registry": True,
+        "counters": reconciled,
+        "roundtrip_p50_s": roundtrip["p50"],
+        "roundtrip_p99_s": roundtrip["p99"],
+        "swap_count": swap["count"],
+        "swap_p99_s": swap["p99"],
+    }
 
 
 def _fit_and_save(tmp_dir):
@@ -167,6 +204,8 @@ def run_burst_phase(path_v1, path_v2, X_serve, scale: float) -> dict:
             time.sleep(0.05)
         stats = pool.stats()
         post_swap = pool.score(X_serve[:BATCH])
+        # fresh stats(): post_swap itself is request n+1 in both ledgers
+        reconciliation = _reconcile_telemetry(pool, pool.stats())
 
     typed_failures = (
         outcomes["crashed"] + outcomes["deadline"]
@@ -201,6 +240,7 @@ def run_burst_phase(path_v1, path_v2, X_serve, scale: float) -> dict:
         "n_respawns": stats["n_respawns"],
         "worker_generations": stats["worker_generations"],
         "fleet_converged_to": sorted(set(stats["model_versions"].values())),
+        "telemetry": reconciliation,
     }
 
 
@@ -259,6 +299,7 @@ def run_chaos_bench(scale: float) -> dict:
             "killed_mid_swap": True,
             "recovery_s": burst["recovery_s"],
             "fleet_converged": burst["fleet_converged_to"] == ["v2"],
+            "stats_matches_registry": burst["telemetry"]["stats_match_registry"],
         },
     }
 
@@ -285,6 +326,10 @@ def _render(report: dict) -> str:
             f"deadlines: {dl['n_requests']} requests vs a {dl['stall_s']}s stall at "
             f"deadline={dl['deadline_s']}s -> {dl['outcomes']['deadline']} expired "
             f"typed, {dl['outcomes']['scored']} scored, {dl['outcomes']['hung']} hung",
+            f"telemetry: snapshot reconciles with stats() "
+            f"({burst['telemetry']['counters']}), roundtrip p99 "
+            f"{burst['telemetry']['roundtrip_p99_s']:.4f}s, "
+            f"{burst['telemetry']['swap_count']} swap duration(s) recorded",
         ]
     )
 

@@ -50,6 +50,8 @@ from .serving import (
 )
 from .monitoring import DriftMonitor, ReferenceSketch
 from .lifecycle import ArtifactRegistry, LifecycleController, RetrainPolicy
+from . import telemetry
+from .telemetry import get_registry
 from .exceptions import (
     CircuitOpenError,
     ConvergenceWarning,
@@ -98,6 +100,8 @@ __all__ = [
     "ArtifactRegistry",
     "LifecycleController",
     "RetrainPolicy",
+    "get_registry",
+    "telemetry",
     "CircuitOpenError",
     "ConvergenceWarning",
     "DataValidationError",

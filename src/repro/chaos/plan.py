@@ -49,6 +49,8 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import telemetry
+
 __all__ = [
     "CorruptArtifact",
     "DelayReply",
@@ -154,6 +156,20 @@ class FaultPlan:
     def __repr__(self) -> str:
         return f"FaultPlan({list(self.faults)!r}, seed={self.seed})"
 
+    @staticmethod
+    def _count_fault(site: str, kind: str) -> None:
+        """Mirror a fired fault into ``repro_chaos_faults_total``.
+
+        Counted in whichever process fires it: stalls/delays surface in
+        that process's registry; kill counts die with the killed worker
+        (the parent's pool crash counters are the surviving record).
+        """
+        telemetry.get_registry().counter(
+            "repro_chaos_faults_total",
+            "Chaos faults fired, by site and kind.",
+            labels=("site", "kind"),
+        ).labels(site, kind).inc()
+
     # ------------------------------------------------------------------ #
     def fire(
         self,
@@ -177,6 +193,7 @@ class FaultPlan:
                     and fault.after_requests == count
                     and fault.generation == generation
                 ):
+                    self._count_fault(site, "kill")
                     self._die(f"KillWorker(worker={worker}, count={count})")
             elif isinstance(fault, KillOnSwap) and site == "worker.swap":
                 if (
@@ -184,6 +201,7 @@ class FaultPlan:
                     and fault.on_swap == count
                     and fault.generation == generation
                 ):
+                    self._count_fault(site, "kill")
                     self._die(f"KillOnSwap(worker={worker}, swap={count})")
             elif isinstance(fault, StallWorker) and site == "worker.request":
                 if (
@@ -192,6 +210,7 @@ class FaultPlan:
                     and fault.generation in (None, generation)
                 ):
                     self.fired_.append(("stall", site, worker, count))
+                    self._count_fault(site, "stall")
                     time.sleep(fault.seconds)
             elif isinstance(fault, DelayReply) and site == "worker.reply":
                 if (
@@ -200,10 +219,12 @@ class FaultPlan:
                     and fault.generation in (None, generation)
                 ):
                     self.fired_.append(("delay", site, worker, count))
+                    self._count_fault(site, "delay")
                     time.sleep(fault.seconds)
             elif isinstance(fault, StallSite) and site == fault.site:
                 if fault.after_count == count:
                     self.fired_.append(("stall", site, worker, count))
+                    self._count_fault(site, "stall")
                     time.sleep(fault.seconds)
 
     @staticmethod

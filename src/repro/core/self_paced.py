@@ -26,6 +26,7 @@ from typing import Callable, List, Optional, Tuple, Union
 
 import numpy as np
 
+from .. import telemetry
 from ..base import BaseEstimator, ClassifierMixin
 from ..ensemble.bagging import make_member_model
 from ..fastpath import (
@@ -420,11 +421,11 @@ class SelfPacedEnsembleClassifier(
         min_idx = np.flatnonzero(y == 1)
         if len(min_idx) == 0 or len(maj_idx) == 0:
             raise ValueError("SPE requires both classes present (0=majority, 1=minority)")
-        context = (
-            shared_bin_context_for(self.estimator, X, y=y)
-            if self.shared_binning
-            else None
-        )
+        if self.shared_binning:
+            with telemetry.stage_timer("shared_binning"):
+                context = shared_bin_context_for(self.estimator, X, y=y)
+        else:
+            context = None
         majority = InMemoryMajorityAccess(
             X, maj_idx, self._proba_pos, bin_context=context
         )
@@ -471,16 +472,19 @@ class SelfPacedEnsembleClassifier(
 
         def train_one(X_sub_maj: np.ndarray) -> None:
             """Fit one base model on sampled majority ∪ all minority."""
-            model, n_trained = fit_ensemble_member(
-                len(self.estimators_), rng, X_sub_maj, None, sample_fn, make_model
-            )
+            with telemetry.stage_timer("member_fit"):
+                model, n_trained = fit_ensemble_member(
+                    len(self.estimators_), rng, X_sub_maj, None, sample_fn,
+                    make_model,
+                )
             self.estimators_.append(model)
             self.n_training_samples_ += n_trained
 
         # --- cold start: random balanced subset (Algorithm 1, line 2) ----
         cold = rng.choice(maj_idx, size=min(n_min, len(maj_idx)), replace=False)
         train_one(majority.take_global(cold))
-        proba_maj = majority.score(self.estimators_[0])
+        with telemetry.stage_timer("ensemble_score"):
+            proba_maj = majority.score(self.estimators_[0])
         if eval_set is not None:
             proba_eval = self._proba_pos(self.estimators_[0], X_eval)
             self._record_eval(y_eval, proba_eval)
@@ -494,16 +498,18 @@ class SelfPacedEnsembleClassifier(
         for i in range(1, self.n_estimators):
             hardness = hardness_fn(y_maj_zeros, proba_maj)
             alpha = schedule(i, n_iter)
-            selected, bins = self_paced_under_sample(
-                hardness, self.k_bins, alpha, n_min, rng
-            )
+            with telemetry.stage_timer("self_paced_sampling"):
+                selected, bins = self_paced_under_sample(
+                    hardness, self.k_bins, alpha, n_min, rng
+                )
             if self.record_bins:
                 sub_bins = cut_hardness_bins(hardness[selected], self.k_bins)
                 self.bin_history_.append((alpha, bins, sub_bins))
             train_one(majority.take(selected))
             # Incremental running-average update (Algorithm 1, line 4).
             n_models = len(self.estimators_)
-            latest = majority.score(self.estimators_[-1])
+            with telemetry.stage_timer("ensemble_score"):
+                latest = majority.score(self.estimators_[-1])
             proba_maj = (proba_maj * (n_models - 1) + latest) / n_models
             if eval_set is not None:
                 latest_eval = self._proba_pos(self.estimators_[-1], X_eval)

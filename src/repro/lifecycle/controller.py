@@ -30,6 +30,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from .. import telemetry
 from ..exceptions import WorkerCrashedError
 from ..monitoring.drift import DriftReport
 from ..monitoring.monitor import DriftMonitor
@@ -158,6 +159,40 @@ class LifecycleController:
         self.min_lift = float(min_lift)
         self.holdout_fraction = float(holdout_fraction)
         self.events: List[LifecycleEvent] = []
+        self._init_metrics()
+
+    def _init_metrics(self) -> None:
+        """Register this controller's metric children (labeled per
+        instance)."""
+        registry = telemetry.get_registry()
+        self.telemetry_label_ = telemetry.instance_label("controller")
+        label = ("controller",)
+        self._m_events_family = registry.counter(
+            "repro_lifecycle_events_total",
+            "Lifecycle decisions taken, by policy action.",
+            labels=("controller", "action"),
+        )
+        self._m_promotions = registry.counter(
+            "repro_lifecycle_promotions_total",
+            "Challengers promoted to champion (registered + swapped).",
+            labels=label,
+        ).labels(self.telemetry_label_)
+        self._m_swap_retries = registry.counter(
+            "repro_lifecycle_swap_retries_total",
+            "Fleet swaps retried after a transient failure.",
+            labels=label,
+        ).labels(self.telemetry_label_)
+        self._h_promotion_lag = registry.histogram(
+            "repro_lifecycle_promotion_lag_seconds",
+            "Decision-to-swap lag: retrain + shadow + register + swap.",
+            labels=label,
+        ).labels(self.telemetry_label_)
+        self._h_swap = registry.histogram(
+            "repro_lifecycle_swap_seconds",
+            "Server/fleet swap duration as seen by the controller "
+            "(including the wait-healthy retry path).",
+            labels=label,
+        ).labels(self.telemetry_label_)
 
     # ------------------------------------------------------------------ #
     def process(self, X_batch, y_true=None) -> LifecycleEvent:
@@ -173,11 +208,11 @@ class LifecycleController:
         scores = scored.proba[:, self.server.positive_index]
         self.monitor.observe(X_batch, scores, y_true)
         if y_true is None:
-            event = LifecycleEvent(
-                n_rows=len(X_batch), model_version=scored.model_version
+            return self._record_event(
+                LifecycleEvent(
+                    n_rows=len(X_batch), model_version=scored.model_version
+                )
             )
-            self.events.append(event)
-            return event
         return self._decide_and_act(len(X_batch), scored.model_version)
 
     def deliver_labels(self, y_true) -> LifecycleEvent:
@@ -186,10 +221,27 @@ class LifecycleController:
         self.monitor.observe_labels(y_true)
         return self._decide_and_act(0, self.server.model_version)
 
+    def _record_event(self, event: LifecycleEvent) -> LifecycleEvent:
+        """Append the event and mirror it into the telemetry registry."""
+        self._m_events_family.labels(
+            self.telemetry_label_, event.action.name
+        ).inc()
+        if event.promoted:
+            self._m_promotions.inc()
+        if event.swap_retried:
+            self._m_swap_retries.inc()
+        self.events.append(event)
+        return event
+
     # ------------------------------------------------------------------ #
     def _decide_and_act(self, n_rows: int, serving_version: str) -> LifecycleEvent:
         reports = self.monitor.check()
         action = self.policy.decide(reports)
+        # Promotion lag starts at the decision: everything between "the
+        # policy said act" and "the new champion is serving" counts.
+        lag_watch = (
+            telemetry.stopwatch() if action is not Action.NONE else None
+        )
         shadow = None
         promoted = False
         promoted_version = None
@@ -200,15 +252,14 @@ class LifecycleController:
             # A single-class window cannot train a challenger; keep the
             # decision on record (the drift evidence is real) but skip the
             # retrain until minority rows land.
-            action_taken = action
-            event = LifecycleEvent(
-                n_rows=n_rows,
-                model_version=serving_version,
-                reports=list(reports),
-                action=action_taken,
+            return self._record_event(
+                LifecycleEvent(
+                    n_rows=n_rows,
+                    model_version=serving_version,
+                    reports=list(reports),
+                    action=action,
+                )
             )
-            self.events.append(event)
-            return event
         if action is not Action.NONE:
             (X_fit, y_fit), (X_shadow, y_shadow) = self._split_window(X, y)
             challenger = self.train_fn(ArraySource(X_fit, y_fit))
@@ -247,6 +298,7 @@ class LifecycleController:
                     # consistent (champion set), so the retry republishes
                     # the same artifact — idempotent by construction.
                     target = self.registry.path(promoted_version)
+                    swap_watch = telemetry.stopwatch()
                     try:
                         self.server.swap_model(target, version=promoted_version)
                     except (TimeoutError, WorkerCrashedError) as exc:
@@ -256,14 +308,19 @@ class LifecycleController:
                         if wait_healthy is not None:
                             wait_healthy()
                         self.server.swap_model(target, version=promoted_version)
+                    swap_watch.observe(self._h_swap)
                 else:
+                    swap_watch = telemetry.stopwatch()
                     self.server.swap_model(challenger, version=promoted_version)
+                    swap_watch.observe(self._h_swap)
                 # The promoted model learned the drifted distribution —
                 # rebase the monitor on its training window so the "new
                 # normal" stops alarming, and reset the error baseline.
                 self.monitor.rebase_reference(X_fit, y_fit)
                 self.monitor.reset_after_swap()
                 promoted = True
+                if lag_watch is not None:
+                    lag_watch.observe(self._h_promotion_lag)
         event = LifecycleEvent(
             n_rows=n_rows,
             model_version=serving_version,
@@ -275,8 +332,7 @@ class LifecycleController:
             swap_retried=swap_retried,
             swap_error=swap_error,
         )
-        self.events.append(event)
-        return event
+        return self._record_event(event)
 
     def _split_window(self, X: np.ndarray, y: np.ndarray):
         """Oldest rows train the challenger, newest shadow-compare it.

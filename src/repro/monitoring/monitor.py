@@ -26,6 +26,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from .. import telemetry
 from .drift import (
     DDMDetector,
     DriftLevel,
@@ -130,6 +131,33 @@ class DriftMonitor:
         self._X_pending: List[np.ndarray] = []
         self._n_pending_rows = 0
         self._ddm_report: Optional[DriftReport] = None
+        self._init_metrics()
+
+    def _init_metrics(self) -> None:
+        """Register this monitor's metric children (labeled per instance)."""
+        registry = telemetry.get_registry()
+        self.telemetry_label_ = telemetry.instance_label("monitor")
+        label = ("monitor",)
+        self._m_rows = registry.counter(
+            "repro_monitor_rows_total",
+            "Scored rows observed by the drift monitor.",
+            labels=label,
+        ).labels(self.telemetry_label_)
+        self._m_checks = registry.counter(
+            "repro_monitor_checks_total",
+            "Detector sweeps run over the labeled window.",
+            labels=label,
+        ).labels(self.telemetry_label_)
+        self._h_check = registry.histogram(
+            "repro_monitor_check_seconds",
+            "Duration of one full detector sweep.",
+            labels=label,
+        ).labels(self.telemetry_label_)
+        self._g_level_family = registry.gauge(
+            "repro_monitor_drift_level",
+            "Latest drift level per detector: 0 OK, 1 WARN, 2 ALARM.",
+            labels=("monitor", "detector"),
+        )
 
     def _set_prevalence_detector(self, prevalence: float) -> None:
         self.prevalence_detector = (
@@ -163,6 +191,7 @@ class DriftMonitor:
                 "via observe_labels or raise max_pending"
             )
         self.evaluator.push_scores(y_score)
+        self._m_rows.inc(len(X_batch))
         self._X_pending.append(X_batch)
         self._n_pending_rows += len(X_batch)
         if y_true is not None:
@@ -228,7 +257,22 @@ class DriftMonitor:
         Below ``min_window`` labeled rows all detectors report ``OK`` with
         a nan statistic — explicitly "not enough evidence", never a
         spurious alarm on a cold window.
+
+        Each sweep publishes every report's level to the
+        ``repro_monitor_drift_level{monitor,detector}`` gauge (0 OK,
+        1 WARN, 2 ALARM) and times itself into
+        ``repro_monitor_check_seconds``.
         """
+        self._m_checks.inc()
+        with telemetry.timer(self._h_check):
+            reports = self._run_detectors()
+        for report in reports:
+            self._g_level_family.labels(
+                self.telemetry_label_, report.detector
+            ).set(int(report.level))
+        return reports
+
+    def _run_detectors(self) -> List[DriftReport]:
         X, y, _ = self.window()
         if len(y) < self.min_window:
             return [

@@ -33,10 +33,29 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import telemetry
 from ..fastpath.codetable import cached_packed_ensemble
 from ..fastpath.config import fastpath_enabled
 from ..fastpath.packed import ESTIMATOR_BLOCK
 from .executor import parallel_map
+
+#: ``repro_fastpath_predict_seconds{path=...}`` children, cached — the
+#: inference engine is the serving hot loop; one dict hit, not a
+#: registry round-trip per call.
+_PREDICT_HIST: Dict[str, object] = {}
+
+
+def _predict_histogram(path: str):
+    child = _PREDICT_HIST.get(path)
+    if child is None:
+        child = telemetry.get_registry().histogram(
+            "repro_fastpath_predict_seconds",
+            "ensemble_predict_proba latency by execution path "
+            "(packed kernel vs chunked fallback).",
+            labels=("path",),
+        ).labels(path)
+        _PREDICT_HIST[path] = child
+    return child
 
 __all__ = ["DEFAULT_CHUNK_SIZE", "ESTIMATOR_BLOCK", "ensemble_predict_proba"]
 
@@ -147,9 +166,11 @@ def ensemble_predict_proba(
     if chunk_size < 1:
         raise ValueError("chunk_size must be >= 1")
 
+    watch = telemetry.stopwatch()
     if packed == "auto" and fastpath_enabled():
         proba = _packed_proba(estimators, X, classes)
         if proba is not None:
+            watch.observe(_predict_histogram("packed"))
             return proba
 
     class_pos = {c: i for i, c in enumerate(classes.tolist())}
@@ -190,4 +211,5 @@ def ensemble_predict_proba(
         for extra in cell[1:]:  # fixed block order → deterministic rounding
             total = total + extra
         proba[lo:hi] = total / len(estimators)
+    watch.observe(_predict_histogram("chunked"))
     return proba

@@ -46,9 +46,10 @@ from __future__ import annotations
 
 import asyncio
 import time
-from collections import Counter, deque
+from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
+from .. import telemetry
 from ..exceptions import (
     CircuitOpenError,
     ServerClosedError,
@@ -61,6 +62,9 @@ __all__ = ["AsyncGateway"]
 
 #: Breaker states surfaced in ``stats()["breaker"]["state"]``.
 _CLOSED, _OPEN, _HALF_OPEN = "closed", "open", "half_open"
+
+#: Breaker state → ``repro_gateway_breaker_state`` gauge value.
+_BREAKER_GAUGE = {_CLOSED: 0, _OPEN: 1, _HALF_OPEN: 2}
 
 
 class AsyncGateway:
@@ -138,26 +142,116 @@ class AsyncGateway:
         self.breaker_cooldown = float(breaker_cooldown)
         self.on_shed = on_shed
         self._chaos = chaos
-        #: tenant → deque of (rows, done_future, expires_at)
-        self._queues: Dict[str, Deque[Tuple[object, asyncio.Future, Optional[float]]]] = {}
+        #: tenant → deque of (rows, done_future, expires_at, sw, ctx)
+        self._queues: Dict[str, Deque[Tuple]] = {}
         self._order: List[str] = []  # rotation order = first-seen order
         self._rr = 0
         self._wake: Optional[asyncio.Event] = None
         self._drain_task: Optional[asyncio.Task] = None
         self._inflight: set = set()
         self._closed = False
-        self.n_backpressure_waits_ = 0
-        self.n_deadline_expired_ = 0
-        self.n_shed_ = 0
-        self.n_breaker_opens_ = 0
         self._breaker_state = _CLOSED
         self._failure_streak = 0
         self._opened_at = 0.0
         self._probe_inflight = False
         self._n_forwards = 0
-        self._submitted: Counter = Counter()
-        self._served: Counter = Counter()
-        self._rejected: Counter = Counter()
+        self._init_metrics()
+
+    # ------------------------------------------------------------------ #
+    # telemetry
+    # ------------------------------------------------------------------ #
+    def _init_metrics(self) -> None:
+        """Register this gateway's metric children (labeled per instance);
+        per-tenant traffic counters are labeled children of one family."""
+        registry = telemetry.get_registry()
+        self.telemetry_label_ = telemetry.instance_label("gateway")
+        label = ("gateway",)
+        tenant_label = ("gateway", "tenant")
+        self._f_submitted = registry.counter(
+            "repro_gateway_submitted_total",
+            "Requests admitted past the gateway door, per tenant.",
+            labels=tenant_label,
+        )
+        self._f_served = registry.counter(
+            "repro_gateway_served_total",
+            "Requests answered by the backend, per tenant.",
+            labels=tenant_label,
+        )
+        self._f_rejected = registry.counter(
+            "repro_gateway_rejected_total",
+            "Requests rejected at the door (tenant queue full), per tenant.",
+            labels=tenant_label,
+        )
+        self._f_queued = registry.gauge(
+            "repro_gateway_queue_depth",
+            "Requests waiting in the gateway queue, per tenant.",
+            labels=tenant_label,
+        )
+        self._m_backpressure = registry.counter(
+            "repro_gateway_backpressure_waits_total",
+            "Backend push-backs absorbed as backpressure pauses.",
+            labels=label,
+        ).labels(self.telemetry_label_)
+        self._m_deadline = registry.counter(
+            "repro_gateway_deadline_expired_total",
+            "Requests failed because their deadline passed at the gateway.",
+            labels=label,
+        ).labels(self.telemetry_label_)
+        self._m_shed = registry.counter(
+            "repro_gateway_shed_total",
+            "Requests shed while the circuit breaker was open.",
+            labels=label,
+        ).labels(self.telemetry_label_)
+        self._m_breaker_opens = registry.counter(
+            "repro_gateway_breaker_opens_total",
+            "Circuit-breaker trips (closed/half-open to open).",
+            labels=label,
+        ).labels(self.telemetry_label_)
+        self._g_breaker_state = registry.gauge(
+            "repro_gateway_breaker_state",
+            "Circuit-breaker state: 0 closed, 1 open, 2 half-open.",
+            labels=label,
+        ).labels(self.telemetry_label_)
+        self._g_inflight = registry.gauge(
+            "repro_gateway_inflight_requests",
+            "Requests forwarded to the backend and awaiting its answer.",
+            labels=label,
+        ).labels(self.telemetry_label_)
+        self._h_queue_wait = registry.histogram(
+            "repro_gateway_queue_wait_seconds",
+            "Admission-to-forward wait in the gateway queue.",
+            labels=label,
+        ).labels(self.telemetry_label_)
+        self._h_request = registry.histogram(
+            "repro_gateway_request_seconds",
+            "End-to-end request latency through the gateway.",
+            labels=label,
+        ).labels(self.telemetry_label_)
+
+    def _tenant(self, family, tenant: str):
+        """The (gateway, tenant)-labeled child of ``family``."""
+        return family.labels(self.telemetry_label_, tenant)
+
+    # -- gateway counters (views over the telemetry registry) ----------- #
+    @property
+    def n_backpressure_waits_(self) -> int:
+        """Backpressure pauses taken (registry view)."""
+        return int(self._m_backpressure.value)
+
+    @property
+    def n_deadline_expired_(self) -> int:
+        """Deadline failures (registry view)."""
+        return int(self._m_deadline.value)
+
+    @property
+    def n_shed_(self) -> int:
+        """Breaker-shed requests (registry view)."""
+        return int(self._m_shed.value)
+
+    @property
+    def n_breaker_opens_(self) -> int:
+        """Breaker trips (registry view)."""
+        return int(self._m_breaker_opens.value)
 
     # ------------------------------------------------------------------ #
     async def submit(
@@ -178,17 +272,19 @@ class AsyncGateway:
         if self._closed:
             raise ServerClosedError("AsyncGateway is closed")
         tenant = str(tenant)
+        sw = telemetry.stopwatch()
+        ctx = telemetry.current_context()
         expires_at = None
         if deadline is not None:
             deadline = float(deadline)
             if deadline <= 0:
-                self.n_deadline_expired_ += 1
+                self._m_deadline.inc()
                 raise DeadlineExceededError(
                     f"deadline of {deadline}s already expired at submission"
                 )
             expires_at = time.monotonic() + deadline
         if not self._breaker_admits():
-            self.n_shed_ += 1
+            self._m_shed.inc()
             exc = CircuitOpenError(
                 f"circuit breaker is {self._breaker_state} after "
                 f"{self._failure_streak} consecutive backend failures; "
@@ -204,7 +300,7 @@ class AsyncGateway:
             self._queues[tenant] = tenant_q
             self._order.append(tenant)
         if len(tenant_q) >= self.max_pending_per_tenant:
-            self._rejected[tenant] += 1
+            self._tenant(self._f_rejected, tenant).inc()
             raise ServerOverloadedError(
                 f"gateway queue for tenant {tenant!r} is full "
                 f"({self.max_pending_per_tenant} pending); back off and retry"
@@ -215,8 +311,9 @@ class AsyncGateway:
             # (success/failure handlers adjust the breaker state first).
             self._probe_inflight = True
             done.add_done_callback(self._probe_settled)
-        tenant_q.append((rows, done, expires_at))
-        self._submitted[tenant] += 1
+        tenant_q.append((rows, done, expires_at, sw, ctx))
+        self._tenant(self._f_submitted, tenant).inc()
+        self._tenant(self._f_queued, tenant).set(len(tenant_q))
         self._wake.set()
         return await done
 
@@ -236,9 +333,10 @@ class AsyncGateway:
         if self.breaker_threshold is None or self._breaker_state == _CLOSED:
             return True
         if self._breaker_state == _OPEN:
-            if time.monotonic() - self._opened_at < self.breaker_cooldown:
+            if time.monotonic() < self._opened_at + self.breaker_cooldown:
                 return False
             self._breaker_state = _HALF_OPEN
+            self._g_breaker_state.set(_BREAKER_GAUGE[_HALF_OPEN])
             self._probe_inflight = False
         # Half-open: exactly one probe in flight at a time.
         return not self._probe_inflight
@@ -248,9 +346,10 @@ class AsyncGateway:
 
     def _trip_breaker(self) -> None:
         self._breaker_state = _OPEN
+        self._g_breaker_state.set(_BREAKER_GAUGE[_OPEN])
         self._opened_at = time.monotonic()
         self._probe_inflight = False
-        self.n_breaker_opens_ += 1
+        self._m_breaker_opens.inc()
 
     def _on_backend_failure(self) -> None:
         """A crash or overload push-back: extend the streak, maybe trip."""
@@ -269,6 +368,7 @@ class AsyncGateway:
         self._failure_streak = 0
         if self._breaker_state != _CLOSED:
             self._breaker_state = _CLOSED  # served = backend is back
+            self._g_breaker_state.set(_BREAKER_GAUGE[_CLOSED])
             self._probe_inflight = False
 
     # ------------------------------------------------------------------ #
@@ -287,7 +387,7 @@ class AsyncGateway:
         """Fail ``done`` typed if its deadline passed; True if it did."""
         if expires_at is None or time.monotonic() <= expires_at:
             return False
-        self.n_deadline_expired_ += 1
+        self._m_deadline.inc()
         if not done.done():
             done.set_exception(
                 DeadlineExceededError(
@@ -307,30 +407,37 @@ class AsyncGateway:
                 if item is None:
                     await self._wake.wait()
                     continue
-            tenant, (rows, done, expires_at) = item
+            tenant, (rows, done, expires_at, sw, ctx) = item
+            self._tenant(self._f_queued, tenant).set(
+                len(self._queues[tenant])
+            )
             if done.done():  # caller gave up (cancelled/timed out)
                 continue
             if self._expired(done, expires_at):
                 continue
+            wait_s = sw.observe(self._h_queue_wait)
+            if ctx is not None:
+                telemetry.record_span(
+                    "gateway.queue_wait",
+                    wait_s,
+                    ctx,
+                    gateway=self.telemetry_label_,
+                    tenant=tenant,
+                )
             pause = self.retry_interval
             while True:
                 self._n_forwards += 1
                 if self._chaos is not None:
                     self._chaos.fire("gateway.forward", count=self._n_forwards)
                 try:
-                    if expires_at is None:
-                        backend_future = self.backend.submit(rows)
-                    else:
-                        backend_future = self.backend.submit(
-                            rows, deadline=expires_at - time.monotonic()
-                        )
+                    backend_future = self._forward(rows, expires_at, ctx)
                 except ServerOverloadedError:
                     # Backend pushed back: hold the request (backpressure),
                     # never drop it. Head-of-line here is deliberate — the
                     # backend is full, so nothing else would go through
                     # either. The pause doubles up to max_retry_interval
                     # so a long overload isn't a hot spin.
-                    self.n_backpressure_waits_ += 1
+                    self._m_backpressure.inc()
                     self._on_backend_failure()
                     await asyncio.sleep(pause)
                     pause = min(self.max_retry_interval, pause * 2)
@@ -338,7 +445,7 @@ class AsyncGateway:
                         break
                     continue
                 except DeadlineExceededError as exc:
-                    self.n_deadline_expired_ += 1
+                    self._m_deadline.inc()
                     if not done.done():
                         done.set_exception(exc)
                     break
@@ -348,41 +455,78 @@ class AsyncGateway:
                     break
                 else:
                     task = asyncio.ensure_future(
-                        self._finish(tenant, backend_future, done)
+                        self._finish(tenant, backend_future, done, sw, ctx)
                     )
                     self._inflight.add(task)
-                    task.add_done_callback(self._inflight.discard)
+                    self._g_inflight.set(len(self._inflight))
+                    task.add_done_callback(self._inflight_done)
                     break
 
-    async def _finish(self, tenant: str, backend_future, done) -> None:
+    def _forward(self, rows, expires_at, ctx):
+        """One backend submit attempt, inside the request's trace context
+        (so the backend captures the right parent span)."""
+        if ctx is not None:
+            with telemetry.resume_trace(*ctx):
+                return self._forward(rows, expires_at, None)
+        if expires_at is None:
+            return self.backend.submit(rows)
+        return self.backend.submit(
+            rows, deadline=expires_at - time.monotonic()
+        )
+
+    def _inflight_done(self, task) -> None:
+        self._inflight.discard(task)
+        self._g_inflight.set(len(self._inflight))
+
+    async def _finish(self, tenant: str, backend_future, done, sw, ctx) -> None:
+        outcome = "ok"
         try:
             result = await asyncio.wrap_future(backend_future)
         except WorkerCrashedError as exc:
+            outcome = "error"
             self._on_backend_failure()
             if not done.done():
                 done.set_exception(exc)
         except BaseException as exc:
+            outcome = "error"
             if not done.done():
                 done.set_exception(exc)
         else:
             self._on_backend_success()
-            self._served[tenant] += 1
+            self._tenant(self._f_served, tenant).inc()
             if not done.done():
                 done.set_result(result)
+        total_s = sw.observe(self._h_request)
+        if ctx is not None:
+            telemetry.record_span(
+                "gateway.request",
+                total_s,
+                ctx,
+                gateway=self.telemetry_label_,
+                tenant=tenant,
+                outcome=outcome,
+            )
 
     # ------------------------------------------------------------------ #
     def stats(self) -> Dict:
         """Gateway-health snapshot: per-tenant admission/served/rejected
         counters, queue depths, backpressure waits, deadline expiries,
-        and the circuit breaker's state and shed counts."""
+        and the circuit breaker's state and shed counts.
+
+        Every counter is a view over the telemetry registry — the same
+        values ``repro.telemetry.snapshot()`` exposes.
+        """
         tenants = {}
         for tenant in self._order:
+            queued = len(self._queues[tenant])
+            self._tenant(self._f_queued, tenant).set(queued)
             tenants[tenant] = {
-                "submitted": int(self._submitted[tenant]),
-                "served": int(self._served[tenant]),
-                "rejected": int(self._rejected[tenant]),
-                "queued": len(self._queues[tenant]),
+                "submitted": int(self._tenant(self._f_submitted, tenant).value),
+                "served": int(self._tenant(self._f_served, tenant).value),
+                "rejected": int(self._tenant(self._f_rejected, tenant).value),
+                "queued": queued,
             }
+        self._g_inflight.set(len(self._inflight))
         return {
             "tenants": tenants,
             "n_backpressure_waits": self.n_backpressure_waits_,

@@ -76,6 +76,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from .. import exceptions as _exceptions
+from .. import telemetry
 from ..exceptions import (
     DeadlineExceededError,
     FleetTimeoutError,
@@ -103,7 +104,9 @@ def process_private_kb() -> Optional[float]:
     File-backed pages of an mmap'd artifact and copy-on-write pages
     inherited from the pool parent are shared, so they do not count: this
     is the honest per-worker cost of attaching one more worker to the
-    fleet. Returns ``None`` where the proc file is unavailable (non-Linux).
+    fleet. Returns ``None`` where the proc file is unavailable (non-Linux)
+    or unparsable (a hardened/backported kernel exposing a truncated
+    rollup) — callers degrade to a ``nan`` gauge, never an exception.
     """
     try:
         with open("/proc/self/smaps_rollup") as handle:
@@ -112,7 +115,7 @@ def process_private_kb() -> Optional[float]:
                 if line.startswith(("Private_Clean:", "Private_Dirty:")):
                     total += float(line.split()[1])
             return total
-    except (OSError, ValueError):
+    except (OSError, ValueError, IndexError):
         return None
 
 
@@ -158,13 +161,20 @@ def _worker_main(
     """One worker process: a ModelServer draining its pool queue.
 
     Message protocol (FIFO per worker):
-      ("req", req_id, rows, expires_at)
-                                   → ("ok", req_id, proba, version)
-                                   | ("err", req_id, exc_name, text)
+      ("req", req_id, rows, expires_at, ctx)
+                                   → ("ok", req_id, proba, version, spans)
+                                   | ("err", req_id, exc_name, text, spans)
       ("swap", path, version)      → ("swapped", worker_id, version,
                                       (exc_name, text) | None)
       ("stats", token)             → ("stats", worker_id, token, payload)
       ("stop",)                    → ("stopped", worker_id)   [terminates]
+
+    ``ctx`` is the request's ``(trace_id, span_id)`` telemetry context
+    (or ``None``): the worker resumes the trace around its local submit,
+    so the inner ModelServer's queue-wait/kernel spans join the parent's
+    trace. ``spans`` carries them back — each reply drains this worker's
+    span sink for the trace (``Span.to_wire`` tuples) and the parent
+    re-records them, stitching the cross-process timeline together.
 
     On start the worker announces ("ready", worker_id, generation) — the
     supervisor's respawn-convergence signal. Swaps run on a side thread
@@ -187,13 +197,22 @@ def _worker_main(
 
     res_q.put(("ready", worker_id, generation))
 
-    def finish(req_id: int, future: Future) -> None:
+    def finish(req_id: int, ctx, future: Future) -> None:
+        spans: Tuple = ()
+        if ctx is not None:
+            # This worker's half of the trace (server.queue_wait,
+            # server.kernel_eval) rides home inside the reply message.
+            spans = tuple(
+                span.to_wire() for span in telemetry.drain_trace(ctx[0])
+            )
         try:
             scored: ScoredBatch = future.result()
         except BaseException as exc:
-            payload = ("err", req_id, type(exc).__name__, str(exc))
+            payload = ("err", req_id, type(exc).__name__, str(exc), spans)
         else:
-            payload = ("ok", req_id, scored.proba, scored.model_version)
+            payload = (
+                "ok", req_id, scored.proba, scored.model_version, spans
+            )
         if chaos is not None:
             chaos.fire(
                 "worker.reply",
@@ -221,7 +240,7 @@ def _worker_main(
         msg = req_q.get()
         kind = msg[0]
         if kind == "req":
-            _, req_id, rows, expires_at = msg
+            _, req_id, rows, expires_at, ctx = msg
             n_reqs_seen += 1
             if chaos is not None:
                 chaos.fire(
@@ -240,16 +259,23 @@ def _worker_main(
                             req_id,
                             "DeadlineExceededError",
                             "request expired in the worker queue; not scored",
+                            (),
                         )
                     )
                     continue
             try:
-                future = server.submit_scored(rows, deadline=deadline)
+                if ctx is not None:
+                    # Resume the parent's trace so the inner server's
+                    # spans (captured at submit) link to the request span.
+                    with telemetry.resume_trace(*ctx):
+                        future = server.submit_scored(rows, deadline=deadline)
+                else:
+                    future = server.submit_scored(rows, deadline=deadline)
             except BaseException as exc:
-                res_q.put(("err", req_id, type(exc).__name__, str(exc)))
+                res_q.put(("err", req_id, type(exc).__name__, str(exc), ()))
             else:
                 future.add_done_callback(
-                    lambda f, req_id=req_id: finish(req_id, f)
+                    lambda f, req_id=req_id, ctx=ctx: finish(req_id, ctx, f)
                 )
         elif kind == "swap":
             _, path, version = msg
@@ -416,17 +442,11 @@ class WorkerPool:
         self._lock = threading.Lock()
         self._closed = False
         self._stop_collecting = threading.Event()
-        #: req_id → (future, want_version, worker, expires_at)
-        self._futures: Dict[int, Tuple[Future, bool, int, Optional[float]]] = {}
+        #: req_id → (future, want_version, worker, expires_at, sw, ctx)
+        self._futures: Dict[int, Tuple] = {}
         self._next_id = itertools.count()
         self._rr = 0
-        self.n_requests_ = 0
-        self.n_overflows_ = 0
-        self.n_swaps_ = 0
-        self.n_crashes_ = 0
-        self.n_respawns_ = 0
-        self.n_deadline_expired_ = 0
-        self.n_late_replies_ = 0
+        self._init_metrics()
         self._requests_by_version: Counter = Counter()
         self._worker_versions: Dict[int, Optional[str]] = {
             i: model_version for i in range(self.n_workers)
@@ -451,6 +471,138 @@ class WorkerPool:
             target=self._collect, name="repro-pool-supervisor", daemon=True
         )
         self._collector.start()
+
+    # ------------------------------------------------------------------ #
+    # telemetry (parent-side; each worker's inner server has its own)
+    # ------------------------------------------------------------------ #
+    def _init_metrics(self) -> None:
+        """Register this pool's metric children (labeled per instance)."""
+        registry = telemetry.get_registry()
+        self.telemetry_label_ = telemetry.instance_label("pool")
+        label = ("pool",)
+        self._m_requests = registry.counter(
+            "repro_pool_requests_total",
+            "Requests answered by the worker fleet.",
+            labels=label,
+        ).labels(self.telemetry_label_)
+        self._m_overflows = registry.counter(
+            "repro_pool_overflows_total",
+            "Requests rejected because a worker queue was full.",
+            labels=label,
+        ).labels(self.telemetry_label_)
+        self._m_swaps = registry.counter(
+            "repro_pool_swaps_total",
+            "Fleet-wide model swaps broadcast.",
+            labels=label,
+        ).labels(self.telemetry_label_)
+        self._m_crashes = registry.counter(
+            "repro_pool_crashes_total",
+            "Worker processes that died without a clean stop ack.",
+            labels=label,
+        ).labels(self.telemetry_label_)
+        self._m_respawns = registry.counter(
+            "repro_pool_respawns_total",
+            "Replacement workers started after crashes.",
+            labels=label,
+        ).labels(self.telemetry_label_)
+        self._m_deadline = registry.counter(
+            "repro_pool_deadline_expired_total",
+            "Requests failed parent-side because their deadline passed.",
+            labels=label,
+        ).labels(self.telemetry_label_)
+        self._m_late = registry.counter(
+            "repro_pool_late_replies_total",
+            "Worker replies that arrived after their request had "
+            "already failed (deadline or crash).",
+            labels=label,
+        ).labels(self.telemetry_label_)
+        self._m_smaps_unavailable = registry.counter(
+            "repro_pool_smaps_unavailable_total",
+            "worker_stats() rounds where /proc smaps_rollup could not "
+            "be read (footprint gauges degrade to NaN).",
+            labels=label,
+        ).labels(self.telemetry_label_)
+        self._g_pending = registry.gauge(
+            "repro_pool_pending_requests",
+            "In-flight requests awaiting a worker reply.",
+            labels=label,
+        ).labels(self.telemetry_label_)
+        self._h_roundtrip = registry.histogram(
+            "repro_pool_roundtrip_seconds",
+            "Submit-to-reply latency through the fork queues.",
+            labels=label,
+        ).labels(self.telemetry_label_)
+        self._h_swap = registry.histogram(
+            "repro_pool_swap_seconds",
+            "Fleet swap duration (broadcast to full convergence).",
+            labels=label,
+        ).labels(self.telemetry_label_)
+        self._worker_kb_family = registry.gauge(
+            "repro_pool_worker_private_kb",
+            "Private (unshared) resident memory per worker, KiB "
+            "(NaN when smaps_rollup is unavailable).",
+            labels=("pool", "worker"),
+        )
+
+    # -- fleet counters (views over the telemetry registry) ------------- #
+    @property
+    def n_requests_(self) -> int:
+        """Requests answered (registry view)."""
+        return int(self._m_requests.value)
+
+    @property
+    def n_overflows_(self) -> int:
+        """Overflow rejections (registry view)."""
+        return int(self._m_overflows.value)
+
+    @property
+    def n_swaps_(self) -> int:
+        """Fleet swaps broadcast (registry view)."""
+        return int(self._m_swaps.value)
+
+    @property
+    def n_crashes_(self) -> int:
+        """Worker crashes detected (registry view)."""
+        return int(self._m_crashes.value)
+
+    @property
+    def n_respawns_(self) -> int:
+        """Workers respawned (registry view)."""
+        return int(self._m_respawns.value)
+
+    @property
+    def n_deadline_expired_(self) -> int:
+        """Deadline failures (registry view)."""
+        return int(self._m_deadline.value)
+
+    @property
+    def n_late_replies_(self) -> int:
+        """Late worker replies dropped (registry view)."""
+        return int(self._m_late.value)
+
+    def _stitch_reply(self, sw, ctx, worker: int, spans) -> None:
+        """Record a reply's round-trip and re-record its worker spans.
+
+        Called outside the pool lock. ``spans`` are ``Span.to_wire``
+        tuples minted in the worker process; re-recording them into the
+        parent sink (tagged with the worker slot) completes the
+        cross-process trace.
+        """
+        elapsed = sw.observe(self._h_roundtrip)
+        if ctx is None or not telemetry.sampling_enabled():
+            return
+        sink = telemetry.get_sink()
+        for wire in spans:
+            span = telemetry.Span.from_wire(wire)
+            span.tags.setdefault("worker", worker)
+            sink.record(span)
+        telemetry.record_span(
+            "pool.roundtrip",
+            elapsed,
+            ctx,
+            pool=self.telemetry_label_,
+            worker=worker,
+        )
 
     # ------------------------------------------------------------------ #
     # collector + supervisor (one parent thread)
@@ -482,26 +634,30 @@ class WorkerPool:
     def _dispatch(self, msg) -> None:
         tag = msg[0]
         if tag == "ok":
-            _, req_id, proba, version = msg
+            _, req_id, proba, version, spans = msg
             with self._lock:
                 entry = self._futures.pop(req_id, None)
                 if entry is None:  # already failed (deadline/crash)
-                    self.n_late_replies_ += 1
+                    self._m_late.inc()
                     return
-                future, want_version, _, _ = entry
-                self.n_requests_ += 1
+                future, want_version, worker, _, sw, ctx = entry
+                self._m_requests.inc()
+                self._g_pending.set(len(self._futures))
                 self._requests_by_version[version] += 1
+            self._stitch_reply(sw, ctx, worker, spans)
             future.set_result(
                 ScoredBatch(proba, version) if want_version else proba
             )
         elif tag == "err":
-            _, req_id, name, text = msg
+            _, req_id, name, text, spans = msg
             with self._lock:
                 entry = self._futures.pop(req_id, None)
                 if entry is None:
-                    self.n_late_replies_ += 1
+                    self._m_late.inc()
                     return
-                future = entry[0]
+                future, _, worker, _, sw, ctx = entry
+                self._g_pending.set(len(self._futures))
+            self._stitch_reply(sw, ctx, worker, spans)
             future.set_exception(_rebuild_exception(name, text))
         elif tag == "swapped":
             _, worker_id, version, err = msg
@@ -543,12 +699,12 @@ class WorkerPool:
         with self._lock:
             if self._closed:
                 return
-            for req_id, (future, _, worker, expires_at) in list(
+            for req_id, (future, _, worker, expires_at, _, _) in list(
                 self._futures.items()
             ):
                 if expires_at is not None and now > expires_at:
                     del self._futures[req_id]
-                    self.n_deadline_expired_ += 1
+                    self._m_deadline.inc()
                     expired.append(future)
             for i in range(self.n_workers):
                 proc = self._procs[i]
@@ -579,7 +735,7 @@ class WorkerPool:
         self, worker: int, exitcode, now: float
     ) -> List[Tuple[Future, str]]:
         """Record a crash (lock held); return the futures to fail."""
-        self.n_crashes_ += 1
+        self._m_crashes.inc()
         self._worker_crashes[worker] += 1
         self._worker_state[worker] = _CRASHED
         self._worker_versions[worker] = None
@@ -588,7 +744,7 @@ class WorkerPool:
             "answering; the request was not scored — safe to retry"
         )
         failed = []
-        for req_id, (future, _, owner, _) in list(self._futures.items()):
+        for req_id, (future, _, owner, _, _, _) in list(self._futures.items()):
             if owner == worker:
                 del self._futures[req_id]
                 failed.append((future, detail))
@@ -650,7 +806,7 @@ class WorkerPool:
         proc.start()
         self._worker_state[worker] = _ALIVE
         self._worker_versions[worker] = self._current_version
-        self.n_respawns_ += 1
+        self._m_respawns.inc()
         # The dead incarnation's queue may still hold unread messages with
         # a feeder thread blocked on the (reader-less) pipe; never let
         # interpreter exit wait on that flush.
@@ -678,12 +834,13 @@ class WorkerPool:
 
     def _enqueue(self, rows, want_version: bool, deadline=None) -> Future:
         rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+        ctx = telemetry.current_context()
+        sw = telemetry.stopwatch()
         expires_at = None
         if deadline is not None:
             deadline = float(deadline)
             if deadline <= 0:
-                with self._lock:
-                    self.n_deadline_expired_ += 1
+                self._m_deadline.inc()
                 raise DeadlineExceededError(
                     f"deadline of {deadline}s already expired at submission"
                 )
@@ -705,14 +862,17 @@ class WorkerPool:
                 )
             self._rr = (worker + 1) % self.n_workers
             req_id = next(self._next_id)
-            self._futures[req_id] = (future, want_version, worker, expires_at)
+            self._futures[req_id] = (
+                future, want_version, worker, expires_at, sw, ctx
+            )
+            self._g_pending.set(len(self._futures))
             try:
                 self._req_queues[worker].put_nowait(
-                    ("req", req_id, rows, expires_at)
+                    ("req", req_id, rows, expires_at, ctx)
                 )
             except queue_mod.Full:
                 del self._futures[req_id]
-                self.n_overflows_ += 1
+                self._m_overflows.inc()
                 raise ServerOverloadedError(
                     f"worker {worker} request queue is full; back off and "
                     "retry"
@@ -797,6 +957,7 @@ class WorkerPool:
         # never happens and the whole fleet keeps the old version.
         from ..persistence import load_model
 
+        swap_watch = telemetry.stopwatch()
         challenger = load_model(path, mmap_mode="r" if self.mmap else None)
         record = _record_from_model(challenger)
         del challenger  # only the mapping's decode identity is kept
@@ -804,7 +965,7 @@ class WorkerPool:
         with self._lock:
             if self._closed:
                 raise ServerClosedError("WorkerPool is closed")
-            self.n_swaps_ += 1
+            self._m_swaps.inc()
             if version is None:
                 version = f"swap-{self.n_swaps_}"
             version = str(version)
@@ -830,6 +991,7 @@ class WorkerPool:
         for req_q in queues:
             req_q.put(("swap", path, version))
         if not wait:
+            swap_watch.observe(self._h_swap)  # broadcast time only
             return version
         try:
             if not waiter["event"].wait(timeout):
@@ -854,12 +1016,18 @@ class WorkerPool:
         finally:
             with self._lock:
                 self._swap_waits.pop(version, None)
+        swap_watch.observe(self._h_swap)
         return version
 
     # ------------------------------------------------------------------ #
     def stats(self) -> Dict:
-        """Pool-level health snapshot (cheap: no worker round-trip)."""
+        """Pool-level health snapshot (cheap: no worker round-trip).
+
+        Every counter is a view over the telemetry registry — the same
+        values ``repro.telemetry.snapshot()`` exposes.
+        """
         with self._lock:
+            self._g_pending.set(len(self._futures))
             return {
                 "n_workers": self.n_workers,
                 "threshold": self.threshold,
@@ -969,7 +1137,21 @@ class WorkerPool:
         finally:
             with self._lock:
                 self._stats_waits.pop(token, None)
-        return dict(sorted(waiter["replies"].items()))
+        replies = dict(sorted(waiter["replies"].items()))
+        for worker_id, payload in replies.items():
+            # Footprint gauges degrade, never raise: a worker on a kernel
+            # without smaps_rollup reports None → NaN gauge + a counter
+            # the dashboards can alert on.
+            kb = payload.get("private_kb")
+            gauge = self._worker_kb_family.labels(
+                self.telemetry_label_, str(worker_id)
+            )
+            if kb is None:
+                gauge.set(float("nan"))
+                self._m_smaps_unavailable.inc()
+            else:
+                gauge.set(float(kb))
+        return replies
 
     # ------------------------------------------------------------------ #
     def close(self) -> None:

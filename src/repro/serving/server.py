@@ -40,7 +40,11 @@ endpoint:
   (requests, batches, rows, batch-size distribution, overflow rejections,
   per-version request counts, swap count, current version) so monitoring
   loops and benchmarks read server health without instrumenting
-  internals.
+  internals. The counters live in the process-wide
+  :mod:`repro.telemetry` registry (``repro_server_*``, one labeled
+  child per server instance) — ``stats()`` is a thin view over them —
+  and requests submitted under an active :func:`repro.telemetry.trace`
+  leave ``server.queue_wait`` / ``server.kernel_eval`` spans behind.
 """
 
 from __future__ import annotations
@@ -56,6 +60,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import telemetry
 from ..exceptions import (
     DeadlineExceededError,
     ServerClosedError,
@@ -173,18 +178,13 @@ class ModelServer:
             raise ValueError("max_pending must be >= 1")
         self.mmap = bool(mmap)
         self._chaos = chaos
-        self.n_deadline_expired_ = 0
         self.max_batch = int(max_batch)
         self.threshold = threshold
         self._queue: "queue.Queue" = queue.Queue(maxsize=int(max_pending))
         self._worker: Optional[threading.Thread] = None
         self._lock = threading.Lock()
         self._closed = False
-        self.n_requests_ = 0
-        self.n_batches_ = 0
-        self.n_rows_ = 0
-        self.n_overflows_ = 0
-        self.n_swaps_ = 0
+        self._init_metrics()
         self._batch_rows: Counter = Counter()
         self._requests_by_version: Counter = Counter()
         self._active = self._make_active(model, str(model_version))
@@ -193,6 +193,97 @@ class ModelServer:
         self._version_records: Dict[str, _ActiveModel] = {
             self._active.version: self._active
         }
+
+    # ------------------------------------------------------------------ #
+    def _init_metrics(self) -> None:
+        """Register this instance's labeled children in the process-wide
+        telemetry registry; ``stats()`` reads these, nothing else."""
+        registry = telemetry.get_registry()
+        self.telemetry_label_ = telemetry.instance_label("server")
+        label = ("server",)
+
+        def counter(name: str, help: str):
+            return registry.counter(name, help, labels=label).labels(
+                self.telemetry_label_
+            )
+
+        self._m_requests = counter(
+            "repro_server_requests_total", "Requests served by ModelServer."
+        )
+        self._m_batches = counter(
+            "repro_server_batches_total", "Micro-batches drained (kernel calls)."
+        )
+        self._m_rows = counter(
+            "repro_server_rows_total", "Rows scored by ModelServer."
+        )
+        self._m_overflows = counter(
+            "repro_server_overflows_total", "Submissions rejected on a full queue."
+        )
+        self._m_deadline = counter(
+            "repro_server_deadline_expired_total",
+            "Requests failed on an expired deadline.",
+        )
+        self._m_swaps = counter(
+            "repro_server_swaps_total", "Hot model swaps installed."
+        )
+        self._g_queue_depth = registry.gauge(
+            "repro_server_queue_depth",
+            "Requests waiting in the ModelServer queue.",
+            labels=label,
+        ).labels(self.telemetry_label_)
+        self._h_queue_wait = registry.histogram(
+            "repro_server_queue_wait_seconds",
+            "Time a request waits in the ModelServer queue before its "
+            "batch is drained.",
+            labels=label,
+        ).labels(self.telemetry_label_)
+        self._h_kernel = registry.histogram(
+            "repro_server_kernel_eval_seconds",
+            "predict_proba kernel duration per drained batch.",
+            labels=label,
+        ).labels(self.telemetry_label_)
+        self._h_swap = registry.histogram(
+            "repro_server_swap_seconds",
+            "Hot-swap duration (challenger validation + kernel build + flip).",
+            labels=label,
+        ).labels(self.telemetry_label_)
+
+    # -- served-traffic counters (views over the telemetry registry) ---- #
+    @property
+    def n_requests_(self) -> int:
+        """Requests served (registry view)."""
+        return int(self._m_requests.value)
+
+    @property
+    def n_batches_(self) -> int:
+        """Micro-batches drained (registry view)."""
+        return int(self._m_batches.value)
+
+    @property
+    def n_rows_(self) -> int:
+        """Rows scored (registry view)."""
+        return int(self._m_rows.value)
+
+    @property
+    def n_overflows_(self) -> int:
+        """Overflow rejections (registry view)."""
+        return int(self._m_overflows.value)
+
+    @property
+    def n_deadline_expired_(self) -> int:
+        """Deadline failures (registry view)."""
+        return int(self._m_deadline.value)
+
+    @property
+    def n_swaps_(self) -> int:
+        """Hot swaps installed (registry view)."""
+        return int(self._m_swaps.value)
+
+    def _refresh_queue_depth(self) -> int:
+        """Read the queue depth and mirror it into the gauge."""
+        depth = self._queue.qsize()
+        self._g_queue_depth.set(depth)
+        return depth
 
     # ------------------------------------------------------------------ #
     def _make_active(self, model, version: str) -> _ActiveModel:
@@ -285,6 +376,7 @@ class ModelServer:
         Requests scored after the flip carry the new ``model_version``
         stamp in their :class:`ScoredBatch`.
         """
+        swap_watch = telemetry.stopwatch()
         # expensive part (validation + kernel build), outside the lock
         active = self._make_active(
             model, "(pending)" if version is None else str(version)
@@ -300,7 +392,8 @@ class ModelServer:
                 )
             self._active = active  # atomic pointer flip
             self._version_records[active.version] = active
-            self.n_swaps_ += 1
+            self._m_swaps.inc()
+        swap_watch.observe(self._h_swap)
         return active.version
 
     # ------------------------------------------------------------------ #
@@ -326,7 +419,7 @@ class ModelServer:
             return None
         deadline = float(deadline)
         if deadline <= 0:
-            self.n_deadline_expired_ += 1
+            self._m_deadline.inc()
             raise DeadlineExceededError(
                 f"deadline of {deadline}s already expired at submission"
             )
@@ -338,6 +431,10 @@ class ModelServer:
         rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
         expires_at = self._resolve_deadline(deadline)
         future: Future = Future()
+        # Trace context + queue-wait stopwatch travel with the request;
+        # both are no-ops for untraced/unsampled traffic.
+        ctx = telemetry.current_context()
+        waited = telemetry.stopwatch()
         # Enqueue under the lock: close() also holds it while setting
         # _closed and enqueuing the stop sentinel, so a request can never
         # slip in after the sentinel (its future would otherwise hang).
@@ -350,9 +447,11 @@ class ModelServer:
                 )
                 self._worker.start()
             try:
-                self._queue.put_nowait((rows, future, want_version, expires_at))
+                self._queue.put_nowait(
+                    (rows, future, want_version, expires_at, waited, ctx)
+                )
             except queue.Full:
-                self.n_overflows_ += 1
+                self._m_overflows.inc()
                 raise ServerOverloadedError(
                     f"request queue is full ({self._queue.maxsize} pending); "
                     "back off and retry"
@@ -361,9 +460,9 @@ class ModelServer:
 
     def _expire(self, item) -> bool:
         """Fail a dequeued request typed if its deadline already passed."""
-        rows_, future, _, expires_at = item
+        rows_, future, _, expires_at, _, _ = item
         if expires_at is not None and time.monotonic() > expires_at:
-            self.n_deadline_expired_ += 1
+            self._m_deadline.inc()
             future.set_exception(
                 DeadlineExceededError(
                     f"request of {len(rows_)} row(s) expired after waiting "
@@ -384,7 +483,7 @@ class ModelServer:
                 return
             if self._expire(item):
                 continue
-            batch: List[Tuple[np.ndarray, Future, bool, Optional[float]]] = [item]
+            batch: List[Tuple] = [item]
             total = len(item[0])
             # Coalesce whatever is already queued, up to max_batch rows
             # per kernel call (a single larger request is the only case
@@ -409,25 +508,51 @@ class ModelServer:
             rows = (
                 batch[0][0]
                 if len(batch) == 1
-                else np.vstack([r for r, _, _, _ in batch])
+                else np.vstack([item[0] for item in batch])
             )
+            # Queue-wait ends here: the batch is drained and about to be
+            # scored. Traced requests additionally leave a span each.
+            for req_rows, _, _, _, waited, ctx in batch:
+                wait_s = waited.observe(self._h_queue_wait)
+                if ctx is not None:
+                    telemetry.record_span(
+                        "server.queue_wait",
+                        wait_s,
+                        ctx,
+                        server=self.telemetry_label_,
+                        rows=len(req_rows),
+                    )
             # One read of the active record per drained batch: every
             # request in the batch is served by exactly this version,
             # and a concurrent swap_model only affects later batches.
             active = self._active
+            kernel_watch = telemetry.stopwatch()
             try:
                 proba = active.model.predict_proba(rows)
             except BaseException as exc:  # propagate per request
-                for _, future, _, _ in batch:
-                    future.set_exception(exc)
+                for item in batch:
+                    item[1].set_exception(exc)
                 continue
-            self.n_batches_ += 1
-            self.n_requests_ += len(batch)
-            self.n_rows_ += total
+            kernel_s = kernel_watch.observe(self._h_kernel)
+            self._m_batches.inc()
+            self._m_requests.inc(len(batch))
+            self._m_rows.inc(total)
+            self._g_queue_depth.set(self._queue.qsize())
             self._batch_rows[total] += 1
             self._requests_by_version[active.version] += len(batch)
             offset = 0
-            for req_rows, future, want_version, _ in batch:
+            for req_rows, future, want_version, _, _, ctx in batch:
+                if ctx is not None:
+                    # The whole batch is one kernel call; each traced
+                    # request is attributed the shared duration.
+                    telemetry.record_span(
+                        "server.kernel_eval",
+                        kernel_s,
+                        ctx,
+                        server=self.telemetry_label_,
+                        version=active.version,
+                        batch_rows=total,
+                    )
                 out = proba[offset : offset + len(req_rows)]
                 future.set_result(
                     ScoredBatch(out, active.version) if want_version else out
@@ -488,7 +613,7 @@ class ModelServer:
             "n_overflows": self.n_overflows_,
             "n_deadline_expired": self.n_deadline_expired_,
             "n_swaps": self.n_swaps_,
-            "queue_depth": self._queue.qsize(),
+            "queue_depth": self._refresh_queue_depth(),
             "batch_size_distribution": {
                 int(k): int(v) for k, v in sorted(batch_rows.items())
             },

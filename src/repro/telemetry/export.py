@@ -1,0 +1,158 @@
+"""Exposition writers: Prometheus v0 text format and JSON snapshots.
+
+Two machine-readable views of one :class:`~repro.telemetry.MetricsRegistry`:
+
+* :func:`render_prometheus` — the Prometheus text exposition format
+  (version 0.0.4): ``# HELP`` / ``# TYPE`` headers, one sample line per
+  child, histograms as cumulative ``_bucket{le=...}`` series plus
+  ``_sum``/``_count``. Scrape-ready; also the golden-file format the
+  test suite pins.
+* :func:`snapshot` — a plain-dict snapshot with computed ``p50``/``p99``
+  per histogram, the single call that answers "how is the whole
+  serve→monitor→retrain loop doing" (asserted to reconcile with the
+  legacy ``stats()`` dicts by the chaos and telemetry benchmarks).
+* :func:`metric_value` — one child's current reading, the convenience
+  the reconciliation tests and benchmarks navigate by.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence, Tuple
+
+from .metrics import Histogram, MetricsRegistry, get_registry
+
+__all__ = ["metric_value", "render_prometheus", "snapshot"]
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r'\"')
+    )
+
+
+def _fmt(value: float) -> str:
+    """Prometheus sample-value formatting: ints bare, floats via repr."""
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return repr(value)
+    return str(value)
+
+
+def _labels_text(names: Sequence[str], values: Sequence[str], extra: str = "") -> str:
+    parts = [
+        f'{name}="{_escape_label(value)}"'
+        for name, value in zip(names, values)
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
+    """Render ``registry`` (default: the process registry) as
+    Prometheus text-exposition format, families sorted by name."""
+    registry = registry if registry is not None else get_registry()
+    lines = []
+    for family in registry.families():
+        children = family.children()
+        if not children:
+            continue
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        names = family.label_names
+        for values, child in children:
+            if isinstance(child, Histogram):
+                for bound, cum in child.cumulative():
+                    le = "+Inf" if math.isinf(bound) else _fmt(float(bound))
+                    labels = _labels_text(names, values, f'le="{le}"')
+                    lines.append(f"{family.name}_bucket{labels} {cum}")
+                labels = _labels_text(names, values)
+                lines.append(f"{family.name}_sum{labels} {_fmt(child.sum)}")
+                lines.append(f"{family.name}_count{labels} {child.count}")
+            else:
+                labels = _labels_text(names, values)
+                lines.append(f"{family.name}{labels} {_fmt(child.value)}")
+    return "\n".join(lines) + "\n"
+
+
+def snapshot(registry: Optional[MetricsRegistry] = None) -> Dict:
+    """One JSON-serializable health snapshot of ``registry``.
+
+    Shape::
+
+        {"registry": <name>,
+         "metrics": {<metric name>: {
+             "kind": "counter" | "gauge" | "histogram",
+             "help": <str>,
+             "samples": [
+                 {"labels": {...}, "value": <float>}          # counter/gauge
+                 {"labels": {...}, "count": <int>, "sum": <float>,
+                  "p50": <float>, "p99": <float>,
+                  "buckets": {<le>: <cumulative count>, ...}}  # histogram
+             ]}}}
+
+    ``nan`` values pass through as floats (callers serializing to strict
+    JSON should use ``json.dumps(..., allow_nan=True)``, the default).
+    """
+    registry = registry if registry is not None else get_registry()
+    metrics: Dict[str, Dict] = {}
+    for family in registry.families():
+        samples = []
+        for values, child in family.children():
+            labels = dict(zip(family.label_names, values))
+            if isinstance(child, Histogram):
+                samples.append(
+                    {
+                        "labels": labels,
+                        "count": child.count,
+                        "sum": child.sum,
+                        "p50": child.quantile(0.50),
+                        "p99": child.quantile(0.99),
+                        "buckets": {
+                            ("+Inf" if math.isinf(b) else _fmt(float(b))): c
+                            for b, c in child.cumulative()
+                        },
+                    }
+                )
+            else:
+                samples.append({"labels": labels, "value": child.value})
+        metrics[family.name] = {
+            "kind": family.kind,
+            "help": family.help,
+            "samples": samples,
+        }
+    return {"registry": registry.name, "metrics": metrics}
+
+
+def metric_value(
+    name: str,
+    labels: Optional[Dict[str, str]] = None,
+    registry: Optional[MetricsRegistry] = None,
+):
+    """Current reading of one metric child, or ``None`` if absent.
+
+    Counters/gauges return their value; histograms return a
+    ``{"count", "sum", "p50", "p99"}`` dict. ``labels`` must match the
+    child's labels exactly (``None`` matches the unlabeled child).
+    """
+    registry = registry if registry is not None else get_registry()
+    want: Tuple[Tuple[str, str], ...] = tuple(sorted((labels or {}).items()))
+    for sample_labels, child in registry.samples(name):
+        if tuple(sorted(sample_labels.items())) != want:
+            continue
+        if isinstance(child, Histogram):
+            return {
+                "count": child.count,
+                "sum": child.sum,
+                "p50": child.quantile(0.50),
+                "p99": child.quantile(0.99),
+            }
+        return child.value
+    return None

@@ -1,0 +1,116 @@
+"""The telemetry sampling switch and the approved latency timers.
+
+One process-wide switch splits telemetry into two cost classes:
+
+* **Always on** — counters and gauges. ``stats()`` across the serving
+  plane reads them, so correctness never depends on the switch.
+* **Sampled** — spans and latency-histogram timing (the allocating,
+  clock-reading parts). :func:`set_sampling` turns them off wholesale;
+  the residual overhead is benchmarked under 5 % in
+  ``benchmarks/bench_telemetry.py``.
+
+:func:`timer` and :func:`stopwatch` are the *only* sanctioned ways to
+measure a latency in instrumented modules — repro-lint's
+``raw-latency-timing`` rule forbids direct ``time.monotonic()``
+subtraction there, so every duration lands in a histogram (and its
+clock-handling bugs live in exactly one place: here).
+
+``REPRO_TELEMETRY_SAMPLING=0`` in the environment starts the process
+with sampling off.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from typing import Optional
+
+__all__ = ["Stopwatch", "sampling_enabled", "set_sampling", "stopwatch", "timer"]
+
+_SAMPLING = os.environ.get("REPRO_TELEMETRY_SAMPLING", "1") != "0"
+
+
+def sampling_enabled() -> bool:
+    """Whether span recording and latency timing are active."""
+    return _SAMPLING
+
+
+def set_sampling(enabled: bool) -> bool:
+    """Switch span recording and latency timing on/off; returns the
+    previous state. Counters and gauges are unaffected — ``stats()``
+    stays exact either way."""
+    global _SAMPLING
+    previous = _SAMPLING
+    _SAMPLING = bool(enabled)
+    return previous
+
+
+@contextmanager
+def timer(histogram):
+    """Time the block on the monotonic clock into ``histogram``.
+
+    A no-op (no clock read, no observation) while sampling is off or
+    ``histogram`` is ``None``.
+    """
+    if histogram is None or not _SAMPLING:
+        yield
+        return
+    start = time.monotonic()
+    try:
+        yield
+    finally:
+        histogram.observe(time.monotonic() - start)
+
+
+class Stopwatch:
+    """A started monotonic timer that can be read on another thread.
+
+    Queues split the measurement across threads (submit path starts,
+    drain path observes), which a ``with timer(...)`` block cannot
+    express — the stopwatch travels with the queued request instead.
+    """
+
+    __slots__ = ("_start",)
+
+    def __init__(self):
+        self._start = time.monotonic()
+
+    def elapsed(self) -> float:
+        """Seconds since construction."""
+        return time.monotonic() - self._start
+
+    def observe(self, histogram) -> float:
+        """Record the elapsed seconds into ``histogram`` and return them.
+
+        Callable more than once: queue wait at dequeue, total at reply.
+        """
+        elapsed = self.elapsed()
+        if histogram is not None:
+            histogram.observe(elapsed)
+        return elapsed
+
+
+class _NullStopwatch:
+    """Shared no-op stopwatch handed out while sampling is off."""
+
+    __slots__ = ()
+
+    def elapsed(self) -> float:
+        """Always 0.0 (sampling off)."""
+        return 0.0
+
+    def observe(self, histogram) -> float:
+        """No observation; returns 0.0 (sampling off)."""
+        return 0.0
+
+
+_NULL_STOPWATCH = _NullStopwatch()
+
+
+def stopwatch() -> Stopwatch:
+    """A started :class:`Stopwatch` (a shared no-op while sampling is
+    off — zero clock reads, zero allocation on the disabled path)."""
+    if not _SAMPLING:
+        return _NULL_STOPWATCH
+    return Stopwatch()

@@ -1,0 +1,267 @@
+"""Per-request tracing: parent-linked spans across threads and processes.
+
+A request entering the serving plane under ``with telemetry.trace("request")``
+leaves a trail of :class:`Span` records — gateway admit, queue wait,
+worker dispatch, kernel eval, reply — each linked to its parent span, all
+sharing one trace id. The pieces:
+
+* :func:`trace` — context manager opening a span; nested ``trace()``
+  calls (same thread or task) parent automatically through a
+  ``contextvars`` variable, so ``asyncio`` tasks and thread-hopping
+  futures keep their lineage without explicit plumbing.
+* :func:`current_context` — the active ``(trace_id, span_id)`` pair, the
+  serializable token the serving queues carry alongside each request.
+* :func:`resume_trace` — re-anchor a context on the far side of a queue
+  or a process boundary: spans opened inside parent to the original
+  request span.
+* :func:`record_span` — emit an already-measured span (explicit
+  duration) without entering a context; how the batching loop attributes
+  one kernel-eval duration to every request in the batch.
+* :class:`TraceSink` — a bounded ring of finished spans.
+  ``drain_trace`` removes one trace's spans — a pool worker drains its
+  local sink into the reply message, and the parent re-records them
+  (``Span.to_wire`` / ``Span.from_wire``), stitching the cross-process
+  trace together parent-side.
+
+Span and trace ids are plain ints, prefixed with the process id so spans
+minted on both sides of a fork never collide. Timestamps are
+``time.monotonic`` values — durations are exact; absolute values are
+only comparable within one process and boot.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from .sampling import sampling_enabled
+
+__all__ = [
+    "Span",
+    "TraceSink",
+    "current_context",
+    "current_span",
+    "drain_trace",
+    "get_sink",
+    "record_span",
+    "resume_trace",
+    "trace",
+]
+
+_IDS = itertools.count(1)
+
+
+def _new_id() -> int:
+    """Process-unique id; pid-prefixed so forked workers never collide."""
+    return (os.getpid() << 24) + next(_IDS)
+
+
+@dataclass
+class Span:
+    """One named, timed segment of a request's journey.
+
+    ``duration_s`` is ``None`` while the span is open; ``parent_id`` is
+    ``None`` for a root span. ``tags`` carry stage metadata (tenant,
+    worker index, model version, row counts).
+    """
+
+    name: str
+    trace_id: int
+    span_id: int
+    parent_id: Optional[int] = None
+    start: float = 0.0
+    duration_s: Optional[float] = None
+    tags: Dict[str, object] = field(default_factory=dict)
+
+    def to_wire(self) -> Tuple:
+        """Serializable tuple for crossing a process boundary."""
+        return (
+            self.name,
+            self.trace_id,
+            self.span_id,
+            self.parent_id,
+            self.start,
+            self.duration_s,
+            tuple(sorted(self.tags.items())),
+        )
+
+    @classmethod
+    def from_wire(cls, wire: Tuple) -> "Span":
+        """Rebuild a span from :meth:`to_wire` output."""
+        name, trace_id, span_id, parent_id, start, duration_s, tags = wire
+        return cls(
+            name=name,
+            trace_id=trace_id,
+            span_id=span_id,
+            parent_id=parent_id,
+            start=start,
+            duration_s=duration_s,
+            tags=dict(tags),
+        )
+
+
+class TraceSink:
+    """Bounded ring buffer of finished spans (thread-safe).
+
+    The bound makes tracing a fixed-memory feature: a long-running
+    server retains the most recent ``capacity`` spans, never an unbounded
+    log.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._spans: Deque[Span] = deque(maxlen=int(capacity))
+        self._lock = threading.Lock()
+
+    def record(self, span: Span) -> None:
+        """Append one finished span."""
+        with self._lock:
+            self._spans.append(span)
+
+    def spans(self, trace_id: Optional[int] = None) -> List[Span]:
+        """A copy of the retained spans (optionally one trace's)."""
+        with self._lock:
+            spans = list(self._spans)
+        if trace_id is None:
+            return spans
+        return [s for s in spans if s.trace_id == trace_id]
+
+    def drain_trace(self, trace_id: int) -> List[Span]:
+        """Remove and return every span of one trace."""
+        with self._lock:
+            keep, out = deque(maxlen=self._spans.maxlen), []
+            for span in self._spans:
+                (out if span.trace_id == trace_id else keep).append(span)
+            self._spans = keep
+        return out
+
+    def clear(self) -> None:
+        """Drop every retained span."""
+        with self._lock:
+            self._spans.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+_SINK = TraceSink()
+
+_current_span: "contextvars.ContextVar[Optional[Span]]" = contextvars.ContextVar(
+    "repro_current_span", default=None
+)
+
+
+def get_sink() -> TraceSink:
+    """The process-wide span sink."""
+    return _SINK
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open span of this thread/task, if any."""
+    return _current_span.get()
+
+
+def current_context() -> Optional[Tuple[int, int]]:
+    """``(trace_id, span_id)`` of the active span — the token a request
+    carries through queues and process boundaries — or ``None``."""
+    span = _current_span.get()
+    if span is None:
+        return None
+    return (span.trace_id, span.span_id)
+
+
+@contextmanager
+def trace(name: str, **tags):
+    """Open a span named ``name``; yields the :class:`Span` (or ``None``
+    when sampling is off).
+
+    Nested calls parent to the enclosing span and share its trace id; a
+    top-level call mints a fresh trace. The span is recorded into the
+    process sink when the block exits, with its measured duration.
+    """
+    if not sampling_enabled():
+        yield None
+        return
+    parent = _current_span.get()
+    span = Span(
+        name=name,
+        trace_id=parent.trace_id if parent is not None else _new_id(),
+        span_id=_new_id(),
+        parent_id=parent.span_id if parent is not None else None,
+        start=time.monotonic(),
+        tags=dict(tags),
+    )
+    token = _current_span.set(span)
+    try:
+        yield span
+    finally:
+        span.duration_s = time.monotonic() - span.start
+        _current_span.reset(token)
+        _SINK.record(span)
+
+
+@contextmanager
+def resume_trace(trace_id: int, parent_span_id: int):
+    """Re-anchor a trace context carried across a queue/process boundary.
+
+    Spans opened inside the block parent to ``parent_span_id`` and join
+    ``trace_id`` — the worker-side half of cross-process stitching. The
+    anchor itself is not recorded (the parent side owns the real span).
+    """
+    anchor = Span(
+        name="(anchor)",
+        trace_id=trace_id,
+        span_id=parent_span_id,
+        start=time.monotonic(),
+    )
+    token = _current_span.set(anchor)
+    try:
+        yield anchor
+    finally:
+        _current_span.reset(token)
+
+
+def record_span(
+    name: str,
+    duration_s: float,
+    context: Optional[Tuple[int, int]],
+    *,
+    start: Optional[float] = None,
+    **tags,
+) -> Optional[Span]:
+    """Emit one finished span with an explicit duration.
+
+    ``context`` is the ``(trace_id, parent_span_id)`` token captured at
+    submission (see :func:`current_context`); with ``None`` — an
+    untraced request — nothing is recorded. Used where a duration is
+    measured out-of-band (queue wait, a shared kernel call attributed to
+    every request of a batch).
+    """
+    if context is None or not sampling_enabled():
+        return None
+    trace_id, parent_id = context
+    span = Span(
+        name=name,
+        trace_id=trace_id,
+        span_id=_new_id(),
+        parent_id=parent_id,
+        start=start if start is not None else time.monotonic() - duration_s,
+        duration_s=float(duration_s),
+        tags=dict(tags),
+    )
+    _SINK.record(span)
+    return span
+
+
+def drain_trace(trace_id: int) -> List[Span]:
+    """Remove and return one trace's spans from the process sink."""
+    return _SINK.drain_trace(trace_id)

@@ -7,6 +7,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from .. import telemetry
 from ..utils.validation import check_random_state
 from ._binning import FeatureBinner
 from ._criterion import node_impurity, split_gain
@@ -359,7 +360,16 @@ def _grow_level_synchronous(
     depth = 0
     feat_range = np.arange(F, dtype=np.int64)
 
+    # Per-level stage timing: the watch is observed at the top of the
+    # next level (and once after the loop), so every exit path — normal
+    # depletion or any of the early breaks — closes the last level.
+    level_hist = telemetry.stage_histogram("tree_level")
+    level_watch = None
+
     while n_slots:
+        if level_watch is not None:
+            level_watch.observe(level_hist)
+        level_watch = telemetry.stopwatch()
         S = n_slots
         y_lvl = y_encoded[rows]
         comb = slots * C + y_lvl
@@ -472,6 +482,9 @@ def _grow_level_synchronous(
         level_parents = next_parents
         n_slots = 2 * split_slots.size
         depth += 1
+
+    if level_watch is not None:
+        level_watch.observe(level_hist)
 
     # Renumber construction (level) order to the stack builder's
     # depth-first preorder: node, left subtree, right subtree.

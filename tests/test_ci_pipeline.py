@@ -92,6 +92,7 @@ class TestWorkflowFile:
         assert "BENCH_serving.json" in paths
         assert "BENCH_monitoring.json" in paths
         assert "BENCH_chaos.json" in paths
+        assert "BENCH_telemetry.json" in paths
 
     def test_bench_smoke_runs_fastpath_bench(self, makefile_text):
         smoke = makefile_text.split("bench-smoke:")[1].split("\n\n")[0]
@@ -114,6 +115,23 @@ class TestWorkflowFile:
 
     def test_bench_chaos_target_exists(self, makefile_text):
         assert "bench-chaos:" in makefile_text
+
+    def test_bench_smoke_runs_telemetry_bench(self, makefile_text):
+        smoke = makefile_text.split("bench-smoke:")[1].split("\n\n")[0]
+        assert "bench_telemetry.py" in smoke
+
+    def test_bench_telemetry_target_exists(self, makefile_text):
+        assert "bench-telemetry:" in makefile_text
+
+    def test_bench_report_covers_telemetry_artifact(self):
+        import sys
+
+        sys.path.insert(0, str(REPO_ROOT / "tools"))
+        try:
+            import bench_report
+        finally:
+            sys.path.pop(0)
+        assert "BENCH_telemetry.json" in bench_report.ARTIFACTS
 
     def test_coverage_job_is_informational(self, workflow):
         assert workflow["jobs"]["coverage"].get("continue-on-error") is True

@@ -93,6 +93,26 @@ class TestReadmeSnippets:
         assert "controller" in namespace and "stats" in namespace
         assert namespace["stats"]["n_requests"] >= 2
 
+    def test_watch_it_run_block_runs(self):
+        """Execute the README's telemetry example verbatim: traced traffic
+        through a ModelServer lands in the process registry, the trace sink
+        retains the stitched spans, and both exposition formats read back."""
+        readme = (REPO_ROOT / "README.md").read_text()
+        blocks = re.findall(r"```python\n(.*?)```", readme, flags=re.DOTALL)
+        telemetry_blocks = [
+            b for b in blocks if "render_prometheus" in b and "snapshot" in b
+        ]
+        assert telemetry_blocks, "README must contain a watch-it-run block"
+        namespace = {}
+        exec(
+            compile(telemetry_blocks[0], "<README watch-it-run>", "exec"),
+            namespace,
+        )
+        assert "repro_server_requests_total" in namespace["text"]
+        assert namespace["served"] >= 1.0
+        span_names = {s.name for s in namespace["spans"]}
+        assert {"request", "server.kernel_eval"} <= span_names
+
     def test_readme_mentions_all_deliverable_paths(self):
         readme = (REPO_ROOT / "README.md").read_text()
         for path in ("DESIGN.md", "EXPERIMENTS.md", "benchmarks/", "examples/"):

@@ -264,6 +264,73 @@ class TestDeterminismRules:
 
 
 # --------------------------------------------------------------------- #
+# telemetry: latency through the telemetry plane only
+# --------------------------------------------------------------------- #
+class TestTelemetryRules:
+    """`raw-latency-timing` forbids hand-rolled latency math in the
+    modules the telemetry plane instruments; deadline arithmetic (the
+    monotonic-on-the-right shape) stays legal."""
+
+    IN_SCOPE = "src/repro/serving/_snippet.py"
+
+    def test_perf_counter_fires(self):
+        bad = '''
+        import time
+
+        def timed():
+            """Doc."""
+            start = time.perf_counter()
+            return time.perf_counter() - start
+        '''
+        assert fired(bad, "raw-latency-timing", path=self.IN_SCOPE) == [6, 7]
+
+    def test_monotonic_elapsed_math_fires(self):
+        bad = '''
+        import time
+
+        def elapsed(start):
+            """Doc."""
+            return time.monotonic() - start
+        '''
+        assert fired(bad, "raw-latency-timing", path=self.IN_SCOPE) == [6]
+
+    def test_monotonic_deadline_math_is_silent(self):
+        good = '''
+        import time
+
+        def budget(expires_at):
+            """Doc."""
+            deadline = time.monotonic() + 5.0
+            remaining = expires_at - time.monotonic()
+            return deadline, remaining, time.monotonic() < expires_at
+        '''
+        assert fired(good, "raw-latency-timing", path=self.IN_SCOPE) == []
+
+    def test_rule_is_scoped_to_instrumented_modules(self):
+        snippet = '''
+        import time
+
+        def elapsed(start):
+            """Doc."""
+            return time.perf_counter() - start
+        '''
+        assert fired(snippet, "raw-latency-timing") == []
+        assert fired(
+            snippet, "raw-latency-timing", path="benchmarks/_snippet.py"
+        ) == []
+
+    def test_pragma_suppresses(self):
+        snippet = '''
+        import time
+
+        def elapsed(start):
+            """Doc."""
+            return time.monotonic() - start  # repro-lint: disable=raw-latency-timing
+        '''
+        assert fired(snippet, "raw-latency-timing", path=self.IN_SCOPE) == []
+
+
+# --------------------------------------------------------------------- #
 # exception contracts
 # --------------------------------------------------------------------- #
 class TestExceptionContractRules:
@@ -649,7 +716,7 @@ class TestTreeIsClean:
         checkers = default_checkers()
         names = {c.name for c in checkers}
         assert {"concurrency", "determinism", "exceptions",
-                "lifecycle", "api", "registry"} <= names
+                "lifecycle", "api", "registry", "telemetry"} <= names
         rules = known_rules(checkers)
         for rule in (
             "lock-blocking-call", "lock-acquire-discipline",
@@ -657,7 +724,7 @@ class TestTreeIsClean:
             "bare-except", "swallowed-exception", "untyped-public-raise",
             "unjoined-thread", "unreaped-process", "all-undefined-name",
             "missing-reexport", "missing-docstring", "registry-drift",
-            "syntax-error", "bad-pragma",
+            "syntax-error", "bad-pragma", "raw-latency-timing",
         ):
             assert rule in rules, rule
 

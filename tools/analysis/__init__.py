@@ -38,6 +38,7 @@ from .contracts import ExceptionContractChecker, STDLIB_RAISE_ALLOWLIST
 from .determinism import DeterminismChecker
 from .lifecycle import ResourceLifecycleChecker
 from .registry_audit import RegistryChecker
+from .telemetry import TelemetryChecker
 
 __all__ = [
     "ApiSurfaceChecker",
@@ -54,6 +55,7 @@ __all__ = [
     "ResourceLifecycleChecker",
     "STDLIB_RAISE_ALLOWLIST",
     "SourceFile",
+    "TelemetryChecker",
     "apply_baseline",
     "default_checkers",
     "iter_python_files",
@@ -74,5 +76,6 @@ def default_checkers():
         ExceptionContractChecker(),
         ResourceLifecycleChecker(),
         ApiSurfaceChecker(),
+        TelemetryChecker(),
         RegistryChecker(),
     ]

@@ -1,0 +1,90 @@
+"""Telemetry contract: latency is measured by the telemetry plane only.
+
+The serving/monitoring/lifecycle stack reports every duration through
+``repro.telemetry`` (``timer`` / ``stopwatch`` / ``Stopwatch``), so each
+latency lands in a histogram, respects the sampling switch, and keeps its
+clock-handling bugs in one audited module. Hand-rolled elapsed-time math
+scattered through instrumented modules would silently bypass all three.
+
+``raw-latency-timing``
+    In instrumented modules (the serving plane and the fit path), no
+    ``time.perf_counter()`` calls, and no ``time.monotonic()`` as the
+    *left* operand of a subtraction — the elapsed-time idiom
+    ``time.monotonic() - start``. Deadline arithmetic keeps its shape:
+    ``time.monotonic() + budget`` (computing an expiry) and
+    ``expires_at - time.monotonic()`` (remaining budget, monotonic on
+    the right) stay legal, as do plain comparisons against an expiry.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .core import Checker, Finding, SourceFile
+
+#: Modules that must route latency through repro.telemetry. The telemetry
+#: package itself (and utils/experiments, which predate the plane and sit
+#: outside it) are deliberately not listed.
+_INSTRUMENTED = (
+    "src/repro/serving/",
+    "src/repro/monitoring/",
+    "src/repro/lifecycle/",
+    "src/repro/core/",
+    "src/repro/tree/",
+    "src/repro/parallel/",
+    "src/repro/fastpath/",
+    "src/repro/chaos/",
+    "src/repro/streaming/",
+)
+
+
+def _is_clock_call(node: ast.AST, func_name: str) -> bool:
+    """``time.<func_name>()`` with no arguments."""
+    return (
+        isinstance(node, ast.Call)
+        and not node.args
+        and not node.keywords
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == func_name
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id == "time"
+    )
+
+
+class TelemetryChecker(Checker):
+    """Raw latency math in modules the telemetry plane instruments."""
+
+    name = "telemetry"
+    rules = {
+        "raw-latency-timing": (
+            "instrumented modules must measure latency through "
+            "repro.telemetry (timer/stopwatch), not raw clock math — "
+            "durations belong in histograms, under the sampling switch"
+        ),
+    }
+    scope = _INSTRUMENTED
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):
+            if _is_clock_call(node, "perf_counter"):
+                yield self.finding(
+                    src, "raw-latency-timing", node.lineno,
+                    "time.perf_counter() here starts a hand-rolled latency "
+                    "measurement; use telemetry.timer()/stopwatch() so the "
+                    "duration lands in a histogram",
+                )
+            elif (
+                isinstance(node, ast.BinOp)
+                and isinstance(node.op, ast.Sub)
+                and _is_clock_call(node.left, "monotonic")
+            ):
+                # monotonic on the LEFT of a subtraction is elapsed-time
+                # math (now - start); monotonic on the RIGHT is remaining
+                # deadline budget (expires_at - now), which stays legal.
+                yield self.finding(
+                    src, "raw-latency-timing", node.lineno,
+                    "`time.monotonic() - ...` is hand-rolled elapsed-time "
+                    "math; use telemetry.timer()/stopwatch() (deadline "
+                    "remainders `expires_at - time.monotonic()` stay legal)",
+                )

@@ -33,6 +33,7 @@ ARTIFACTS = (
     "BENCH_serving.json",
     "BENCH_monitoring.json",
     "BENCH_chaos.json",
+    "BENCH_telemetry.json",
 )
 
 #: Top-level keys that are configuration, not measured metrics.
